@@ -1,0 +1,355 @@
+package repro
+
+// Benchmark harness: one benchmark per evaluation figure (Sec. VII), plus
+// ablations for the design choices DESIGN.md calls out and micro-benchmarks
+// for the hot substrates. Figure benchmarks run scaled-down configurations
+// (the full paper-sized sweeps are cmd/orthrus-bench -scale 1); the custom
+// ReportMetric outputs — ktps, latency seconds — are the quantities the
+// paper plots, so regressions in protocol behavior show up directly.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/order"
+	"repro/internal/pbft"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// benchCfg is a laptop-sized configuration of the Sec. VII-A setup.
+func benchCfg(mode core.Mode, n int, net cluster.NetProfile) cluster.Config {
+	return cluster.Config{
+		N:            n,
+		Protocol:     mode,
+		Net:          net,
+		Workload:     workload.Config{Accounts: 4000, Seed: 42},
+		LoadTPS:      3000,
+		Duration:     6 * time.Second,
+		Warmup:       1 * time.Second,
+		Drain:        20 * time.Second,
+		BatchSize:    1024,
+		BatchTimeout: 100 * time.Millisecond,
+		EpochLen:     128,
+		ViewTimeout:  10 * time.Second,
+		AnalyticSB:   n >= 32,
+		NIC:          n < 32,
+		Seed:         42,
+	}
+}
+
+func reportCluster(b *testing.B, res *cluster.Result) {
+	b.ReportMetric(res.ThroughputTPS/1000, "ktps")
+	b.ReportMetric(res.Latency.Mean().Seconds(), "lat-s")
+	b.ReportMetric(res.Latency.Percentile(99).Seconds(), "p99-s")
+}
+
+// BenchmarkFig1b regenerates the motivating breakdown: ISS with one 10x
+// straggler; the reported global-s metric is the global-ordering stage that
+// dominates total latency (92.8% in the paper).
+func BenchmarkFig1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg(baseline.ISSMode(), 16, cluster.WAN)
+		cfg.Stragglers = 1
+		res := cluster.Run(cfg)
+		b.ReportMetric(res.Breakdown.Mean(metrics.StageGlobal).Seconds(), "global-s")
+		b.ReportMetric(res.Breakdown.Mean(metrics.StagePartial).Seconds(), "partial-s")
+	}
+}
+
+// benchSweepPoint runs one (protocol, straggler) cell of Figs. 3/4 at n=16.
+func benchSweepPoint(b *testing.B, mode core.Mode, net cluster.NetProfile, stragglers int) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg(mode, 16, net)
+		cfg.Stragglers = stragglers
+		reportCluster(b, cluster.Run(cfg))
+	}
+}
+
+// BenchmarkFig3 covers the WAN grid of Fig. 3 (per-protocol sub-benchmarks,
+// with and without a straggler).
+func BenchmarkFig3(b *testing.B) {
+	for _, mode := range baseline.AllModes() {
+		mode := mode
+		b.Run(mode.Name+"/straggler=0", func(b *testing.B) { benchSweepPoint(b, mode, cluster.WAN, 0) })
+		b.Run(mode.Name+"/straggler=1", func(b *testing.B) { benchSweepPoint(b, mode, cluster.WAN, 1) })
+	}
+}
+
+// BenchmarkFig4 covers the LAN grid of Fig. 4.
+func BenchmarkFig4(b *testing.B) {
+	for _, mode := range baseline.AllModes() {
+		mode := mode
+		b.Run(mode.Name+"/straggler=0", func(b *testing.B) { benchSweepPoint(b, mode, cluster.LAN, 0) })
+		b.Run(mode.Name+"/straggler=1", func(b *testing.B) { benchSweepPoint(b, mode, cluster.LAN, 1) })
+	}
+}
+
+// BenchmarkFig3Scale exercises the replica-count axis with the analytic SB
+// (the regime where message-level simulation is infeasible).
+func BenchmarkFig3Scale(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		n := n
+		b.Run(core.OrthrusMode().Name+"/n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(core.OrthrusMode(), n, cluster.WAN)
+				cfg.Stragglers = 1
+				reportCluster(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkFig5 sweeps the payment proportion (Orthrus, WAN, straggler).
+func BenchmarkFig5(b *testing.B) {
+	for _, frac := range []float64{-1, 0.46, 1.0} {
+		frac := frac
+		name := "pay=0%"
+		if frac > 0 {
+			name = "pay=" + itoa(int(frac*100)) + "%"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(core.OrthrusMode(), 16, cluster.WAN)
+				cfg.Stragglers = 1
+				cfg.Workload.PaymentFraction = frac
+				reportCluster(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkFig6 compares the Orthrus vs ISS latency breakdown.
+func BenchmarkFig6(b *testing.B) {
+	for _, mode := range []core.Mode{core.OrthrusMode(), baseline.ISSMode()} {
+		mode := mode
+		b.Run(mode.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(mode, 16, cluster.WAN)
+				cfg.Stragglers = 1
+				res := cluster.Run(cfg)
+				b.ReportMetric(res.Breakdown.Mean(metrics.StageGlobal).Seconds(), "global-s")
+				b.ReportMetric(res.Breakdown.Total().Seconds(), "total-s")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7 runs the detectable-fault timeline (crash at t=9s).
+func BenchmarkFig7(b *testing.B) {
+	for _, faults := range []int{0, 1, 5} {
+		faults := faults
+		b.Run("f="+itoa(faults), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(core.OrthrusMode(), 16, cluster.WAN)
+				cfg.Duration = 20 * time.Second
+				cfg.DetectableFaults = faults
+				cfg.FaultAt = 9 * time.Second
+				cfg.EpochLen = 64
+				res := cluster.Run(cfg)
+				reportCluster(b, res)
+				b.ReportMetric(float64(res.ViewChanges), "view-changes")
+			}
+		})
+	}
+}
+
+// BenchmarkFig8 runs the undetectable-fault sweep.
+func BenchmarkFig8(b *testing.B) {
+	for _, byz := range []int{0, 1, 5} {
+		byz := byz
+		b.Run("byz="+itoa(byz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(core.OrthrusMode(), 16, cluster.WAN)
+				cfg.UndetectableFaults = byz
+				reportCluster(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// --- ablations (DESIGN.md Sec. 4) ---
+
+// BenchmarkAblationOrdering swaps Orthrus's dynamic glog for the
+// predetermined one: contract latency under a straggler degrades toward
+// ISS, showing the dynamic ordering's contribution.
+func BenchmarkAblationOrdering(b *testing.B) {
+	predet := core.Mode{
+		Name:             "Orthrus-predet",
+		NewGlobal:        func(m int) core.GlobalOrdering { return core.WorkerOrdering{Ord: order.NewPredetermined(m)} },
+		FastPathPayments: true,
+		SplitMultiPayer:  true,
+	}
+	for _, mode := range []core.Mode{core.OrthrusMode(), predet} {
+		mode := mode
+		b.Run(mode.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(mode, 16, cluster.WAN)
+				cfg.Stragglers = 1
+				reportCluster(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEscrow disables the payment fast path (escrow-at-plog):
+// payments then wait for the global log exactly like Ladon, quantifying the
+// fast path's latency win.
+func BenchmarkAblationEscrow(b *testing.B) {
+	noFast := baseline.LadonMode()
+	noFast.Name = "Orthrus-noFastPath"
+	for _, mode := range []core.Mode{core.OrthrusMode(), noFast} {
+		mode := mode
+		b.Run(mode.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(mode, 16, cluster.WAN)
+				cfg.Stragglers = 1
+				cfg.Workload.PaymentFraction = 1.0
+				reportCluster(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSplit disables multi-payer splitting under a
+// multi-payer-heavy payment workload.
+func BenchmarkAblationSplit(b *testing.B) {
+	noSplit := core.OrthrusMode()
+	noSplit.Name = "Orthrus-noSplit"
+	noSplit.SplitMultiPayer = false
+	for _, mode := range []core.Mode{core.OrthrusMode(), noSplit} {
+		mode := mode
+		b.Run(mode.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(mode, 16, cluster.WAN)
+				cfg.Workload.PaymentFraction = 1.0
+				cfg.Workload.MultiPayerFraction = 0.5
+				reportCluster(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSB cross-checks analytic vs message-level SB end to end.
+func BenchmarkAblationSB(b *testing.B) {
+	for _, analytic := range []bool{false, true} {
+		analytic := analytic
+		name := "message-level"
+		if analytic {
+			name = "analytic"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(core.OrthrusMode(), 16, cluster.WAN)
+				cfg.AnalyticSB = analytic
+				cfg.NIC = false
+				reportCluster(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks for the hot substrates ---
+
+// BenchmarkEscrow measures the escrow/commit cycle on the ledger.
+func BenchmarkEscrow(b *testing.B) {
+	st := ledger.NewStore()
+	st.Credit("payer", types.Amount(b.N)*10+1000)
+	tx := types.NewPayment("payer", "payee", 1, 1)
+	op := tx.Ops[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := tx.ID()
+		id[0] = byte(i)
+		if !st.Escrow(op, id) {
+			b.Fatal("escrow failed")
+		}
+		st.CommitEscrow(id)
+	}
+}
+
+// BenchmarkDynamicOrderer measures Ladon's rank-based global ordering.
+func BenchmarkDynamicOrderer(b *testing.B) {
+	d := order.NewDynamic(16)
+	blocks := make([]*types.Block, 16)
+	for i := range blocks {
+		blocks[i] = &types.Block{Instance: i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := blocks[i%16]
+		blk.SN = uint64(i / 16)
+		blk.Rank = uint64(i + 1)
+		d.Deliver(blk)
+	}
+}
+
+// BenchmarkPBFTRound measures one full 4-replica consensus round including
+// the event-driven network simulation.
+func BenchmarkPBFTRound(b *testing.B) {
+	sim := simnet.New(1)
+	nw := simnet.NewNetwork(sim, 4, simnet.FixedModel{D: time.Millisecond})
+	delivered := 0
+	engines := make([]*pbft.Engine, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		cfg := pbft.Config{N: 4, F: 1, ID: i, Instance: 0, Timeout: time.Hour, Window: 1 << 20,
+			OnDeliver: func(blk *types.Block) {
+				if i == 0 {
+					delivered++
+				}
+			}}
+		engines[i] = pbft.New(cfg, benchTransport{nw: nw, id: i}, sim)
+		nw.Register(i, func(from int, msg any) { engines[i].Handle(from, msg.(pbft.Message)) })
+	}
+	blk := &types.Block{Instance: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := *blk
+		blk.SN = uint64(i)
+		if err := engines[0].Propose(&blk); err != nil {
+			b.Fatal(err)
+		}
+		sim.RunAll(0)
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkWorkloadGen measures transaction generation.
+func BenchmarkWorkloadGen(b *testing.B) {
+	g := workload.New(workload.Config{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+type benchTransport struct {
+	nw *simnet.Network
+	id int
+}
+
+func (t benchTransport) Broadcast(size int, msg pbft.Message) { t.nw.Broadcast(t.id, size, msg) }
+func (t benchTransport) Send(to, size int, msg pbft.Message)  { t.nw.Send(t.id, to, size, msg) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

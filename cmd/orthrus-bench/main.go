@@ -1,0 +1,49 @@
+// Command orthrus-bench regenerates the paper's evaluation figures
+// (Sec. VII). Each figure prints the same series the paper plots.
+//
+// Usage:
+//
+//	orthrus-bench -fig all -scale 0.25   # quick pass over every figure
+//	orthrus-bench -fig 3 -scale 1        # full Fig. 3 sweep (slow)
+//	orthrus-bench -fig 6                 # latency breakdown only
+//
+// Scale in (0,1] shrinks run durations, loads and the replica-count axis
+// proportionally; 1 is the paper-sized configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1b, 3, 4, 5, 6, 7, 8, or all")
+	scale := flag.Float64("scale", 0.25, "experiment scale in (0,1]; 1 = paper-sized")
+	flag.Parse()
+
+	w := os.Stdout
+	switch *fig {
+	case "1b":
+		experiments.Fig1b(w, *scale)
+	case "3":
+		experiments.Fig3(w, *scale)
+	case "4":
+		experiments.Fig4(w, *scale)
+	case "5":
+		experiments.Fig5(w, *scale)
+	case "6":
+		experiments.Fig6(w, *scale)
+	case "7":
+		experiments.Fig7(w, *scale)
+	case "8":
+		experiments.Fig8(w, *scale)
+	case "all":
+		experiments.All(w, *scale)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1b, 3, 4, 5, 6, 7, 8, all)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,81 @@
+// Command orthrus-sim runs a single Multi-BFT cluster configuration and
+// prints a summary: throughput, client latency distribution, abort count
+// and view changes. Useful for exploring one scenario without the full
+// benchmark harness.
+//
+// Examples:
+//
+//	orthrus-sim -protocol Orthrus -n 16 -net wan -stragglers 1
+//	orthrus-sim -protocol ISS -n 8 -net lan -load 20000 -duration 10s
+//	orthrus-sim -protocol Orthrus -n 16 -faults 5 -fault-at 9s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	protocol := flag.String("protocol", "Orthrus", "protocol: Orthrus, ISS, RCC, Mir, DQBFT, Ladon")
+	n := flag.Int("n", 16, "number of replicas (m = n instances)")
+	netName := flag.String("net", "wan", "network profile: wan or lan")
+	stragglers := flag.Int("stragglers", 0, "number of 10x-slow instances")
+	faults := flag.Int("faults", 0, "replicas to crash at -fault-at (detectable faults)")
+	faultAt := flag.Duration("fault-at", 9*time.Second, "crash injection time")
+	byzantine := flag.Int("byzantine", 0, "undetectable (selective-participation) faulty replicas")
+	load := flag.Float64("load", 10000, "client load in tx/s")
+	duration := flag.Duration("duration", 15*time.Second, "submission window")
+	payments := flag.Float64("payments", 0.46, "payment transaction fraction (0 uses the paper default)")
+	batch := flag.Int("batch", 4096, "batch size (txs per block)")
+	analytic := flag.Bool("analytic", false, "use the analytic quorum-time SB (fault-free only)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	mode, ok := baseline.ModeByName(*protocol)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+	net := cluster.WAN
+	if *netName == "lan" {
+		net = cluster.LAN
+	}
+
+	cfg := cluster.Config{
+		N:                  *n,
+		Protocol:           mode,
+		Net:                net,
+		Stragglers:         *stragglers,
+		DetectableFaults:   *faults,
+		FaultAt:            *faultAt,
+		UndetectableFaults: *byzantine,
+		Workload:           workload.Config{Seed: *seed, PaymentFraction: *payments},
+		LoadTPS:            *load,
+		Duration:           *duration,
+		BatchSize:          *batch,
+		AnalyticSB:         *analytic,
+		NIC:                !*analytic,
+		Seed:               *seed,
+	}
+	res := cluster.Run(cfg)
+
+	fmt.Printf("protocol     %s\n", res.Protocol)
+	fmt.Printf("network      %s, n=%d (m=n instances), f=%d\n", res.Net, res.N, (res.N-1)/3)
+	fmt.Printf("submitted    %d txs @ %.0f tps\n", res.Submitted, *load)
+	fmt.Printf("confirmed    %d in window (throughput %.1f ktps)\n", res.Confirmed, res.ThroughputTPS/1000)
+	fmt.Printf("aborted      %d\n", res.Aborted)
+	fmt.Printf("latency      %s\n", res.Latency.String())
+	fmt.Printf("view changes %d\n", res.ViewChanges)
+	fmt.Printf("sim events   %d\n", res.Events)
+	fmt.Println("breakdown    (observer replica stage means)")
+	for _, s := range metrics.Stages() {
+		fmt.Printf("  %-16s %8.3fs\n", s.String(), res.Breakdown.Mean(s).Seconds())
+	}
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Orthrus: Accelerating
+// Multi-BFT Consensus through Concurrent Partial Ordering of Transactions"
+// (ICDE 2025).
+//
+// The system lives under internal/: a discrete-event network simulator
+// (simnet), message-level PBFT (pbft) and an analytic quorum-time variant
+// (sb) implementing sequenced broadcast, the object/escrow ledger (ledger),
+// the bucket partitioner (partition), global-ordering algorithms (order),
+// the Orthrus replica framework (core), the five baseline protocols
+// (baseline), the Ethereum-like workload generator (workload), and the
+// experiment harness (cluster, experiments, metrics).
+//
+// Entry points:
+//
+//   - examples/quickstart — minimal 4-replica cluster
+//   - cmd/orthrus-sim — run one configuration
+//   - cmd/orthrus-bench — regenerate every evaluation figure
+//   - bench_test.go — testing.B benchmarks, one per table/figure
+package repro

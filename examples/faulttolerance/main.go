@@ -1,0 +1,61 @@
+// Faulttolerance: crashes a replica mid-run and shows the view-change
+// recovery timeline — throughput dips when the fault hits, the failure
+// detector replaces the leader after the timeout, and confirmations resume
+// (Fig. 7's story).
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	res := cluster.Run(cluster.Config{
+		N:                7,
+		Protocol:         core.OrthrusMode(),
+		Net:              cluster.WAN,
+		DetectableFaults: 1,
+		FaultAt:          5 * time.Second,
+		ViewTimeout:      3 * time.Second,
+		Workload:         workload.Config{Accounts: 2000, Seed: 3},
+		LoadTPS:          1500,
+		Duration:         16 * time.Second,
+		Drain:            10 * time.Second,
+		BatchSize:        256,
+		BatchTimeout:     100 * time.Millisecond,
+		EpochLen:         32,
+		NIC:              true,
+		Seed:             3,
+	})
+
+	fmt.Println("Orthrus, WAN, 7 replicas; replica 6 crashes at t=5s, view-change")
+	fmt.Printf("timeout 3s. View changes observed: %d\n\n", res.ViewChanges)
+	fmt.Println("  t(s)   tput(tps)  bar")
+	max := 0.0
+	for i := 0; i < res.Series.Bins(); i++ {
+		if tp := res.Series.Throughput(i); tp > max {
+			max = tp
+		}
+	}
+	for i := 0; i < res.Series.Bins(); i += 2 {
+		tp := res.Series.Throughput(i)
+		barLen := 0
+		if max > 0 {
+			barLen = int(tp / max * 50)
+		}
+		fmt.Printf("  %4.1f  %9.0f  %s\n",
+			float64(i)*res.Series.Bin.Seconds(), tp, strings.Repeat("#", barLen))
+	}
+	fmt.Printf("\nconfirmed %d, aborted %d, mean latency %.2fs\n",
+		res.Confirmed, res.Aborted, res.Latency.Mean().Seconds())
+	fmt.Println("\nThe dip after t=5s is the crashed leader's instance stalling; after")
+	fmt.Println("the view change the next replica takes over and fills the gap with")
+	fmt.Println("no-op blocks, releasing the blocked global-log positions.")
+}

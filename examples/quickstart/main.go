@@ -1,0 +1,79 @@
+// Quickstart: a 4-replica Orthrus cluster on a simulated LAN. Submits a
+// payment and a contract call, then prints confirmations and final state.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+func main() {
+	const n = 4
+	sim := simnet.New(1)
+	nw := simnet.NewNetwork(sim, n, simnet.NewLAN())
+
+	genesis := func(st *ledger.Store) {
+		st.Credit("alice", 100)
+		st.Credit("bob", 50)
+	}
+
+	// Build n replicas; replica 0 reports confirmations.
+	replicas := make([]*core.Replica, n)
+	for i := 0; i < n; i++ {
+		cfg := core.Config{
+			N: n, F: 1, ID: i, M: n,
+			Mode:         core.OrthrusMode(),
+			BatchSize:    16,
+			BatchTimeout: 20 * time.Millisecond,
+			Genesis:      genesis,
+		}
+		if i == 0 {
+			cfg.OnConfirm = func(tx *types.Transaction, success bool, at simnet.Time) {
+				fmt.Printf("[%8s] %-8s tx %s confirmed success=%v\n",
+					at, tx.Kind(), tx.ID(), success)
+			}
+		}
+		replicas[i] = core.NewReplica(cfg, sim, nw)
+	}
+	for _, r := range replicas {
+		r.Start()
+	}
+
+	// A simple payment (fast path: confirmed from the partial log) and a
+	// contract call (confirmed through the global log).
+	pay := types.NewPayment("alice", "bob", 30, 1)
+	contract := types.NewContractCall("bob", []types.Key{"bob"}, 5,
+		[]types.Op{types.NewSharedAssign("counter", 7)}, 2)
+	for _, tx := range []*types.Transaction{pay, contract} {
+		tx.SubmitNS = int64(sim.Now())
+		for _, r := range replicas {
+			if err := r.SubmitTx(tx); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// Advance virtual time until everything confirms.
+	sim.Run(simnet.Time(3 * time.Second))
+
+	st := replicas[0].Store()
+	fmt.Printf("\nfinal state at replica 0:\n")
+	fmt.Printf("  alice   = %d (paid 30)\n", st.Balance("alice"))
+	fmt.Printf("  bob     = %d (received 30, paid 5 fee)\n", st.Balance("bob"))
+	fmt.Printf("  counter = %d (assigned by the contract)\n", st.SharedValue("counter"))
+
+	// Every replica reached the same state (safety, Theorem 1).
+	for i := 1; i < n; i++ {
+		if !replicas[i].Store().Snapshot().Equal(st.Snapshot()) {
+			panic(fmt.Sprintf("replica %d diverged", i))
+		}
+	}
+	fmt.Println("all replicas agree ✔")
+}

@@ -1,0 +1,64 @@
+// Tracereplay: freeze a synthetic Ethereum-like workload into the CSV
+// trace format, then replay the same trace through two different protocols
+// — the paper's reset-and-replay methodology (Sec. VII-A) end to end.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Generate and freeze a 2,000-transaction trace (46% payments,
+	//    Zipf-skewed accounts — the paper's dataset in miniature).
+	gen := workload.New(workload.Config{Seed: 2024, Accounts: 500, ContractCallers: 1})
+	var frozen bytes.Buffer
+	if err := gen.Export(&frozen, 2000); err != nil {
+		panic(err)
+	}
+	fmt.Printf("frozen trace: %d transactions, %d bytes CSV\n\n",
+		2000, frozen.Len())
+
+	// 2. Replay the identical trace under Orthrus and ISS: same inputs,
+	//    same genesis (every account reset to the same balance).
+	replay := func(mode core.Mode) *cluster.Result {
+		trace, err := workload.ReadTrace(bytes.NewReader(frozen.Bytes()), 1_000_000)
+		if err != nil {
+			panic(err)
+		}
+		return cluster.Run(cluster.Config{
+			N:            8,
+			Protocol:     mode,
+			Net:          cluster.WAN,
+			Stragglers:   1,
+			Source:       trace,
+			LoadTPS:      400,
+			TotalTxs:     trace.Len(),
+			Duration:     5 * time.Second,
+			Drain:        30 * time.Second,
+			BatchSize:    256,
+			BatchTimeout: 100 * time.Millisecond,
+			NIC:          true,
+			Seed:         7,
+		})
+	}
+
+	fmt.Printf("%-10s %10s %10s %10s %9s\n", "protocol", "confirmed", "aborted", "mean lat", "p99")
+	for _, mode := range []core.Mode{core.OrthrusMode(), baseline.ISSMode()} {
+		res := replay(mode)
+		fmt.Printf("%-10s %10d %10d %9.2fs %8.2fs\n",
+			mode.Name, res.Latency.Count(), res.Aborted,
+			res.Latency.Mean().Seconds(), res.Latency.Percentile(99).Seconds())
+	}
+	fmt.Println("\nSame trace, same genesis, one 10x straggler: Orthrus confirms")
+	fmt.Println("payments from partial logs while ISS serializes everything through")
+	fmt.Println("the straggler-gated global log.")
+}

@@ -1,0 +1,150 @@
+// Package baseline provides the Multi-BFT protocol variants the paper
+// compares Orthrus against, expressed as core.Mode configurations plus the
+// DQBFT dedicated-sequencer global ordering:
+//
+//   - Mir-BFT: pre-determined round-robin global order; any leader failure
+//     triggers an epoch change that stalls every instance.
+//   - ISS: pre-determined global order; a faulty instance's gap is filled
+//     with no-op blocks so only that instance view-changes.
+//   - RCC: pre-determined global order with a lighter recovery than Mir;
+//     performance-wise it tracks ISS in this model (and in the paper).
+//   - DQBFT: a dedicated SB instance globally orders the blocks delivered
+//     by the worker instances.
+//   - Ladon: dynamic rank-based global ordering (Orthrus reuses this for
+//     its global log while its payments bypass it).
+//
+// All of them execute every transaction at its global-log position; none
+// has Orthrus's partial-order fast path or multi-payer splitting.
+package baseline
+
+import (
+	"repro/internal/core"
+	"repro/internal/order"
+	"repro/internal/types"
+)
+
+// ISSMode returns ISS: predetermined ordering with no-op gap filling.
+func ISSMode() core.Mode {
+	return core.Mode{
+		Name:               "ISS",
+		NewGlobal:          func(m int) core.GlobalOrdering { return core.WorkerOrdering{Ord: order.NewPredetermined(m)} },
+		StrictEpochBarrier: true,
+	}
+}
+
+// MirMode returns Mir-BFT: predetermined ordering; view changes stall all
+// instances (epoch change), making it the most straggler/fault sensitive.
+func MirMode() core.Mode {
+	return core.Mode{
+		Name:                   "Mir",
+		NewGlobal:              func(m int) core.GlobalOrdering { return core.WorkerOrdering{Ord: order.NewPredetermined(m)} },
+		StrictEpochBarrier:     true,
+		EpochStallOnViewChange: true,
+	}
+}
+
+// RCCMode returns RCC: predetermined ordering with concurrent recovery.
+func RCCMode() core.Mode {
+	return core.Mode{
+		Name:               "RCC",
+		NewGlobal:          func(m int) core.GlobalOrdering { return core.WorkerOrdering{Ord: order.NewPredetermined(m)} },
+		StrictEpochBarrier: true,
+	}
+}
+
+// LadonMode returns Ladon: dynamic rank-based global ordering for all
+// transactions (no payment fast path).
+func LadonMode() core.Mode {
+	return core.Mode{
+		Name:      "Ladon",
+		NewGlobal: func(m int) core.GlobalOrdering { return core.WorkerOrdering{Ord: order.NewDynamic(m)} },
+	}
+}
+
+// DQBFTMode returns DQBFT: worker blocks are globally ordered by reference
+// blocks decided on a dedicated sequencer SB instance.
+func DQBFTMode() core.Mode {
+	return core.Mode{
+		Name:      "DQBFT",
+		NewGlobal: func(m int) core.GlobalOrdering { return NewRefOrderer() },
+		Sequencer: true,
+	}
+}
+
+// AllModes returns every protocol, Orthrus first — the order used in the
+// paper's figures.
+func AllModes() []core.Mode {
+	return []core.Mode{
+		core.OrthrusMode(),
+		ISSMode(),
+		RCCMode(),
+		MirMode(),
+		DQBFTMode(),
+		LadonMode(),
+	}
+}
+
+// ModeByName resolves a protocol name (case-sensitive, as printed).
+func ModeByName(name string) (core.Mode, bool) {
+	for _, m := range AllModes() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return core.Mode{}, false
+}
+
+// RefOrderer implements DQBFT's global ordering: the sequencer instance
+// decides the order of worker blocks by reference; a referenced block is
+// confirmed once it has been delivered locally and every earlier reference
+// has been confirmed.
+type RefOrderer struct {
+	have    map[types.BlockRef]*types.Block
+	ordered map[types.BlockRef]bool
+	queue   []types.BlockRef
+	pending int
+}
+
+// NewRefOrderer creates an empty DQBFT orderer.
+func NewRefOrderer() *RefOrderer {
+	return &RefOrderer{
+		have:    make(map[types.BlockRef]*types.Block),
+		ordered: make(map[types.BlockRef]bool),
+	}
+}
+
+// OnWorkerDeliver implements core.GlobalOrdering.
+func (r *RefOrderer) OnWorkerDeliver(b *types.Block) []*types.Block {
+	r.have[types.BlockRef{Instance: b.Instance, SN: b.SN}] = b
+	r.pending++
+	return r.drain()
+}
+
+// OnSequencerDeliver implements core.GlobalOrdering.
+func (r *RefOrderer) OnSequencerDeliver(b *types.Block) []*types.Block {
+	for _, ref := range b.Refs {
+		if !r.ordered[ref] {
+			r.ordered[ref] = true
+			r.queue = append(r.queue, ref)
+		}
+	}
+	return r.drain()
+}
+
+func (r *RefOrderer) drain() []*types.Block {
+	var out []*types.Block
+	for len(r.queue) > 0 {
+		b, ok := r.have[r.queue[0]]
+		if !ok {
+			break // referenced block not yet delivered locally
+		}
+		delete(r.have, r.queue[0])
+		r.queue = r.queue[1:]
+		r.pending--
+		out = append(out, b)
+	}
+	return out
+}
+
+// PendingCount implements core.GlobalOrdering.
+func (r *RefOrderer) PendingCount() int { return r.pending }

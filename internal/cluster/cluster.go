@@ -1,0 +1,371 @@
+// Package cluster is the experiment harness: it assembles n replicas of a
+// chosen protocol over a simulated WAN or LAN, drives an open-loop client
+// workload, injects stragglers and faults, and measures what the paper
+// plots — throughput, client latency (submission to f+1 replies), 0.5 s
+// time series, and the five-stage latency breakdown.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sb"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// NetProfile selects the network environment.
+type NetProfile int
+
+// The two environments of Sec. VII-A.
+const (
+	WAN NetProfile = iota // 4 regions: France, US, Australia, Tokyo
+	LAN                   // single site, 1 Gbps
+)
+
+// String implements fmt.Stringer.
+func (p NetProfile) String() string {
+	if p == LAN {
+		return "LAN"
+	}
+	return "WAN"
+}
+
+// Config describes one experiment run.
+type Config struct {
+	N        int       // replicas (m = n instances)
+	Protocol core.Mode // which Multi-BFT protocol
+	Net      NetProfile
+
+	// Stragglers slows this many instances by StragglerFactor (default 10x,
+	// Sec. VII-A). Straggled replicas are chosen from the high indices.
+	Stragglers      int
+	StragglerFactor float64
+
+	// DetectableFaults crashes this many replicas at FaultAt (Fig. 7).
+	DetectableFaults int
+	FaultAt          time.Duration
+	// UndetectableFaults marks this many replicas Byzantine: they vote only
+	// in the instance they lead (Fig. 8).
+	UndetectableFaults int
+
+	Workload workload.Config
+	// Source overrides the synthetic generator with a custom transaction
+	// source (e.g. a replayed trace, workload.ReadTrace); nil uses Workload.
+	Source   workload.Source
+	LoadTPS  float64       // open-loop submission rate
+	TotalTxs int           // optional cap on submitted transactions
+	Duration time.Duration // submission window
+	Warmup   time.Duration // excluded from throughput accounting
+	Drain    time.Duration // extra time for in-flight txs to confirm
+
+	BatchSize    int
+	BatchTimeout time.Duration
+	Window       int
+	EpochLen     uint64
+	ViewTimeout  time.Duration
+	TxSize       int
+
+	// AnalyticSB swaps message-level PBFT for the closed-form quorum-time
+	// SB (fault-free runs only; stragglers are supported).
+	AnalyticSB bool
+	// NIC enables the shared 1 Gbps per-node bandwidth model
+	// (message-level SB only).
+	NIC bool
+
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.StragglerFactor <= 0 {
+		c.StragglerFactor = 10
+	}
+	if c.Duration <= 0 {
+		c.Duration = 20 * time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 2 * time.Second
+	}
+	if c.Drain <= 0 {
+		c.Drain = 2 * c.Duration
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4096
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 100 * time.Millisecond
+	}
+	if c.EpochLen == 0 {
+		c.EpochLen = 32
+	}
+	if c.ViewTimeout <= 0 {
+		c.ViewTimeout = 10 * time.Second
+	}
+	if c.TxSize <= 0 {
+		c.TxSize = 500
+	}
+	if c.LoadTPS <= 0 {
+		c.LoadTPS = 1000
+	}
+	return c
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	Protocol string
+	Net      string
+	N        int
+
+	Submitted int
+	Confirmed int // confirmed by f+1 replicas (client-visible)
+	Aborted   int // confirmed unsuccessfully
+
+	// ThroughputTPS counts client-visible confirmations inside the
+	// submission window, divided by the window length (minus warmup).
+	ThroughputTPS float64
+	// Latency is the client-observed distribution: submission to the
+	// (f+1)-th reply, including the reply's network delay.
+	Latency metrics.Latency
+	// Series bins confirmations over 0.5 s intervals (Fig. 7).
+	Series *metrics.TimeSeries
+	// Breakdown is the observer replica's five-stage split (Fig. 6).
+	Breakdown *metrics.Breakdown
+
+	ViewChanges int
+	Events      uint64 // simulator events processed (cost accounting)
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%-8s %s n=%-3d tput=%8.1f tps  lat(%s)  confirmed=%d aborted=%d vc=%d",
+		r.Protocol, r.Net, r.N, r.ThroughputTPS, r.Latency.String(), r.Confirmed, r.Aborted, r.ViewChanges)
+}
+
+// txMeta tracks client-side accounting for one transaction.
+type txMeta struct {
+	submit  simnet.Time
+	home    int // replica co-located with the submitting client
+	replies int
+	done    bool
+}
+
+// Run executes one experiment and returns its measurements.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	if cfg.AnalyticSB && (cfg.DetectableFaults > 0 || cfg.UndetectableFaults > 0) {
+		panic("cluster: analytic SB does not support fault injection; use message-level PBFT")
+	}
+	n := cfg.N
+	f := (n - 1) / 3
+	sim := simnet.New(cfg.Seed)
+
+	var model *simnet.GeoModel
+	if cfg.Net == LAN {
+		model = simnet.NewLAN()
+	} else {
+		model = simnet.NewWAN()
+	}
+	if cfg.AnalyticSB {
+		model.JitterFrac = 0 // closed-form times need deterministic delays
+	}
+	nw := simnet.NewNetwork(sim, n, model)
+	if cfg.NIC && !cfg.AnalyticSB {
+		model.BandwidthBps = 0 // serialization moves into the NIC queues
+		nw.SetNICBps(1e9)
+	}
+
+	res := &Result{Protocol: cfg.Protocol.Name, Net: cfg.Net.String(), N: n,
+		Series: metrics.NewTimeSeries(500 * time.Millisecond), Breakdown: &metrics.Breakdown{}}
+	var gen workload.Source = cfg.Source
+	if gen == nil {
+		gen = workload.New(cfg.Workload)
+	}
+	genesis := gen.Genesis()
+
+	meta := make(map[types.TxID]*txMeta)
+	confirmAt := make(map[types.TxID]simnet.Time) // client-visible reply time
+
+	// Shared analytic SB instances, created lazily per instance index.
+	var analytic map[int]*sb.Instance
+	if cfg.AnalyticSB {
+		analytic = make(map[int]*sb.Instance)
+	}
+
+	windowEnd := simnet.Time(cfg.Duration)
+	replicas := make([]*core.Replica, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ccfg := core.Config{
+			N: n, F: f, ID: i, M: n,
+			Mode:         cfg.Protocol,
+			BatchSize:    cfg.BatchSize,
+			BatchTimeout: cfg.BatchTimeout,
+			Window:       cfg.Window,
+			ViewTimeout:  cfg.ViewTimeout,
+			TxSize:       cfg.TxSize,
+			EpochLen:     cfg.EpochLen,
+			Genesis:      genesis,
+			TraceStages:  i == 0,
+			OnConfirm: func(tx *types.Transaction, success bool, at simnet.Time) {
+				m := meta[tx.ID()]
+				if m == nil || m.done {
+					return
+				}
+				m.replies++
+				if m.replies < f+1 {
+					return
+				}
+				m.done = true
+				reply := at + simnet.Time(nw.BaseDelay(i, m.home, 256))
+				confirmAt[tx.ID()] = reply
+				lat := time.Duration(reply - m.submit)
+				res.Latency.Add(lat)
+				res.Series.Record(reply, lat)
+				if !success {
+					res.Aborted++
+				}
+				if reply >= simnet.Time(cfg.Warmup) && reply <= windowEnd {
+					res.Confirmed++
+				}
+			},
+			OnViewChange: func(instance int, view uint64, at simnet.Time) {
+				if i == 0 {
+					res.ViewChanges++
+				}
+			},
+		}
+		// Straggled instances are led by the highest-index replicas.
+		if cfg.Stragglers > 0 && i >= n-cfg.Stragglers {
+			ccfg.PulseScale = cfg.StragglerFactor
+		}
+		if cfg.UndetectableFaults > 0 && i >= n-cfg.UndetectableFaults {
+			ccfg.ByzantineMute = true
+		}
+		if cfg.AnalyticSB {
+			ccfg.SB = func(instance int, hooks core.SBHooks) core.SB {
+				inst, ok := analytic[instance]
+				if !ok {
+					inst = sb.NewInstance(sb.Config{
+						N: n, F: f, Instance: instance,
+						Window: cfg.Window, TxSize: cfg.TxSize,
+					}, sim, nw)
+					analytic[instance] = inst
+				}
+				return inst.Port(i, hooks.OnDeliver)
+			}
+		}
+		replicas[i] = core.NewReplica(ccfg, sim, nw)
+	}
+	// Straggler network scaling: everything the straggled replicas send is
+	// slowed, modeling an instance that runs 10x slower end to end.
+	for s := 0; s < cfg.Stragglers; s++ {
+		nw.SetOutScale(n-1-s, cfg.StragglerFactor)
+	}
+	for _, r := range replicas {
+		r.Start()
+	}
+
+	// Detectable faults: crash the chosen replicas at FaultAt (Fig. 7).
+	if cfg.DetectableFaults > 0 {
+		at := simnet.Time(cfg.FaultAt)
+		for k := 0; k < cfg.DetectableFaults; k++ {
+			victim := n - 1 - k
+			sim.At(at, func() {
+				replicas[victim].Stop()
+				nw.SetDown(victim, true)
+			})
+		}
+	}
+
+	// Open-loop clients: one transaction every 1/LoadTPS seconds, submitted
+	// to the (current) leaders of its buckets plus the next f replicas each
+	// (censorship resistance, Sec. V-B) and to the observer.
+	interval := time.Duration(float64(time.Second) / cfg.LoadTPS)
+	submitted := 0
+	var submitNext func(at simnet.Time)
+	submitNext = func(at simnet.Time) {
+		if at > windowEnd || (cfg.TotalTxs > 0 && submitted >= cfg.TotalTxs) {
+			return
+		}
+		sim.At(at, func() {
+			tx := gen.Next()
+			tx.SubmitNS = int64(sim.Now())
+			home := submitted % n
+			meta[tx.ID()] = &txMeta{submit: sim.Now(), home: home}
+			targets := submitTargets(tx, n, f)
+			for _, target := range targets {
+				target := target
+				d := nw.BaseDelay(home, target, cfg.TxSize)
+				sim.After(d, func() { _ = replicas[target].SubmitTx(tx) })
+			}
+			submitted++
+			res.Submitted = submitted
+			submitNext(at + simnet.Time(interval))
+		})
+	}
+	submitNext(simnet.Time(cfg.Warmup) / 2)
+
+	sim.Run(windowEnd + simnet.Time(cfg.Drain))
+	res.Events = sim.EventsProcessed()
+
+	window := (cfg.Duration - cfg.Warmup).Seconds()
+	if window > 0 {
+		res.ThroughputTPS = float64(res.Confirmed) / window
+	}
+
+	// Observer breakdown (Fig. 6): stage deltas from replica 0's trace plus
+	// the client-side reply time.
+	obs := replicas[0]
+	for id, m := range meta {
+		st, ok := obs.Stages(id)
+		if !ok || st.Confirmed == 0 || st.Submit == 0 {
+			continue
+		}
+		res.Breakdown.Add(metrics.StageSend, time.Duration(st.Received-st.Submit))
+		res.Breakdown.Add(metrics.StagePreprocess, time.Duration(st.Proposed-st.Received))
+		res.Breakdown.Add(metrics.StagePartial, time.Duration(st.Delivered-st.Proposed))
+		res.Breakdown.Add(metrics.StageGlobal, time.Duration(st.Confirmed-st.Delivered))
+		if reply, ok := confirmAt[id]; ok && reply > st.Confirmed {
+			res.Breakdown.Add(metrics.StageReply, time.Duration(reply-st.Confirmed))
+		} else {
+			res.Breakdown.Add(metrics.StageReply, time.Duration(nw.BaseDelay(0, m.home, 256)))
+		}
+	}
+	return res
+}
+
+// submitTargets returns the replicas a client sends tx to: each involved
+// instance's initial leader plus the f replicas after it, and replica 0
+// (the tracing observer). m = n, so instance i's initial leader is i.
+func submitTargets(tx *types.Transaction, n, f int) []int {
+	seen := make(map[int]bool, 2*(f+1))
+	var out []int
+	add := func(r int) {
+		r %= n
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	add(0)
+	for _, payer := range tx.Payers() {
+		lead := bucketLeader(payer, n)
+		for k := 0; k <= f; k++ {
+			add(lead + k)
+		}
+	}
+	if len(out) == 1 { // no payer ops: route by client
+		lead := bucketLeader(tx.Client, n)
+		for k := 0; k <= f; k++ {
+			add(lead + k)
+		}
+	}
+	return out
+}
+
+func bucketLeader(k types.Key, n int) int {
+	return core.BucketOf(k, n)
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func smallCfg(mode core.Mode) Config {
+	return Config{
+		N:            4,
+		Protocol:     mode,
+		Net:          LAN,
+		Workload:     workload.Config{Accounts: 200, Seed: 1},
+		LoadTPS:      400,
+		Duration:     4 * time.Second,
+		Warmup:       1 * time.Second,
+		Drain:        6 * time.Second,
+		BatchSize:    64,
+		BatchTimeout: 50 * time.Millisecond,
+		EpochLen:     16,
+		ViewTimeout:  2 * time.Second,
+		Seed:         7,
+	}
+}
+
+func TestRunOrthrusSmall(t *testing.T) {
+	res := Run(smallCfg(core.OrthrusMode()))
+	if res.Submitted == 0 {
+		t.Fatal("nothing submitted")
+	}
+	if res.Confirmed == 0 {
+		t.Fatalf("nothing confirmed of %d submitted", res.Submitted)
+	}
+	if res.ThroughputTPS <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if res.Latency.Count() == 0 || res.Latency.Mean() <= 0 {
+		t.Fatal("no latency samples")
+	}
+	// Nearly everything should confirm by the end of the drain.
+	if float64(res.Latency.Count()) < 0.9*float64(res.Submitted) {
+		t.Fatalf("only %d of %d txs reached f+1 replies", res.Latency.Count(), res.Submitted)
+	}
+	if res.Aborted > res.Submitted/20 {
+		t.Fatalf("%d aborts of %d", res.Aborted, res.Submitted)
+	}
+}
+
+func TestRunEveryProtocolSmall(t *testing.T) {
+	for _, mode := range baseline.AllModes() {
+		mode := mode
+		t.Run(mode.Name, func(t *testing.T) {
+			res := Run(smallCfg(mode))
+			if res.Confirmed == 0 {
+				t.Fatalf("%s confirmed nothing (submitted %d)", mode.Name, res.Submitted)
+			}
+		})
+	}
+}
+
+func TestRunAnalyticSBSmall(t *testing.T) {
+	cfg := smallCfg(core.OrthrusMode())
+	cfg.AnalyticSB = true
+	res := Run(cfg)
+	if res.Confirmed == 0 {
+		t.Fatal("analytic SB run confirmed nothing")
+	}
+}
+
+func TestAnalyticVsMessageLevelAgreeOnLatencyScale(t *testing.T) {
+	// The analytic SB should produce latency within ~2x of message-level
+	// PBFT under identical (jitter-free comparison is inside package sb;
+	// here we check end-to-end scale).
+	base := smallCfg(core.OrthrusMode())
+	base.Net = WAN
+	base.LoadTPS = 200
+	msg := Run(base)
+	ana := base
+	ana.AnalyticSB = true
+	anaRes := Run(ana)
+	if msg.Latency.Count() == 0 || anaRes.Latency.Count() == 0 {
+		t.Fatal("missing samples")
+	}
+	lo, hi := msg.Latency.Mean()/2, msg.Latency.Mean()*2
+	if anaRes.Latency.Mean() < lo || anaRes.Latency.Mean() > hi {
+		t.Fatalf("analytic mean %v outside [%v, %v] of message-level %v",
+			anaRes.Latency.Mean(), lo, hi, msg.Latency.Mean())
+	}
+}
+
+func TestStragglerHurtsISSMoreThanOrthrus(t *testing.T) {
+	// The paper's core claim at miniature scale: with one straggler, a
+	// pre-determined protocol's latency inflates far more than Orthrus's.
+	mk := func(mode core.Mode) Config {
+		cfg := smallCfg(mode)
+		cfg.Net = WAN
+		cfg.Stragglers = 1
+		cfg.LoadTPS = 200
+		cfg.Duration = 6 * time.Second
+		cfg.Drain = 30 * time.Second
+		return cfg
+	}
+	orthrus := Run(mk(core.OrthrusMode()))
+	iss := Run(mk(baseline.ISSMode()))
+	if orthrus.Latency.Count() == 0 || iss.Latency.Count() == 0 {
+		t.Fatal("missing samples")
+	}
+	if orthrus.Latency.Mean() >= iss.Latency.Mean() {
+		t.Fatalf("Orthrus mean %v not below ISS mean %v under straggler",
+			orthrus.Latency.Mean(), iss.Latency.Mean())
+	}
+}
+
+func TestDetectableFaultTriggersViewChangeAndRecovers(t *testing.T) {
+	cfg := smallCfg(core.OrthrusMode())
+	cfg.N = 4
+	cfg.DetectableFaults = 1
+	cfg.FaultAt = 2 * time.Second
+	cfg.Duration = 8 * time.Second
+	cfg.Drain = 10 * time.Second
+	cfg.ViewTimeout = 1 * time.Second
+	res := Run(cfg)
+	if res.ViewChanges == 0 {
+		t.Fatal("no view change observed after crash fault")
+	}
+	if res.Confirmed == 0 {
+		t.Fatal("system did not recover to confirm transactions")
+	}
+}
+
+func TestUndetectableFaultsStillLive(t *testing.T) {
+	cfg := smallCfg(core.OrthrusMode())
+	cfg.UndetectableFaults = 1
+	res := Run(cfg)
+	if res.Confirmed == 0 {
+		t.Fatal("no confirmations with one mute replica")
+	}
+	if res.ViewChanges != 0 {
+		t.Fatalf("undetectable fault caused %d view changes", res.ViewChanges)
+	}
+}
+
+func TestBreakdownStagesPopulated(t *testing.T) {
+	res := Run(smallCfg(core.OrthrusMode()))
+	if res.Breakdown.Total() <= 0 {
+		t.Fatal("empty breakdown")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := Run(smallCfg(core.OrthrusMode()))
+	b := Run(smallCfg(core.OrthrusMode()))
+	if a.Confirmed != b.Confirmed || a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatalf("nondeterministic: %d/%v vs %d/%v",
+			a.Confirmed, a.Latency.Mean(), b.Confirmed, b.Latency.Mean())
+	}
+}
+
+func TestNICModelRun(t *testing.T) {
+	cfg := smallCfg(core.OrthrusMode())
+	cfg.NIC = true
+	res := Run(cfg)
+	if res.Confirmed == 0 {
+		t.Fatal("NIC-model run confirmed nothing")
+	}
+}

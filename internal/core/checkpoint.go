@@ -1,0 +1,117 @@
+package core
+
+import (
+	"crypto/sha256"
+
+	"repro/internal/partition"
+	"repro/internal/types"
+)
+
+func bucketOfKey(k types.Key, m int) int { return partition.Assign(k, m) }
+
+// BucketOf returns the bucket/instance index an owned-object key maps to;
+// exported for the cluster harness and clients that want to route
+// submissions to the responsible instance's leader.
+func BucketOf(k types.Key, m int) int { return partition.Assign(k, m) }
+
+// maybeFinishEpoch checks whether every worker instance has delivered its
+// allotment for the current epoch; if so it broadcasts a checkpoint message
+// (Sec. V-D) covering the epoch's blocks.
+func (r *Replica) maybeFinishEpoch() {
+	end := (r.epoch + 1) * r.cfg.EpochLen
+	for _, delivered := range r.state {
+		if delivered < end {
+			return
+		}
+	}
+	if r.ckptSent[r.epoch] {
+		return
+	}
+	r.ckptSent[r.epoch] = true
+	msg := &CheckpointMsg{Epoch: r.epoch, Digest: r.epochDigest(), Replica: r.cfg.ID}
+	r.nw.Broadcast(r.cfg.ID, 128, msg)
+}
+
+// epochDigest summarizes the blocks processed this epoch: the hash of all
+// per-instance rolling digests. Replicas that delivered the same blocks in
+// the same per-instance order produce the same digest.
+func (r *Replica) epochDigest() [32]byte {
+	h := sha256.New()
+	for i := range r.instHash {
+		h.Write(r.instHash[i][:])
+	}
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// onCheckpoint collects checkpoint votes; a quorum of 2f+1 matching digests
+// makes the checkpoint stable, enabling garbage collection and advancing
+// the epoch obligation of the failure detector.
+func (r *Replica) onCheckpoint(m *CheckpointMsg) {
+	if m.Epoch < r.stableEpoch {
+		return
+	}
+	votes, ok := r.ckptVotes[m.Epoch]
+	if !ok {
+		votes = make(map[int][32]byte)
+		r.ckptVotes[m.Epoch] = votes
+	}
+	if _, dup := votes[m.Replica]; dup {
+		return
+	}
+	votes[m.Replica] = m.Digest
+	// Count the most common digest (honest replicas match; Byzantine ones
+	// may diverge and are simply not counted toward the quorum).
+	counts := make(map[[32]byte]int)
+	best := 0
+	for _, d := range votes {
+		counts[d]++
+		if counts[d] > best {
+			best = counts[d]
+		}
+	}
+	if best < 2*r.cfg.F+1 {
+		return
+	}
+	if m.Epoch+1 > r.stableEpoch {
+		r.stableEpoch = m.Epoch + 1
+		r.gcEpoch()
+		if m.Epoch >= r.epoch {
+			r.epoch = m.Epoch + 1
+			// Extend the delivery obligation for the failure detector.
+			target := (r.epoch + 1) * r.cfg.EpochLen
+			for i := 0; i < r.cfg.M; i++ {
+				r.sbs[i].SetTarget(target)
+			}
+		}
+	}
+}
+
+// gcEpoch discards data the stable checkpoint makes obsolete: confirmed-tx
+// dedup records, finished trackers, and old checkpoint votes. Unexecuted
+// transactions whose tracker finished are dropped with them.
+func (r *Replica) gcEpoch() {
+	r.buckets.GC()
+	for id, t := range r.trackers {
+		if t.done && t.occurSeen >= len(t.instances) {
+			delete(r.trackers, id)
+		}
+	}
+	for e := range r.ckptVotes {
+		if e+1 < r.stableEpoch {
+			delete(r.ckptVotes, e)
+		}
+	}
+	for e := range r.ckptSent {
+		if e+1 < r.stableEpoch {
+			delete(r.ckptSent, e)
+		}
+	}
+}
+
+// SBs exposes the SB instances for tests and the cluster harness.
+func (r *Replica) SBs() []SB { return r.sbs }
+
+// Epoch returns (current epoch obligation, stable checkpointed epochs).
+func (r *Replica) Epoch() (current, stable uint64) { return r.epoch, r.stableEpoch }

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"repro/internal/types"
+)
+
+// Execution model
+//
+// Delivery (SB order) and execution are decoupled:
+//
+//   - Each worker instance has an execution queue of delivered blocks. A
+//     block escrow-phases only once the replica's *executed* state vector
+//     covers the block's referenced state b.S ("the escrow is performed on
+//     the system state b.S referred to by the transaction or any subsequent
+//     state derived from it", Sec. V-C). This makes escrow outcomes
+//     deterministic: the leader validated the batch under b.S, credits only
+//     grow balances, and a payer's debits are serialized in one instance.
+//
+//   - Globally confirmed blocks enter a FIFO execution queue. The head
+//     transaction executes only when it is ready (its escrow phase finished
+//     on every involved instance); later entries never overtake it, so
+//     shared-object operations run in exactly the global order everywhere.
+
+// txTracker follows one transaction across the instances it was assigned
+// to: which instances escrowed its payer operations, how many global-log
+// occurrences have been processed, and its final outcome.
+type txTracker struct {
+	tx        *types.Transaction
+	instances []int        // buckets/instances the tx belongs to
+	escrowed  map[int]bool // instances whose payer ops escrowed successfully
+	occurSeen int          // glog occurrences processed so far
+	failed    bool
+	done      bool
+}
+
+func (r *Replica) tracker(tx *types.Transaction) *txTracker {
+	id := tx.ID()
+	t, ok := r.trackers[id]
+	if !ok {
+		t = &txTracker{
+			tx:        tx,
+			instances: r.routeOf(tx),
+			escrowed:  make(map[int]bool, 2),
+		}
+		r.trackers[id] = t
+	}
+	return t
+}
+
+// ready reports whether the transaction's escrow phase concluded on every
+// instance it belongs to (successfully or by failing).
+func (t *txTracker) ready() bool {
+	return t.failed || t.done || len(t.escrowed) == len(t.instances)
+}
+
+// confirm finalizes a transaction at this replica: exactly once per tx.
+func (r *Replica) confirm(t *txTracker, success bool) {
+	if t.done {
+		return
+	}
+	t.done = true
+	if success {
+		r.confirmedOK++
+	} else {
+		r.confirmedBad++
+	}
+	if r.stages != nil {
+		st := r.stageOf(t.tx.ID())
+		if st.Confirmed == 0 {
+			st.Confirmed = r.sim.Now()
+		}
+	}
+	if r.cfg.OnConfirm != nil {
+		r.cfg.OnConfirm(t.tx, success, r.sim.Now())
+	}
+}
+
+// drainExecQueues escrow-phases delivered blocks whose state references are
+// satisfied. One instance's progress can unblock another, so it loops until
+// a fixed point.
+func (r *Replica) drainExecQueues() {
+	for progress := true; progress; {
+		progress = false
+		for i := 0; i < r.cfg.M; i++ {
+			q := r.execQ[i]
+			for len(q) > 0 {
+				b := q[0]
+				if r.cfg.Mode.FastPathPayments && !r.execState.Covers(b.State) {
+					break
+				}
+				q = q[1:]
+				r.execState[i] = b.SN + 1
+				if r.cfg.Mode.FastPathPayments {
+					r.execPartial(i, b)
+				}
+				if b.Proposer == r.cfg.ID {
+					r.releaseProposedDebits(b)
+				}
+				progress = true
+			}
+			r.execQ[i] = q
+		}
+	}
+	r.drainGlogQueue()
+}
+
+// execPartial processes one block of a partial log under Orthrus's fast
+// path (Algorithm 1 lines 20-30): escrow this instance's payer operations;
+// abort the whole transaction if any escrow fails; once every involved
+// instance has escrowed, commit payments immediately. Contract transactions
+// keep their escrows and wait for the global log.
+func (r *Replica) execPartial(instance int, b *types.Block) {
+	for i := range b.Txs {
+		tx := &b.Txs[i]
+		t := r.tracker(tx)
+		if t.done || t.failed || t.escrowed[instance] {
+			continue
+		}
+		id := tx.ID()
+		ok := true
+		for _, op := range tx.Ops {
+			if !op.IsPayerOp() || bucketOfKey(op.Key, r.cfg.M) != instance {
+				continue
+			}
+			if !r.store.Escrow(op, id) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			// An escrow failed: undo everything escrowed so far for this
+			// transaction, on every instance (Solution I: atomic abort).
+			r.store.AbortEscrow(id)
+			t.failed = true
+			r.confirm(t, false)
+			continue
+		}
+		t.escrowed[instance] = true
+		if len(t.escrowed) == len(t.instances) && tx.Kind() == types.Payment {
+			// All payer escrows committed: the payment is decided. Apply
+			// credits and confirm without waiting for the global log.
+			r.store.CommitEscrow(id)
+			r.applyCredits(tx)
+			r.confirm(t, true)
+		}
+	}
+}
+
+// applyCredits applies the incremental owned-object operations of tx.
+func (r *Replica) applyCredits(tx *types.Transaction) {
+	for _, op := range tx.Ops {
+		if op.Type == types.Owned && op.Kind == types.OpIncrement {
+			_ = r.store.ApplyIncrement(op) // increments cannot fail
+		}
+	}
+}
+
+// glogCursor walks the transactions of one globally confirmed block.
+type glogCursor struct {
+	block *types.Block
+	next  int
+}
+
+// drainGlogQueue executes globally confirmed blocks strictly in order. The
+// head transaction may have to wait for its escrow phase (driven by the
+// per-instance queues); nothing overtakes it.
+func (r *Replica) drainGlogQueue() {
+	for len(r.glogQ) > 0 {
+		cur := &r.glogQ[0]
+		for cur.next < len(cur.block.Txs) {
+			tx := &cur.block.Txs[cur.next]
+			t := r.tracker(tx)
+			if t.occurSeen+1 < len(t.instances) {
+				// Not the last occurrence of a multi-instance transaction:
+				// skip it here; the final occurrence executes it.
+				t.occurSeen++
+				cur.next++
+				continue
+			}
+			if r.cfg.Mode.FastPathPayments {
+				if tx.Kind() == types.Payment || t.done || t.failed {
+					// Payments confirmed (or aborted) via the fast path.
+					t.occurSeen++
+					cur.next++
+					continue
+				}
+				if !t.ready() {
+					return // wait for the escrow phase; order preserved
+				}
+				t.occurSeen++
+				cur.next++
+				r.execContractOrthrus(t)
+				continue
+			}
+			// Baselines: everything executes sequentially in global order.
+			t.occurSeen++
+			cur.next++
+			if !t.done && !t.failed {
+				r.execSequential(t)
+			}
+		}
+		r.glogQ = r.glogQ[1:]
+	}
+}
+
+// execContractOrthrus finalizes a contract transaction at its global-log
+// position: shared-object operations run now (the non-commutative part),
+// then the escrows taken at partial-log time commit or abort together.
+func (r *Replica) execContractOrthrus(t *txTracker) {
+	id := t.tx.ID()
+	if t.failed || !r.store.AllEscrowed(t.tx) {
+		r.store.AbortEscrow(id)
+		r.confirm(t, false)
+		return
+	}
+	if !r.execShared(t.tx) {
+		r.store.AbortEscrow(id)
+		r.confirm(t, false)
+		return
+	}
+	r.store.CommitEscrow(id)
+	r.applyCredits(t.tx)
+	r.confirm(t, true)
+}
+
+// execSequential executes a transaction entirely at its global-log position
+// (the baseline protocols): payer debits, shared operations, then credits;
+// any failure rolls back via the escrow log.
+func (r *Replica) execSequential(t *txTracker) {
+	id := t.tx.ID()
+	for _, op := range t.tx.Ops {
+		if op.IsPayerOp() {
+			if !r.store.Escrow(op, id) {
+				r.store.AbortEscrow(id)
+				r.confirm(t, false)
+				return
+			}
+		}
+	}
+	if !r.execShared(t.tx) {
+		r.store.AbortEscrow(id)
+		r.confirm(t, false)
+		return
+	}
+	r.store.CommitEscrow(id)
+	r.applyCredits(t.tx)
+	r.confirm(t, true)
+}
+
+// execShared runs the shared-object operations of tx; it reports success.
+// On failure, earlier shared effects of the same tx remain applied — every
+// replica executes the identical prefix in the identical global position,
+// so consistency across replicas is preserved.
+func (r *Replica) execShared(tx *types.Transaction) bool {
+	for _, op := range tx.Ops {
+		if op.Type != types.Shared {
+			continue
+		}
+		if _, err := r.store.ApplyShared(op); err != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/partition"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// White-box tests for replica internals that are awkward to reach through
+// the cluster-level integration tests.
+
+func newBareReplica(t *testing.T, mode Mode) *Replica {
+	t.Helper()
+	sim := simnet.New(1)
+	nw := simnet.NewNetwork(sim, 4, simnet.FixedModel{D: time.Millisecond})
+	cfg := Config{
+		N: 4, F: 1, ID: 0, M: 4,
+		Mode:         mode,
+		BatchSize:    8,
+		BatchTimeout: 10 * time.Millisecond,
+		Genesis: func(st *ledger.Store) {
+			st.Credit("alice", 100)
+			st.Credit("bob", 50)
+		},
+	}
+	return NewReplica(cfg, sim, nw)
+}
+
+func TestRouteOfSplitVsNoSplit(t *testing.T) {
+	// Find two payers in different buckets.
+	var p1, p2 types.Key
+	p1 = "alice"
+	for i := 0; ; i++ {
+		p2 = types.Key(string(rune('a'+i%26)) + "payer")
+		if partition.Assign(p1, 4) != partition.Assign(p2, 4) {
+			break
+		}
+	}
+	tx := types.NewMultiPayment(p1, []types.Transfer{
+		{From: p1, To: "z", Amount: 1},
+		{From: p2, To: "z", Amount: 1},
+	}, 1)
+
+	orthrus := newBareReplica(t, OrthrusMode())
+	if got := orthrus.routeOf(tx); len(got) != 2 {
+		t.Fatalf("split route = %v", got)
+	}
+	noSplit := OrthrusMode()
+	noSplit.SplitMultiPayer = false
+	base := newBareReplica(t, noSplit)
+	if got := base.routeOf(tx); len(got) != 1 {
+		t.Fatalf("no-split route = %v", got)
+	}
+}
+
+func TestRouteOfMintFallsBackToClient(t *testing.T) {
+	r := newBareReplica(t, OrthrusMode())
+	mint := &types.Transaction{Client: "faucet", Ops: []types.Op{
+		{Key: "alice", Type: types.Owned, Kind: types.OpIncrement, Amount: 5},
+	}}
+	got := r.routeOf(mint)
+	if len(got) != 1 || got[0] != partition.Assign("faucet", 4) {
+		t.Fatalf("mint route = %v", got)
+	}
+}
+
+func TestLegFeasibleTracksPromisedDebits(t *testing.T) {
+	r := newBareReplica(t, OrthrusMode())
+	inst := partition.Assign("alice", 4)
+	tx1 := types.NewPayment("alice", "bob", 60, 1)
+	tx2 := types.NewPayment("alice", "bob", 60, 2)
+	if !r.legFeasible(tx1, inst) {
+		t.Fatal("tx1 should be feasible (balance 100)")
+	}
+	r.promiseDebits(tx1, inst)
+	if r.legFeasible(tx2, inst) {
+		t.Fatal("tx2 feasible despite 60 already promised of 100")
+	}
+	// Releasing the promise (block executed) restores feasibility of the
+	// *remaining* balance only; after the escrow the real balance governs.
+	b := &types.Block{Instance: inst, Proposer: 0, Txs: []types.Transaction{*tx1}}
+	r.releaseProposedDebits(b)
+	if !r.legFeasible(tx2, inst) {
+		t.Fatal("promise not released")
+	}
+}
+
+func TestEpochDigestMatchesAcrossReplicas(t *testing.T) {
+	a := newBareReplica(t, OrthrusMode())
+	b := newBareReplica(t, OrthrusMode())
+	blk := &types.Block{Instance: 1, SN: 0, Rank: 1}
+	for _, r := range []*Replica{a, b} {
+		r.onDeliver(1, blk)
+	}
+	if a.epochDigest() != b.epochDigest() {
+		t.Fatal("epoch digests diverge on identical deliveries")
+	}
+	// A different delivery order across instances changes nothing per
+	// instance, but a different block does.
+	c := newBareReplica(t, OrthrusMode())
+	c.onDeliver(1, &types.Block{Instance: 1, SN: 0, Rank: 2})
+	if a.epochDigest() == c.epochDigest() {
+		t.Fatal("different blocks produced identical epoch digests")
+	}
+}
+
+func TestGlogHeadBlockingPreservesOrder(t *testing.T) {
+	// Two contract transactions confirmed in global order; the first's
+	// escrow phase is incomplete, so neither may execute until it is ready,
+	// and then both run in order.
+	r := newBareReplica(t, OrthrusMode())
+	con1 := types.NewContractCall("alice", []types.Key{"alice"}, 1,
+		[]types.Op{types.NewSharedAssign("rec", 1)}, 1)
+	con2 := types.NewContractCall("bob", []types.Key{"bob"}, 1,
+		[]types.Op{types.NewSharedAssign("rec", 2)}, 2)
+	inst1 := partition.Assign("alice", 4)
+	// Track both transactions; only con2's escrow phase has run.
+	t1 := r.tracker(con1)
+	t2 := r.tracker(con2)
+	r.store.Escrow(con2.Ops[0], con2.ID())
+	t2.escrowed[t2.instances[0]] = true
+
+	r.glogQ = append(r.glogQ,
+		glogCursor{block: &types.Block{Instance: inst1, Txs: []types.Transaction{*con1}}},
+		glogCursor{block: &types.Block{Instance: t2.instances[0], Txs: []types.Transaction{*con2}}},
+	)
+	r.drainGlogQueue()
+	if t1.done || t2.done {
+		t.Fatal("execution overtook an unready glog head")
+	}
+	// Complete con1's escrow phase; both must now execute in order, leaving
+	// rec = 2 (con2 last).
+	r.store.Escrow(con1.Ops[0], con1.ID())
+	t1.escrowed[t1.instances[0]] = true
+	r.drainGlogQueue()
+	if !t1.done || !t2.done {
+		t.Fatal("glog queue did not drain after head became ready")
+	}
+	if v := r.store.SharedValue("rec"); v != 2 {
+		t.Fatalf("rec = %d, want 2 (global order violated)", v)
+	}
+}
+
+func TestByzantinePulseInterval(t *testing.T) {
+	sim := simnet.New(1)
+	nw := simnet.NewNetwork(sim, 4, simnet.FixedModel{D: time.Millisecond})
+	cfg := Config{N: 4, F: 1, ID: 2, M: 4, Mode: OrthrusMode(),
+		BatchTimeout: 10 * time.Millisecond, ViewTimeout: time.Second,
+		ByzantineMute: true}
+	r := NewReplica(cfg, sim, nw)
+	r.Start()
+	// Over 2 virtual seconds a Byzantine replica proposing at 0.8x the
+	// view timeout makes at most ~3 proposals in its own instance, versus
+	// ~200 pulses for an honest one.
+	sim.Run(simnet.Time(2 * time.Second))
+	if sn := r.sbs[2].NextProposeSeq(); sn > 4 {
+		t.Fatalf("Byzantine replica proposed %d blocks in 2s; should crawl", sn)
+	}
+}

@@ -1,0 +1,601 @@
+package core
+
+import (
+	"crypto/sha256"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/ledger"
+	"repro/internal/order"
+	"repro/internal/partition"
+	"repro/internal/pbft"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// Config parameterizes one replica.
+type Config struct {
+	N  int // replicas
+	F  int // fault threshold
+	ID int // this replica
+	M  int // worker SB instances (paper: m = n)
+
+	Mode Mode
+
+	BatchSize    int           // max transactions per block (paper: 4096)
+	BatchTimeout time.Duration // proposal pulse interval
+	PulseScale   float64       // straggler: multiplies this replica's pulse
+	Window       int           // pipelined proposals per instance
+	ViewTimeout  time.Duration // PBFT view-change timeout (paper: 10 s)
+	TxSize       int           // modeled tx wire size (paper: 500 B)
+	EpochLen     uint64        // blocks per instance per epoch
+	EpochLead    int           // epochs an instance may run ahead (non-strict)
+
+	// ByzantineMute makes this replica vote only in the instance it leads
+	// (the undetectable fault of Sec. VII-E).
+	ByzantineMute bool
+
+	// Censor is a Byzantine fault-injection hook: when this replica leads
+	// an instance, it silently skips transactions the predicate matches.
+	// Honest configurations leave it nil.
+	Censor func(tx *types.Transaction) bool
+
+	// CensorshipBlocks is the censorship detector's patience: if the
+	// oldest feasible transaction in a bucket stays unproposed while this
+	// many blocks deliver, the replica complains and votes to replace the
+	// instance's leader (Sec. V-B). 0 selects the default of 64.
+	CensorshipBlocks uint64
+
+	// SB overrides the sequenced-broadcast implementation; nil selects
+	// message-level PBFT over the simulated network.
+	SB SBBuilder
+
+	// TraceStages records per-transaction stage timestamps (observer
+	// replicas only; it costs memory).
+	TraceStages bool
+
+	// Genesis initializes the ledger (same on every replica).
+	Genesis func(st *ledger.Store)
+
+	// OnConfirm fires once per transaction when this replica confirms it
+	// (executed successfully or aborted).
+	OnConfirm func(tx *types.Transaction, success bool, at simnet.Time)
+	// OnViewChange fires when an instance installs a new view.
+	OnViewChange func(instance int, view uint64, at simnet.Time)
+
+	// Keys signs proposals; optional (nil disables signing, which large
+	// simulations use — the channels are authenticated either way).
+	Keys *crypto.KeyRing
+}
+
+// StageTrace holds the five per-transaction timestamps of the paper's
+// latency breakdown (Fig. 6). Zero means "not reached".
+type StageTrace struct {
+	Submit    simnet.Time // client handed the tx to the system
+	Received  simnet.Time // replica received and bucketed it
+	Proposed  simnet.Time // first included in a broadcast block
+	Delivered simnet.Time // first SB delivery (partial order reached)
+	Confirmed simnet.Time // executed/aborted (global order if applicable)
+}
+
+// CheckpointMsg is the end-of-epoch checkpoint broadcast (Sec. V-D).
+type CheckpointMsg struct {
+	Epoch   uint64
+	Digest  [32]byte
+	Replica int
+}
+
+// Replica is one Multi-BFT node: it participates in all SB instances,
+// leads the instance(s) whose current view maps to it, and executes the
+// resulting partial and global logs.
+type Replica struct {
+	cfg Config
+	sim *simnet.Sim
+	nw  *simnet.Network
+
+	sbs     []SB // M worker SB instances (+1 sequencer if enabled)
+	buckets *partition.Set
+	store   *ledger.Store
+	global  GlobalOrdering
+	rank    order.RankTracker
+	state   types.StateVector // delivered blocks per worker instance
+
+	// execState counts escrow-phased (executed) blocks per instance; blocks
+	// escrow-phase only once execState covers their referenced state b.S.
+	execState types.StateVector
+	execQ     [][]*types.Block // delivered blocks awaiting escrow phase
+	glogQ     []glogCursor     // globally confirmed blocks awaiting execution
+
+	// proposedDebits tracks amounts this replica (as leader) has promised in
+	// proposed-but-not-yet-executed blocks, so feasibility validation of new
+	// batches does not double-spend a payer across pipelined blocks.
+	proposedDebits map[types.Key]types.Amount
+
+	trackers map[types.TxID]*txTracker
+	stages   map[types.TxID]*StageTrace
+
+	seqRefs []types.BlockRef // refs awaiting sequencer proposal
+
+	// Epoch & checkpoint state.
+	epoch       uint64 // current epoch (delivery obligation)
+	stableEpoch uint64 // epochs with a stable checkpoint
+	ckptVotes   map[uint64]map[int][32]byte
+	ckptSent    map[uint64]bool
+	instHash    [][32]byte // rolling digest of delivered blocks per instance
+
+	stalledUntil simnet.Time // Mir-style global stall deadline
+
+	// lastComplain remembers, per instance, the view this replica last
+	// complained about, so the censorship detector votes once per view.
+	lastComplain map[int]uint64
+
+	// Counters.
+	confirmedOK  uint64
+	confirmedBad uint64
+	stopped      bool
+}
+
+// NewReplica builds a replica attached to a simulated network. Call Start
+// to begin proposing. The same Config (except ID) must be used everywhere.
+func NewReplica(cfg Config, sim *simnet.Sim, nw *simnet.Network) *Replica {
+	if cfg.M <= 0 {
+		cfg.M = cfg.N
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 4096
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = 100 * time.Millisecond
+	}
+	if cfg.PulseScale <= 0 {
+		cfg.PulseScale = 1
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	if cfg.ViewTimeout <= 0 {
+		cfg.ViewTimeout = 10 * time.Second
+	}
+	if cfg.TxSize <= 0 {
+		cfg.TxSize = 500
+	}
+	if cfg.EpochLen == 0 {
+		cfg.EpochLen = 32
+	}
+	if cfg.EpochLead <= 0 {
+		cfg.EpochLead = 4
+	}
+	if cfg.CensorshipBlocks == 0 {
+		cfg.CensorshipBlocks = 64
+	}
+	r := &Replica{
+		cfg:            cfg,
+		sim:            sim,
+		nw:             nw,
+		buckets:        partition.NewSet(cfg.M),
+		store:          ledger.NewStore(),
+		global:         cfg.Mode.NewGlobal(cfg.M),
+		state:          make(types.StateVector, cfg.M),
+		execState:      make(types.StateVector, cfg.M),
+		execQ:          make([][]*types.Block, cfg.M),
+		proposedDebits: make(map[types.Key]types.Amount),
+		trackers:       make(map[types.TxID]*txTracker),
+		ckptVotes:      make(map[uint64]map[int][32]byte),
+		ckptSent:       make(map[uint64]bool),
+		instHash:       make([][32]byte, cfg.M),
+		lastComplain:   make(map[int]uint64),
+	}
+	if cfg.TraceStages {
+		r.stages = make(map[types.TxID]*StageTrace)
+	}
+	if cfg.Genesis != nil {
+		cfg.Genesis(r.store)
+	}
+	nInst := cfg.M
+	if cfg.Mode.Sequencer {
+		nInst++
+	}
+	build := cfg.SB
+	if build == nil {
+		build = r.pbftBuilder()
+	}
+	r.sbs = make([]SB, nInst)
+	for i := 0; i < nInst; i++ {
+		i := i
+		hooks := SBHooks{
+			OnDeliver:    func(b *types.Block) { r.onDeliver(i, b) },
+			OnViewChange: func(view uint64, leader int) { r.onViewChange(i, view) },
+			MakeNoop: func(sn uint64) *types.Block {
+				// No-op fills carry a fresh rank so the dynamic ordering's
+				// floor keeps advancing past a replaced leader's gap.
+				return &types.Block{Instance: i, SN: sn, Rank: r.rank.Highest() + 1}
+			},
+		}
+		r.sbs[i] = build(i, hooks)
+	}
+	nw.Register(cfg.ID, r.handle)
+	return r
+}
+
+// pbftBuilder returns the default SBBuilder: message-level PBFT engines
+// sharing this replica's network endpoint.
+func (r *Replica) pbftBuilder() SBBuilder {
+	return func(instance int, hooks SBHooks) SB {
+		ecfg := pbft.Config{
+			N: r.cfg.N, F: r.cfg.F, ID: r.cfg.ID, Instance: instance,
+			Window:       r.cfg.Window,
+			Timeout:      r.cfg.ViewTimeout,
+			TxSize:       r.cfg.TxSize,
+			MakeNoop:     hooks.MakeNoop,
+			OnDeliver:    hooks.OnDeliver,
+			OnViewChange: hooks.OnViewChange,
+			// A Byzantine selective-participation replica votes only in the
+			// instance it initially leads (instance index == replica ID).
+			Mute: r.cfg.ByzantineMute && instance != r.cfg.ID,
+		}
+		return pbft.New(ecfg, &instanceTransport{nw: r.nw, id: r.cfg.ID}, r.sim)
+	}
+}
+
+// instanceTransport adapts the shared network endpoint to pbft.Transport.
+type instanceTransport struct {
+	nw *simnet.Network
+	id int
+}
+
+func (t *instanceTransport) Broadcast(size int, msg pbft.Message) { t.nw.Broadcast(t.id, size, msg) }
+func (t *instanceTransport) Send(to, size int, msg pbft.Message)  { t.nw.Send(t.id, to, size, msg) }
+
+// handle is the network-facing message dispatcher.
+func (r *Replica) handle(from int, msg any) {
+	if r.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case pbft.Message:
+		i := m.PBFTInstance()
+		if i >= 0 && i < len(r.sbs) {
+			if h, ok := r.sbs[i].(interface{ Handle(int, pbft.Message) }); ok {
+				h.Handle(from, m)
+			}
+		}
+	case *CheckpointMsg:
+		r.onCheckpoint(m)
+	}
+}
+
+// Start arms failure detection and begins the proposal pulse loops.
+func (r *Replica) Start() {
+	for i := range r.sbs {
+		if uint64(i) < uint64(r.cfg.M) {
+			r.sbs[i].SetTarget(r.cfg.EpochLen)
+		}
+		r.schedulePulse(i)
+	}
+}
+
+// Stop halts the replica (crash). Engines ignore further events.
+func (r *Replica) Stop() {
+	r.stopped = true
+	for _, e := range r.sbs {
+		e.Stop()
+	}
+}
+
+// Store exposes the ledger for examples and invariant checks.
+func (r *Replica) Store() *ledger.Store { return r.store }
+
+// State returns the replica's current state vector (copy).
+func (r *Replica) State() types.StateVector { return r.state.Clone() }
+
+// Confirmed returns (successes, aborts) counted so far.
+func (r *Replica) Confirmed() (ok, failed uint64) { return r.confirmedOK, r.confirmedBad }
+
+// PendingGlobal returns blocks delivered but not yet globally confirmed.
+func (r *Replica) PendingGlobal() int { return r.global.PendingCount() }
+
+// Stages returns the stage trace for a transaction (TraceStages only).
+func (r *Replica) Stages(id types.TxID) (StageTrace, bool) {
+	if r.stages == nil {
+		return StageTrace{}, false
+	}
+	s, ok := r.stages[id]
+	if !ok {
+		return StageTrace{}, false
+	}
+	return *s, true
+}
+
+// SubmitTx receives a client transaction (already transported; the cluster
+// layer models client-to-replica delay). Submit time travels in tx.SubmitNS.
+func (r *Replica) SubmitTx(tx *types.Transaction) error {
+	if r.stopped {
+		return nil
+	}
+	if err := tx.Validate(); err != nil {
+		return err
+	}
+	for _, i := range r.routeOf(tx) {
+		r.buckets.Bucket(i).Push(tx)
+	}
+	if r.stages != nil {
+		st := r.stageOf(tx.ID())
+		st.Submit = simnet.Time(tx.SubmitNS)
+		if st.Received == 0 {
+			st.Received = r.sim.Now()
+		}
+	}
+	return nil
+}
+
+func (r *Replica) stageOf(id types.TxID) *StageTrace {
+	st, ok := r.stages[id]
+	if !ok {
+		st = &StageTrace{}
+		r.stages[id] = st
+	}
+	return st
+}
+
+// routeOf returns the bucket indices a transaction is assigned to under the
+// current mode (every payer's bucket for Orthrus, first bucket otherwise).
+func (r *Replica) routeOf(tx *types.Transaction) []int {
+	idx := partition.BucketsOf(tx, r.cfg.M)
+	if len(idx) == 0 {
+		idx = []int{partition.Assign(tx.Client, r.cfg.M)}
+	}
+	if !r.cfg.Mode.SplitMultiPayer && len(idx) > 1 {
+		idx = idx[:1]
+	}
+	return idx
+}
+
+// --- proposal pulses ---
+
+func (r *Replica) schedulePulse(instance int) {
+	d := time.Duration(float64(r.cfg.BatchTimeout) * r.cfg.PulseScale)
+	if r.cfg.ByzantineMute {
+		// The undetectable Byzantine behavior of Sec. VII-E: keep proposing
+		// in the led instance, but only just often enough to stay under the
+		// failure detector's timeout — the instance crawls without ever
+		// triggering a view change.
+		d = r.cfg.ViewTimeout * 4 / 5
+	}
+	r.sim.After(d, func() {
+		if r.stopped {
+			return
+		}
+		r.pulse(instance)
+		r.schedulePulse(instance)
+	})
+}
+
+// pulse attempts one proposal on an instance this replica currently leads.
+func (r *Replica) pulse(instance int) {
+	e := r.sbs[instance]
+	if !e.CanPropose() {
+		return
+	}
+	if r.sim.Now() < r.stalledUntil {
+		return // Mir-style global stall during view change
+	}
+	if instance == r.cfg.M {
+		r.pulseSequencer(e)
+		return
+	}
+	if r.epochPaused(instance) {
+		return
+	}
+	// pullValidTx (Algorithm 1 line 6): pull the oldest transactions whose
+	// payer legs on this instance are feasible under the current executed
+	// state, accounting for debits already promised in pipelined blocks and
+	// earlier in this batch. Infeasible transactions are re-queued — their
+	// funds may arrive via a credit from another instance.
+	pulled := r.buckets.Bucket(instance).Pull(r.cfg.BatchSize)
+	batch := pulled[:0]
+	var requeue []*types.Transaction
+	for _, tx := range pulled {
+		if r.cfg.Censor != nil && r.cfg.Censor(tx) {
+			requeue = append(requeue, tx) // Byzantine: silently skip
+			continue
+		}
+		if r.legFeasible(tx, instance) {
+			r.promiseDebits(tx, instance)
+			batch = append(batch, tx)
+		} else {
+			requeue = append(requeue, tx)
+		}
+	}
+	for _, tx := range requeue {
+		r.buckets.Bucket(instance).Push(tx)
+	}
+	b := &types.Block{
+		Instance:  instance,
+		SN:        e.NextProposeSeq(),
+		Rank:      r.rank.Highest() + 1,
+		State:     r.execState.Clone(),
+		Proposer:  r.cfg.ID,
+		ProposeNS: int64(r.sim.Now()),
+	}
+	for _, tx := range batch {
+		b.Txs = append(b.Txs, *tx)
+	}
+	r.rank.Observe(b.Rank)
+	if r.cfg.Keys != nil {
+		d := b.Digest()
+		b.Sig = r.cfg.Keys.Replica(r.cfg.ID).Sign(d[:])
+	}
+	_ = e.Propose(b) // CanPropose was checked; a race-free sim cannot fail here
+}
+
+// legFeasible reports whether the payer operations of tx handled by the
+// given instance could escrow under the current executed state, minus the
+// debits this leader has already promised elsewhere.
+func (r *Replica) legFeasible(tx *types.Transaction, instance int) bool {
+	for _, op := range tx.Ops {
+		if !op.IsPayerOp() {
+			continue
+		}
+		if r.cfg.Mode.SplitMultiPayer && bucketOfKey(op.Key, r.cfg.M) != instance {
+			continue // another instance validates that leg
+		}
+		if r.store.Balance(op.Key)-r.proposedDebits[op.Key]-op.Amount < op.Con {
+			return false
+		}
+	}
+	return true
+}
+
+// promiseDebits reserves the batch's debits against future feasibility
+// checks until the block executes.
+func (r *Replica) promiseDebits(tx *types.Transaction, instance int) {
+	for _, op := range tx.Ops {
+		if !op.IsPayerOp() {
+			continue
+		}
+		if r.cfg.Mode.SplitMultiPayer && bucketOfKey(op.Key, r.cfg.M) != instance {
+			continue
+		}
+		r.proposedDebits[op.Key] += op.Amount
+	}
+}
+
+// releaseProposedDebits undoes promiseDebits once a self-proposed block has
+// reached its escrow phase (the real escrow now holds the funds).
+func (r *Replica) releaseProposedDebits(b *types.Block) {
+	for i := range b.Txs {
+		for _, op := range b.Txs[i].Ops {
+			if !op.IsPayerOp() {
+				continue
+			}
+			if r.cfg.Mode.SplitMultiPayer && bucketOfKey(op.Key, r.cfg.M) != b.Instance {
+				continue
+			}
+			if v := r.proposedDebits[op.Key] - op.Amount; v > 0 {
+				r.proposedDebits[op.Key] = v
+			} else {
+				delete(r.proposedDebits, op.Key)
+			}
+		}
+	}
+}
+
+// pulseSequencer proposes a DQBFT ordering block referencing delivered
+// worker blocks in arrival order.
+func (r *Replica) pulseSequencer(e SB) {
+	if len(r.seqRefs) == 0 {
+		return
+	}
+	b := &types.Block{
+		Instance:  r.cfg.M,
+		SN:        e.NextProposeSeq(),
+		Refs:      r.seqRefs,
+		Proposer:  r.cfg.ID,
+		ProposeNS: int64(r.sim.Now()),
+	}
+	r.seqRefs = nil
+	_ = e.Propose(b)
+}
+
+// epochPaused reports whether the instance must wait at an epoch barrier.
+func (r *Replica) epochPaused(instance int) bool {
+	delivered := r.state[instance]
+	if r.cfg.Mode.StrictEpochBarrier {
+		// May not propose past the current epoch's allotment until every
+		// instance finished it (checkpoint advances r.epoch).
+		return delivered >= (r.epoch+1)*r.cfg.EpochLen &&
+			uint64(r.sbs[instance].NextProposeSeq()) >= (r.epoch+1)*r.cfg.EpochLen
+	}
+	// Bounded run-ahead: at most EpochLead epochs past the stable one.
+	limit := (r.stableEpoch + uint64(r.cfg.EpochLead)) * r.cfg.EpochLen
+	return r.sbs[instance].NextProposeSeq() >= limit
+}
+
+// --- delivery path ---
+
+// onDeliver handles an SB delivery (Algorithm 1's sb-deliver upcall).
+func (r *Replica) onDeliver(instance int, b *types.Block) {
+	if instance == r.cfg.M {
+		// Dedicated sequencer block: drives DQBFT global confirmation.
+		for _, gb := range r.global.OnSequencerDeliver(b) {
+			r.glogQ = append(r.glogQ, glogCursor{block: gb})
+		}
+		r.drainGlogQueue()
+		return
+	}
+	r.state[instance] = b.SN + 1
+	r.rank.Observe(b.Rank)
+	// Fold the block into the instance's rolling checkpoint digest.
+	h := sha256.New()
+	h.Write(r.instHash[instance][:])
+	d := b.Digest()
+	h.Write(d[:])
+	copy(r.instHash[instance][:], h.Sum(nil))
+
+	// Mark contained transactions as in-flight so replaced leaders do not
+	// re-propose them from their bucket copies.
+	bucket := r.buckets.Bucket(instance)
+	for i := range b.Txs {
+		bucket.MarkConfirmed(b.Txs[i].ID())
+	}
+	// Censorship detection (Sec. V-B): the leader keeps delivering blocks
+	// while an old, locally feasible transaction sits unproposed in this
+	// bucket — complain (vote for a view change), once per view.
+	bucket.Tick()
+	if tx, age, ok := bucket.Oldest(); ok && age > r.cfg.CensorshipBlocks && r.legFeasible(tx, instance) {
+		view := r.sbs[instance].View()
+		if last, done := r.lastComplain[instance]; !done || last < view+1 {
+			r.lastComplain[instance] = view + 1
+			if c, okc := r.sbs[instance].(interface{ Complain() }); okc {
+				c.Complain()
+			}
+		}
+	}
+	if r.stages != nil {
+		for i := range b.Txs {
+			st := r.stageOf(b.Txs[i].ID())
+			if st.Proposed == 0 {
+				st.Proposed = simnet.Time(b.ProposeNS)
+			}
+			if st.Delivered == 0 {
+				st.Delivered = r.sim.Now()
+			}
+		}
+	}
+
+	// Queue the block for its escrow phase (gated on state coverage) and
+	// feed the global ordering; whatever became globally confirmed joins
+	// the in-order global execution queue.
+	r.execQ[instance] = append(r.execQ[instance], b)
+	for _, gb := range r.global.OnWorkerDeliver(b) {
+		r.glogQ = append(r.glogQ, glogCursor{block: gb})
+	}
+	r.drainExecQueues()
+
+	// DQBFT: the sequencer leader queues a reference for ordering.
+	if r.cfg.Mode.Sequencer && r.sbs[r.cfg.M].IsLeader() {
+		r.seqRefs = append(r.seqRefs, types.BlockRef{Instance: instance, SN: b.SN})
+	}
+
+	r.maybeFinishEpoch()
+}
+
+// onViewChange reacts to a new view: Mir stalls everything for one timeout.
+func (r *Replica) onViewChange(instance int, view uint64) {
+	if instance < r.cfg.M && r.sbs[instance].Leader() != r.cfg.ID {
+		// Lost leadership: un-delivered promises of that instance may never
+		// execute. Dropping all promised debits is conservative for other
+		// instances but only over-admits transactions, which the escrow
+		// abort path handles deterministically.
+		r.proposedDebits = make(map[types.Key]types.Amount)
+	}
+	if r.cfg.Mode.EpochStallOnViewChange {
+		until := r.sim.Now() + simnet.Time(r.cfg.ViewTimeout)
+		if until > r.stalledUntil {
+			r.stalledUntil = until
+		}
+	}
+	if r.cfg.OnViewChange != nil {
+		r.cfg.OnViewChange(instance, view, r.sim.Now())
+	}
+}

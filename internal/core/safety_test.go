@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// randomWorkloadCluster runs a randomized mixed workload over a jittery WAN
+// and returns the cluster after quiescence. Used by the safety properties.
+func randomWorkloadCluster(t *testing.T, seed int64, mode core.Mode) (*testCluster, []*types.Transaction) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var names []types.Key
+	for i := 0; i < 10; i++ {
+		names = append(names, types.Key(fmt.Sprintf("acct%d", i)))
+	}
+	c := newTestClusterSeed(t, 4, mode, genesisRich(names...), nil, seed)
+	var txs []*types.Transaction
+	for i := 0; i < 30; i++ {
+		from := names[rng.Intn(len(names))]
+		to := names[rng.Intn(len(names))]
+		var tx *types.Transaction
+		switch rng.Intn(5) {
+		case 0, 1, 2:
+			tx = types.NewPayment(from, to, types.Amount(rng.Intn(20)+1), uint64(i))
+		case 3:
+			other := names[rng.Intn(len(names))]
+			tx = types.NewMultiPayment(from, []types.Transfer{
+				{From: from, To: to, Amount: types.Amount(rng.Intn(10) + 1)},
+				{From: other, To: to, Amount: types.Amount(rng.Intn(10) + 1)},
+			}, uint64(i))
+		case 4:
+			tx = types.NewContractCall(from, []types.Key{from}, 1,
+				[]types.Op{types.NewSharedAssign(types.Key(fmt.Sprintf("rec%d", rng.Intn(3))), types.Amount(rng.Intn(100)))}, uint64(i))
+		}
+		txs = append(txs, tx)
+		// Stagger submissions randomly over the first two seconds. tx is
+		// declared fresh each iteration, so the closure capture is safe.
+		at := simnet.Time(time.Duration(rng.Intn(2000)) * time.Millisecond)
+		c.sim.At(at, func() {
+			tx.SubmitNS = int64(c.sim.Now())
+			for _, r := range c.replicas {
+				_ = r.SubmitTx(tx)
+			}
+		})
+	}
+	c.run(15 * time.Second)
+	return c, txs
+}
+
+// TestSafetyUnderRandomSchedules is Theorem 1 as a property test: across
+// random workloads, jittery delivery schedules and every protocol mode, all
+// replicas that confirmed the full workload hold identical object values.
+func TestSafetyUnderRandomSchedules(t *testing.T) {
+	modes := []core.Mode{core.OrthrusMode(), baseline.ISSMode(), baseline.LadonMode(), baseline.DQBFTMode()}
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, mode := range modes {
+			mode := mode
+			t.Run(fmt.Sprintf("%s/seed=%d", mode.Name, seed), func(t *testing.T) {
+				c, txs := randomWorkloadCluster(t, seed, mode)
+				// Every tx confirmed at every replica with the same outcome.
+				for _, tx := range txs {
+					want, ok := c.results[0][tx.ID()]
+					if !ok {
+						t.Fatalf("replica 0 never confirmed tx %s", tx.ID())
+					}
+					for i := 1; i < len(c.replicas); i++ {
+						got, ok := c.results[i][tx.ID()]
+						if !ok || got != want {
+							t.Fatalf("replica %d outcome %v/%v vs %v for tx %s", i, got, ok, want, tx.ID())
+						}
+					}
+				}
+				c.requireConsistent(t)
+				// No funds stuck in escrow after quiescence.
+				for i, r := range c.replicas {
+					if n := r.Store().EscrowCount(); n != 0 {
+						t.Fatalf("replica %d leaked %d escrows", i, n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConservationUnderRandomSchedules: total owned value changes only by
+// burnt contract fees — never created or destroyed by payments (Lemma 2's
+// conservation corollary).
+func TestConservationUnderRandomSchedules(t *testing.T) {
+	for seed := int64(10); seed <= 14; seed++ {
+		c, txs := randomWorkloadCluster(t, seed, core.OrthrusMode())
+		fees := types.Amount(0)
+		for _, tx := range txs {
+			if tx.Kind() == types.Contract && c.results[0][tx.ID()] {
+				fees += tx.TotalDebit() - tx.TotalCredit()
+			}
+		}
+		want := types.Amount(10*1000) - fees
+		if got := c.replicas[0].Store().TotalOwned(); got != want {
+			t.Fatalf("seed %d: total owned %d, want %d", seed, got, want)
+		}
+	}
+}
+
+// newTestClusterSeed is newTestCluster with an explicit simulation seed so
+// property tests explore different jitter schedules.
+func newTestClusterSeed(t *testing.T, n int, mode core.Mode, genesis func(*ledger.Store), mutate func(i int, cfg *core.Config), seed int64) *testCluster {
+	t.Helper()
+	c := &testCluster{sim: simnet.New(seed)}
+	c.nw = simnet.NewNetwork(c.sim, n, simnet.NewWAN())
+	c.results = make([]map[types.TxID]bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.results[i] = make(map[types.TxID]bool)
+		cfg := core.Config{
+			N: n, F: (n - 1) / 3, ID: i, M: n,
+			Mode:         mode,
+			BatchSize:    8,
+			BatchTimeout: 50 * time.Millisecond,
+			ViewTimeout:  5 * time.Second,
+			EpochLen:     16,
+			Genesis:      genesis,
+			OnConfirm: func(tx *types.Transaction, success bool, at simnet.Time) {
+				c.results[i][tx.ID()] = success
+			},
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		c.replicas = append(c.replicas, core.NewReplica(cfg, c.sim, c.nw))
+	}
+	for _, r := range c.replicas {
+		r.Start()
+	}
+	return c
+}

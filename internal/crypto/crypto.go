@@ -1,0 +1,84 @@
+// Package crypto wraps the standard-library primitives the protocol needs:
+// Ed25519 signatures for replicas and clients, and SHA-256 digests.
+//
+// Simulated deployments need thousands of deterministic keys; KeyRing
+// derives them from a seed so every replica in a simulation can recompute
+// everyone's public keys without distribution (standing in for the paper's
+// PKI assumption).
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Signer holds a private key and can sign messages.
+type Signer struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewSignerFromSeed derives a signer deterministically from a 32-byte seed.
+func NewSignerFromSeed(seed [32]byte) *Signer {
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return &Signer{priv: priv, pub: priv.Public().(ed25519.PublicKey)}
+}
+
+// Public returns the signer's public key.
+func (s *Signer) Public() ed25519.PublicKey { return s.pub }
+
+// Sign signs msg.
+func (s *Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
+
+// Verify checks sig over msg under pub.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	return len(pub) == ed25519.PublicKeySize && ed25519.Verify(pub, msg, sig)
+}
+
+// Digest returns the SHA-256 digest of data.
+func Digest(data []byte) [32]byte { return sha256.Sum256(data) }
+
+// KeyRing deterministically derives and caches key pairs for a set of
+// identities (replica indices and client names) from a master seed. It
+// models the PKI of Sec. III-A: everyone can look up everyone's public key.
+type KeyRing struct {
+	seed    [32]byte
+	signers map[string]*Signer
+}
+
+// NewKeyRing creates a key ring with the given master seed.
+func NewKeyRing(seed int64) *KeyRing {
+	var s [32]byte
+	binary.BigEndian.PutUint64(s[:8], uint64(seed))
+	copy(s[8:], []byte("orthrus-keyring-"))
+	return &KeyRing{seed: s, signers: make(map[string]*Signer)}
+}
+
+// signerFor derives (and caches) the signer for an identity string.
+func (k *KeyRing) signerFor(ident string) *Signer {
+	if s, ok := k.signers[ident]; ok {
+		return s
+	}
+	h := sha256.New()
+	h.Write(k.seed[:])
+	h.Write([]byte(ident))
+	var seed [32]byte
+	copy(seed[:], h.Sum(nil))
+	s := NewSignerFromSeed(seed)
+	k.signers[ident] = s
+	return s
+}
+
+// Replica returns the signer for replica index i.
+func (k *KeyRing) Replica(i int) *Signer { return k.signerFor(fmt.Sprintf("replica/%d", i)) }
+
+// Client returns the signer for a named client.
+func (k *KeyRing) Client(name string) *Signer { return k.signerFor("client/" + name) }
+
+// ReplicaPublic returns replica i's public key.
+func (k *KeyRing) ReplicaPublic(i int) ed25519.PublicKey { return k.Replica(i).Public() }
+
+// ClientPublic returns the named client's public key.
+func (k *KeyRing) ClientPublic(name string) ed25519.PublicKey { return k.Client(name).Public() }

@@ -1,0 +1,81 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	var seed [32]byte
+	seed[0] = 7
+	s := NewSignerFromSeed(seed)
+	msg := []byte("hello orthrus")
+	sig := s.Sign(msg)
+	if !Verify(s.Public(), msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(s.Public(), []byte("tampered"), sig) {
+		t.Fatal("tampered message accepted")
+	}
+	sig[0] ^= 1
+	if Verify(s.Public(), msg, sig) {
+		t.Fatal("tampered signature accepted")
+	}
+}
+
+func TestVerifyBadKeyLength(t *testing.T) {
+	if Verify(nil, []byte("m"), []byte("s")) {
+		t.Fatal("nil public key accepted")
+	}
+}
+
+func TestKeyRingDeterminism(t *testing.T) {
+	a := NewKeyRing(42)
+	b := NewKeyRing(42)
+	if !bytes.Equal(a.ReplicaPublic(3), b.ReplicaPublic(3)) {
+		t.Fatal("same seed produced different replica keys")
+	}
+	if !bytes.Equal(a.ClientPublic("alice"), b.ClientPublic("alice")) {
+		t.Fatal("same seed produced different client keys")
+	}
+	c := NewKeyRing(43)
+	if bytes.Equal(a.ReplicaPublic(3), c.ReplicaPublic(3)) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestKeyRingDistinctIdentities(t *testing.T) {
+	k := NewKeyRing(1)
+	if bytes.Equal(k.ReplicaPublic(0), k.ReplicaPublic(1)) {
+		t.Fatal("replica 0 and 1 share a key")
+	}
+	if bytes.Equal(k.ClientPublic("alice"), k.ClientPublic("bob")) {
+		t.Fatal("alice and bob share a key")
+	}
+	if bytes.Equal(k.ReplicaPublic(0), k.ClientPublic("0")) {
+		t.Fatal("replica/client namespace collision")
+	}
+}
+
+func TestKeyRingCrossSigning(t *testing.T) {
+	k := NewKeyRing(9)
+	msg := []byte("block digest")
+	sig := k.Replica(2).Sign(msg)
+	if !Verify(k.ReplicaPublic(2), msg, sig) {
+		t.Fatal("replica signature rejected")
+	}
+	if Verify(k.ReplicaPublic(3), msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestDigestStable(t *testing.T) {
+	d1 := Digest([]byte("x"))
+	d2 := Digest([]byte("x"))
+	if d1 != d2 {
+		t.Fatal("digest unstable")
+	}
+	if Digest([]byte("y")) == d1 {
+		t.Fatal("distinct inputs collide")
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// The figure functions are exercised end to end by cmd/orthrus-bench and
+// bench_test.go; these tests cover the scaffolding at minimal scale.
+
+func TestReplicaCountsScale(t *testing.T) {
+	if got := replicaCounts(1); len(got) != 5 || got[4] != 128 {
+		t.Fatalf("full scale counts %v", got)
+	}
+	if got := replicaCounts(0.1); len(got) != 2 {
+		t.Fatalf("tiny scale counts %v", got)
+	}
+	if got := replicaCounts(0.5); got[len(got)-1] != 64 {
+		t.Fatalf("half scale counts %v", got)
+	}
+}
+
+func TestLoadForShape(t *testing.T) {
+	// Capacity declines with n and LAN doubles WAN.
+	if loadFor(128, cluster.WAN, 1) >= loadFor(8, cluster.WAN, 1) {
+		t.Fatal("load does not decline with n")
+	}
+	if loadFor(16, cluster.LAN, 1) != 2*loadFor(16, cluster.WAN, 1) {
+		t.Fatal("LAN load not 2x WAN")
+	}
+	if loadFor(16, cluster.WAN, 0.5) != 0.5*loadFor(16, cluster.WAN, 1) {
+		t.Fatal("scale not proportional")
+	}
+}
+
+func TestClampScale(t *testing.T) {
+	for _, c := range []struct{ in, want float64 }{{0, 1}, {-1, 1}, {2, 1}, {0.3, 0.3}, {1, 1}} {
+		if got := clampScale(c.in); got != c.want {
+			t.Fatalf("clampScale(%v) = %v", c.in, got)
+		}
+	}
+}
+
+func TestBaseConfigRegimes(t *testing.T) {
+	small := baseConfig(core.OrthrusMode(), 16, cluster.WAN, 1)
+	if small.AnalyticSB || !small.NIC {
+		t.Fatal("n=16 should be message-level with NIC")
+	}
+	big := baseConfig(core.OrthrusMode(), 64, cluster.WAN, 1)
+	if !big.AnalyticSB || big.NIC {
+		t.Fatal("n=64 should be analytic without NIC")
+	}
+}
+
+func TestBreakdownSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full miniature cluster")
+	}
+	b := Breakdown(core.OrthrusMode(), 0.2)
+	if b.Total <= 0 {
+		t.Fatal("empty breakdown")
+	}
+	if len(b.Stages) != 5 {
+		t.Fatalf("stages %v", b.Stages)
+	}
+}
+
+func TestFig1bOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full miniature cluster")
+	}
+	var buf bytes.Buffer
+	Fig1b(&buf, 0.2)
+	out := buf.String()
+	if !strings.Contains(out, "ISS") || !strings.Contains(out, "global%") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+}

@@ -1,0 +1,32 @@
+package ledger_test
+
+import (
+	"fmt"
+
+	"repro/internal/ledger"
+	"repro/internal/types"
+)
+
+// Example demonstrates the escrow lifecycle of Algorithm 2: reserve, then
+// either commit (deduction becomes permanent) or abort (funds return).
+func Example() {
+	st := ledger.NewStore()
+	st.Credit("alice", 100)
+
+	tx := types.NewPayment("alice", "bob", 30, 1)
+	if st.Escrow(tx.Ops[0], tx.ID()) {
+		fmt.Println("escrowed, alice:", st.Balance("alice"))
+	}
+	st.CommitEscrow(tx.ID())
+	_ = st.ApplyIncrement(tx.Ops[1])
+	fmt.Println("committed, alice:", st.Balance("alice"), "bob:", st.Balance("bob"))
+
+	// A second, unaffordable escrow fails without touching state.
+	big := types.NewPayment("alice", "bob", 1000, 2)
+	fmt.Println("overdraft allowed:", st.Escrow(big.Ops[0], big.ID()))
+
+	// Output:
+	// escrowed, alice: 70
+	// committed, alice: 70 bob: 30
+	// overdraft allowed: false
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Percentile(50) != 0 || l.Max() != 0 || l.Count() != 0 {
+		t.Fatal("empty latency not zero")
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count %d", l.Count())
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean %v", got)
+	}
+	if got := l.Percentile(50); got < 49*time.Millisecond || got > 52*time.Millisecond {
+		t.Fatalf("p50 %v", got)
+	}
+	if got := l.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max %v", got)
+	}
+	if got := l.Percentile(0); got != 1*time.Millisecond {
+		t.Fatalf("p0 %v", got)
+	}
+}
+
+func TestLatencyPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var l Latency
+		for _, v := range raw {
+			l.Add(time.Duration(v))
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := l.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return l.Mean() <= l.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyAddAfterPercentileResorts(t *testing.T) {
+	var l Latency
+	l.Add(5 * time.Millisecond)
+	_ = l.Percentile(50)
+	l.Add(1 * time.Millisecond)
+	if l.Percentile(0) != 1*time.Millisecond {
+		t.Fatal("sort cache stale after Add")
+	}
+}
+
+func TestTimeSeriesBinning(t *testing.T) {
+	ts := NewTimeSeries(500 * time.Millisecond)
+	ts.Record(simnet.Time(100*time.Millisecond), 10*time.Millisecond) // bin 0
+	ts.Record(simnet.Time(400*time.Millisecond), 30*time.Millisecond) // bin 0
+	ts.Record(simnet.Time(700*time.Millisecond), 50*time.Millisecond) // bin 1
+	if ts.Bins() != 2 {
+		t.Fatalf("bins %d", ts.Bins())
+	}
+	if got := ts.Throughput(0); got != 4 { // 2 events / 0.5s
+		t.Fatalf("tput0 %v", got)
+	}
+	if got := ts.MeanLatency(0); got != 20*time.Millisecond {
+		t.Fatalf("lat0 %v", got)
+	}
+	if got := ts.MeanLatency(1); got != 50*time.Millisecond {
+		t.Fatalf("lat1 %v", got)
+	}
+	if ts.Throughput(5) != 0 || ts.MeanLatency(5) != 0 {
+		t.Fatal("out-of-range bins not zero")
+	}
+}
+
+func TestTimeSeriesDefaultBin(t *testing.T) {
+	ts := NewTimeSeries(0)
+	if ts.Bin != 500*time.Millisecond {
+		t.Fatalf("default bin %v", ts.Bin)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(StageSend, 10*time.Millisecond)
+	b.Add(StageSend, 30*time.Millisecond)
+	b.Add(StageGlobal, 100*time.Millisecond)
+	if got := b.Mean(StageSend); got != 20*time.Millisecond {
+		t.Fatalf("send mean %v", got)
+	}
+	if got := b.Mean(StagePartial); got != 0 {
+		t.Fatalf("unset stage mean %v", got)
+	}
+	if got := b.Total(); got != 120*time.Millisecond {
+		t.Fatalf("total %v", got)
+	}
+	// Negative durations (clock skew artifacts) must be ignored.
+	b.Add(StageReply, -time.Second)
+	if b.Mean(StageReply) != 0 {
+		t.Fatal("negative sample recorded")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := []string{"Send", "Preprocessing", "Partial ordering", "Global ordering", "Reply"}
+	for i, s := range Stages() {
+		if s.String() != want[i] {
+			t.Fatalf("stage %d = %q", i, s.String())
+		}
+	}
+}

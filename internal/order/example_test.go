@@ -1,0 +1,45 @@
+package order_test
+
+import (
+	"fmt"
+
+	"repro/internal/order"
+	"repro/internal/types"
+)
+
+// ExampleDynamic shows Ladon's rank-based global ordering (Algorithm 3):
+// a block is confirmed once no future block can sort below it.
+func ExampleDynamic() {
+	d := order.NewDynamic(2)
+	deliver := func(instance int, sn, rank uint64) {
+		for _, b := range d.Deliver(&types.Block{Instance: instance, SN: sn, Rank: rank}) {
+			fmt.Printf("confirmed instance=%d rank=%d\n", b.Instance, b.Rank)
+		}
+	}
+	deliver(0, 0, 1) // bar rises past (1,0): confirmed immediately
+	deliver(1, 0, 2) // waits: instance 0 could still produce rank 2
+	deliver(0, 1, 3) // floor of instance 0 rises: rank 2 and 3 confirm
+
+	// Output:
+	// confirmed instance=0 rank=1
+	// confirmed instance=1 rank=2
+	// confirmed instance=0 rank=3
+}
+
+// ExamplePredetermined shows the Mir/ISS/RCC interleaving: a gap left by a
+// slow instance blocks every later global position.
+func ExamplePredetermined() {
+	p := order.NewPredetermined(2)
+	deliver := func(instance int, sn uint64) {
+		for _, b := range p.Deliver(&types.Block{Instance: instance, SN: sn}) {
+			fmt.Printf("confirmed instance=%d sn=%d\n", b.Instance, b.SN)
+		}
+	}
+	deliver(1, 0) // position 1: blocked behind instance 0's position 0
+	deliver(1, 1) // position 3: still blocked
+	deliver(0, 0) // fills position 0: releases 0 and 1, not 3
+
+	// Output:
+	// confirmed instance=0 sn=0
+	// confirmed instance=1 sn=0
+}

@@ -1,0 +1,175 @@
+// Package order implements the global-ordering algorithms that merge the
+// partial logs of m SB instances into one global log:
+//
+//   - Predetermined: the fixed round-robin interleaving used by Mir-BFT,
+//     ISS and RCC — global position of block (instance i, sn s) is s*m+i.
+//     A straggler instance stalls every later position (the paper's
+//     motivation, Fig. 1).
+//   - Dynamic: Ladon's rank-based ordering (Appendix A, Algorithm 3):
+//     blocks are ordered by (rank, instance); a block is confirmed once the
+//     "bar" — the lowest key any future block can take — exceeds it.
+//   - Orthrus itself reuses Dynamic for its global log while payments
+//     bypass it entirely (package core).
+//
+// All implementations are deterministic functions of the delivered-block
+// sequence, so every honest replica derives the same global log without
+// extra communication.
+package order
+
+import (
+	"container/heap"
+
+	"repro/internal/types"
+)
+
+// Orderer merges delivered blocks into a global sequence. Deliver hands the
+// orderer one block delivered by an SB instance and returns the blocks that
+// became globally confirmed as a result, in global order.
+type Orderer interface {
+	Deliver(b *types.Block) []*types.Block
+	// PendingCount returns blocks delivered but not yet globally confirmed.
+	PendingCount() int
+}
+
+// --- Predetermined (Mir-BFT / ISS / RCC) ---
+
+// Predetermined confirms blocks in the fixed interleaved order
+// sn*m + instance. Gaps (slow instances) block all later positions until
+// filled — exactly the behavior that makes stragglers expensive.
+type Predetermined struct {
+	m       int
+	next    uint64 // next global position to confirm
+	byPos   map[uint64]*types.Block
+	pending int
+}
+
+// NewPredetermined creates a predetermined orderer over m instances.
+func NewPredetermined(m int) *Predetermined {
+	return &Predetermined{m: m, byPos: make(map[uint64]*types.Block)}
+}
+
+// Position returns the fixed global position of a block.
+func (p *Predetermined) Position(b *types.Block) uint64 {
+	return b.SN*uint64(p.m) + uint64(b.Instance)
+}
+
+// Deliver implements Orderer.
+func (p *Predetermined) Deliver(b *types.Block) []*types.Block {
+	p.byPos[p.Position(b)] = b
+	p.pending++
+	var out []*types.Block
+	for {
+		nb, ok := p.byPos[p.next]
+		if !ok {
+			break
+		}
+		delete(p.byPos, p.next)
+		p.next++
+		p.pending--
+		out = append(out, nb)
+	}
+	return out
+}
+
+// PendingCount implements Orderer.
+func (p *Predetermined) PendingCount() int { return p.pending }
+
+// --- Dynamic (Ladon, Algorithm 3) ---
+
+// blockHeap is a min-heap of blocks by OrderKey.
+type blockHeap []*types.Block
+
+func (h blockHeap) Len() int           { return len(h) }
+func (h blockHeap) Less(i, j int) bool { return h[i].Key().Less(h[j].Key()) }
+func (h blockHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *blockHeap) Push(x any)        { *h = append(*h, x.(*types.Block)) }
+func (h *blockHeap) Pop() any {
+	old := *h
+	n := len(old)
+	b := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return b
+}
+
+// Dynamic is Ladon's rank-based global ordering. Each instance's last
+// delivered block defines a floor; the bar is the minimum over instances of
+// (lastRank+1, instance), and every waiting block below the bar is stable
+// and can be confirmed (monotonicity guarantees future blocks sort higher).
+type Dynamic struct {
+	m       int
+	last    []types.OrderKey // last delivered key per instance
+	waiting blockHeap
+}
+
+// NewDynamic creates a dynamic orderer over m instances. Before an instance
+// delivers anything its floor is rank 0 (ranks start at 1).
+func NewDynamic(m int) *Dynamic {
+	d := &Dynamic{m: m, last: make([]types.OrderKey, m)}
+	for i := range d.last {
+		d.last[i] = types.OrderKey{Rank: 0, Instance: i}
+	}
+	return d
+}
+
+// Bar returns the current confirmation bar: the lowest ordering key a
+// future block could possibly take.
+func (d *Dynamic) Bar() types.OrderKey {
+	bar := types.OrderKey{Rank: d.last[0].Rank + 1, Instance: d.last[0].Instance}
+	for _, lk := range d.last[1:] {
+		cand := types.OrderKey{Rank: lk.Rank + 1, Instance: lk.Instance}
+		if cand.Less(bar) {
+			bar = cand
+		}
+	}
+	return bar
+}
+
+// Deliver implements Orderer (Algorithm 3's globalOrder).
+func (d *Dynamic) Deliver(b *types.Block) []*types.Block {
+	heap.Push(&d.waiting, b)
+	if lk := b.Key(); d.last[b.Instance].Less(lk) || d.last[b.Instance] == lk {
+		d.last[b.Instance] = lk
+	}
+	bar := d.Bar()
+	var out []*types.Block
+	for len(d.waiting) > 0 && d.waiting[0].Key().Less(bar) {
+		out = append(out, heap.Pop(&d.waiting).(*types.Block))
+	}
+	return out
+}
+
+// PendingCount implements Orderer.
+func (d *Dynamic) PendingCount() int { return len(d.waiting) }
+
+// --- Rank assignment (Ladon) ---
+
+// RankTracker tracks the highest rank a replica has observed: its own
+// proposals and every delivered block. A leader assembles the rank of a new
+// block as max over 2f+1 trackers + 1, which yields the agreement and
+// monotonicity properties of Appendix A.
+type RankTracker struct {
+	highest uint64
+}
+
+// Observe folds in an observed rank.
+func (r *RankTracker) Observe(rank uint64) {
+	if rank > r.highest {
+		r.highest = rank
+	}
+}
+
+// Highest returns the highest observed rank.
+func (r *RankTracker) Highest() uint64 { return r.highest }
+
+// NextRank computes the rank a leader assigns given quorum responses: the
+// maximum reported rank plus one.
+func NextRank(responses []uint64) uint64 {
+	var max uint64
+	for _, r := range responses {
+		if r > max {
+			max = r
+		}
+	}
+	return max + 1
+}

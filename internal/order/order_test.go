@@ -1,0 +1,236 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func blk(instance int, sn, rank uint64) *types.Block {
+	return &types.Block{Instance: instance, SN: sn, Rank: rank}
+}
+
+func TestPredeterminedInterleaving(t *testing.T) {
+	p := NewPredetermined(2)
+	// Deliver out of order: (1,0) then (0,0) then (0,1) then (1,1).
+	if got := p.Deliver(blk(1, 0, 0)); got != nil {
+		t.Fatalf("confirmed %v before gap filled", got)
+	}
+	got := p.Deliver(blk(0, 0, 0))
+	if len(got) != 2 || got[0].Instance != 0 || got[1].Instance != 1 {
+		t.Fatalf("got %d blocks, want positions 0,1", len(got))
+	}
+	got = p.Deliver(blk(0, 1, 0))
+	if len(got) != 1 {
+		t.Fatalf("position 2 not confirmed: %v", got)
+	}
+	if p.PendingCount() != 0 {
+		t.Fatal("pending count wrong")
+	}
+}
+
+func TestPredeterminedStragglerBlocksEverything(t *testing.T) {
+	m := 4
+	p := NewPredetermined(m)
+	confirmed := 0
+	// Instances 1..3 deliver 10 blocks each; instance 0 delivers nothing.
+	for sn := uint64(0); sn < 10; sn++ {
+		for i := 1; i < m; i++ {
+			confirmed += len(p.Deliver(blk(i, sn, 0)))
+		}
+	}
+	if confirmed != 0 {
+		t.Fatalf("%d blocks confirmed despite straggler gap at position 0", confirmed)
+	}
+	// The straggler's first block releases positions 0..3.
+	got := p.Deliver(blk(0, 0, 0))
+	if len(got) != 4 {
+		t.Fatalf("filling the gap released %d, want 4", len(got))
+	}
+}
+
+func TestDynamicBasicOrder(t *testing.T) {
+	d := NewDynamic(2)
+	// Instance 0 delivers rank 1; bar = min((2,0),(1,1)) = (1,1): nothing
+	// below it except... (1,0) < (1,1), so block (rank1,inst0) confirms.
+	got := d.Deliver(blk(0, 0, 1))
+	if len(got) != 1 {
+		t.Fatalf("first block not confirmed: %v", got)
+	}
+	// Instance 1 delivers rank 2: bar = min((2,0),(3,1)) = (2,0);
+	// (2,1) is not < (2,0), so it waits.
+	got = d.Deliver(blk(1, 0, 2))
+	if len(got) != 0 {
+		t.Fatalf("block confirmed early: %v", got)
+	}
+	// Instance 0 delivers rank 3: bar = min((4,0),(3,1)) = (3,1);
+	// (2,1) and (3,0) are both < (3,1): both confirm, rank order.
+	got = d.Deliver(blk(0, 1, 3))
+	if len(got) != 2 || got[0].Rank != 2 || got[1].Rank != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if d.PendingCount() != 0 {
+		t.Fatal("pending not drained")
+	}
+}
+
+func TestDynamicStragglerDoesNotBlockOthers(t *testing.T) {
+	// With rank-based ordering, two fast instances confirm each other's
+	// blocks while a silent instance only holds back blocks above its floor.
+	d := NewDynamic(3)
+	confirmed := 0
+	rank := uint64(1)
+	for round := 0; round < 10; round++ {
+		for i := 1; i < 3; i++ {
+			confirmed += len(d.Deliver(blk(i, uint64(round), rank)))
+			rank++
+		}
+	}
+	// bar stays at (1,0) because instance 0 never delivered; nothing with
+	// key < (1,0) exists, so nothing confirms — matching Ladon, the first
+	// delivery of the straggler releases the backlog up to the bar.
+	if confirmed != 0 {
+		t.Fatalf("confirmed %d blocks with silent instance floor", confirmed)
+	}
+	got := d.Deliver(blk(0, 0, rank))
+	// The bar jumps to the lowest instance floor + 1; all waiting blocks
+	// strictly below it confirm. The most recent block of the highest-rank
+	// instance ties the bar's rank and legitimately waits one more round.
+	if len(got) < 19 {
+		t.Fatalf("straggler catch-up released only %d blocks", len(got))
+	}
+}
+
+func TestDynamicAgreementAcrossInterleavings(t *testing.T) {
+	// Property: the dynamic orderer yields the same global sequence no
+	// matter the interleaving of per-instance deliveries (per-instance
+	// order is fixed by the SB instance; cross-instance order is not).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3
+		// Build per-instance block sequences with increasing ranks that
+		// respect monotonicity: rank grows within an instance.
+		perInst := make([][]*types.Block, m)
+		rank := uint64(0)
+		for sn := uint64(0); sn < 5; sn++ {
+			for i := 0; i < m; i++ {
+				rank += uint64(rng.Intn(3) + 1)
+				perInst[i] = append(perInst[i], blk(i, sn, rank))
+			}
+		}
+		run := func() []types.OrderKey {
+			d := NewDynamic(m)
+			idx := make([]int, m)
+			var out []types.OrderKey
+			for {
+				// Pick a random instance with blocks remaining.
+				var avail []int
+				for i := 0; i < m; i++ {
+					if idx[i] < len(perInst[i]) {
+						avail = append(avail, i)
+					}
+				}
+				if len(avail) == 0 {
+					break
+				}
+				i := avail[rng.Intn(len(avail))]
+				for _, b := range d.Deliver(perInst[i][idx[i]]) {
+					out = append(out, b.Key())
+				}
+				idx[i]++
+			}
+			return out
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		// And the sequence must be sorted by OrderKey (global order).
+		for i := 1; i < len(a); i++ {
+			if a[i].Less(a[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicConfirmsEverythingEventually(t *testing.T) {
+	// If all instances keep making progress, every delivered block is
+	// eventually confirmed (liveness of the ordering layer).
+	m := 4
+	d := NewDynamic(m)
+	total, confirmed := 0, 0
+	rank := uint64(0)
+	for sn := uint64(0); sn < 20; sn++ {
+		for i := 0; i < m; i++ {
+			rank++
+			total++
+			confirmed += len(d.Deliver(blk(i, sn, rank)))
+		}
+	}
+	// A final high-rank block from each instance flushes the tail.
+	for i := 0; i < m; i++ {
+		rank++
+		confirmed += len(d.Deliver(blk(i, 20, rank)))
+	}
+	if confirmed < total {
+		t.Fatalf("confirmed %d of %d", confirmed, total)
+	}
+}
+
+func TestBarComputation(t *testing.T) {
+	d := NewDynamic(2)
+	if bar := d.Bar(); bar != (types.OrderKey{Rank: 1, Instance: 0}) {
+		t.Fatalf("initial bar = %v", bar)
+	}
+	d.Deliver(blk(0, 0, 5))
+	if bar := d.Bar(); bar != (types.OrderKey{Rank: 1, Instance: 1}) {
+		t.Fatalf("bar after instance 0 = %v", bar)
+	}
+	d.Deliver(blk(1, 0, 9))
+	if bar := d.Bar(); bar != (types.OrderKey{Rank: 6, Instance: 0}) {
+		t.Fatalf("bar = %v", bar)
+	}
+}
+
+func TestNextRank(t *testing.T) {
+	if NextRank([]uint64{3, 7, 2}) != 8 {
+		t.Fatal("NextRank wrong")
+	}
+	if NextRank(nil) != 1 {
+		t.Fatal("NextRank of empty should be 1")
+	}
+}
+
+func TestRankTracker(t *testing.T) {
+	var r RankTracker
+	r.Observe(3)
+	r.Observe(1)
+	if r.Highest() != 3 {
+		t.Fatalf("highest = %d", r.Highest())
+	}
+	r.Observe(10)
+	if r.Highest() != 10 {
+		t.Fatalf("highest = %d", r.Highest())
+	}
+}
+
+func TestPredeterminedPendingCount(t *testing.T) {
+	p := NewPredetermined(2)
+	p.Deliver(blk(1, 0, 0))
+	p.Deliver(blk(1, 1, 0))
+	if p.PendingCount() != 2 {
+		t.Fatalf("pending = %d", p.PendingCount())
+	}
+}

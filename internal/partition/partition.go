@@ -1,0 +1,224 @@
+// Package partition implements the bucket mechanism of Sec. V-A: client
+// transactions are mapped to buckets — one bucket per SB instance — based
+// on the owned objects they decrement (payers). Transactions with several
+// payers join several buckets; the escrow mechanism later keeps them atomic.
+//
+// Buckets are append-only for backups; the instance leader additionally
+// pulls batches of the oldest transactions when assembling blocks.
+package partition
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/types"
+)
+
+// Assign maps an owned-object key to a bucket index in [0, m): the hash of
+// the key modulo the number of instances (the paper's example assign).
+func Assign(key types.Key, m int) int {
+	h := sha256.Sum256([]byte(key))
+	return int(binary.BigEndian.Uint64(h[:8]) % uint64(m))
+}
+
+// BucketsOf returns the distinct bucket indices a transaction belongs to:
+// one per payer (owned object with a decremental operation), ascending.
+func BucketsOf(tx *types.Transaction, m int) []int {
+	seen := make(map[int]bool, 2)
+	var out []int
+	for _, op := range tx.Ops {
+		if op.IsPayerOp() {
+			b := Assign(op.Key, m)
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	// Keep deterministic ascending order for reproducibility.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Bucket is a FIFO of pending transactions for one instance, deduplicated
+// by transaction ID. Transactions leave the bucket when pulled by the
+// leader or removed after confirmation elsewhere.
+type Bucket struct {
+	queue   []*types.Transaction
+	present map[types.TxID]bool
+	// confirmed remembers IDs that were already confirmed so a late
+	// re-submission is not re-added (garbage collected at checkpoints).
+	confirmed map[types.TxID]bool
+	// clock counts block deliveries of the owning instance; firstSeen maps
+	// each pending transaction to the clock value when it first arrived.
+	// Together they age pending transactions in units of delivered blocks,
+	// which drives the censorship detector (Sec. V-B): a leader that keeps
+	// delivering blocks while an old feasible transaction stays queued is
+	// suspected of censoring it.
+	clock     uint64
+	firstSeen map[types.TxID]uint64
+}
+
+// NewBucket creates an empty bucket.
+func NewBucket() *Bucket {
+	return &Bucket{
+		present:   make(map[types.TxID]bool),
+		confirmed: make(map[types.TxID]bool),
+		firstSeen: make(map[types.TxID]uint64),
+	}
+}
+
+// Tick advances the bucket's delivery clock (one per delivered block).
+func (b *Bucket) Tick() { b.clock++ }
+
+// Oldest returns the oldest queued transaction and its age in delivered
+// blocks since it first arrived (surviving re-queues).
+func (b *Bucket) Oldest() (tx *types.Transaction, age uint64, ok bool) {
+	if len(b.queue) == 0 {
+		return nil, 0, false
+	}
+	tx = b.queue[0]
+	return tx, b.clock - b.firstSeen[tx.ID()], true
+}
+
+// Len returns the number of queued transactions.
+func (b *Bucket) Len() int { return len(b.queue) }
+
+// Push appends tx unless it is already queued or was confirmed; it reports
+// whether the transaction was added.
+func (b *Bucket) Push(tx *types.Transaction) bool {
+	id := tx.ID()
+	if b.present[id] || b.confirmed[id] {
+		return false
+	}
+	b.present[id] = true
+	b.queue = append(b.queue, tx)
+	if _, seen := b.firstSeen[id]; !seen {
+		b.firstSeen[id] = b.clock
+	}
+	return true
+}
+
+// Pull removes and returns up to max of the oldest transactions.
+func (b *Bucket) Pull(max int) []*types.Transaction {
+	if max > len(b.queue) {
+		max = len(b.queue)
+	}
+	out := b.queue[:max:max]
+	b.queue = b.queue[max:]
+	for _, tx := range out {
+		delete(b.present, tx.ID())
+	}
+	return out
+}
+
+// Peek returns the oldest queued transactions without removing them.
+func (b *Bucket) Peek(max int) []*types.Transaction {
+	if max > len(b.queue) {
+		max = len(b.queue)
+	}
+	return b.queue[:max:max]
+}
+
+// MarkConfirmed records that a transaction was confirmed (possibly via a
+// block from another replica's leader) and drops it from the queue.
+func (b *Bucket) MarkConfirmed(id types.TxID) {
+	b.confirmed[id] = true
+	delete(b.firstSeen, id)
+	if !b.present[id] {
+		return
+	}
+	delete(b.present, id)
+	for i, tx := range b.queue {
+		if tx.ID() == id {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			break
+		}
+	}
+}
+
+// GC forgets confirmation records (run at stable checkpoints, Sec. V-D)
+// and prunes age marks for transactions no longer queued.
+func (b *Bucket) GC() {
+	b.confirmed = make(map[types.TxID]bool)
+	for id := range b.firstSeen {
+		if !b.present[id] {
+			delete(b.firstSeen, id)
+		}
+	}
+}
+
+// Set manages the m buckets of one replica.
+type Set struct {
+	buckets []*Bucket
+}
+
+// NewSet creates m empty buckets.
+func NewSet(m int) *Set {
+	s := &Set{buckets: make([]*Bucket, m)}
+	for i := range s.buckets {
+		s.buckets[i] = NewBucket()
+	}
+	return s
+}
+
+// M returns the number of buckets.
+func (s *Set) M() int { return len(s.buckets) }
+
+// Bucket returns bucket i.
+func (s *Set) Bucket(i int) *Bucket { return s.buckets[i] }
+
+// Add validates tx and pushes it into every bucket it belongs to
+// (Algorithm 1 lines 10-14). It returns the bucket indices used. A
+// transaction with no payer op (e.g. pure mint) defaults to the bucket of
+// its client so it still reaches exactly one instance.
+func (s *Set) Add(tx *types.Transaction) ([]int, error) {
+	if err := tx.Validate(); err != nil {
+		return nil, err
+	}
+	idx := BucketsOf(tx, len(s.buckets))
+	if len(idx) == 0 {
+		idx = []int{Assign(tx.Client, len(s.buckets))}
+	}
+	for _, i := range idx {
+		s.buckets[i].Push(tx)
+	}
+	return idx, nil
+}
+
+// MarkConfirmed drops tx from all buckets.
+func (s *Set) MarkConfirmed(tx *types.Transaction) {
+	id := tx.ID()
+	for _, b := range s.buckets {
+		b.MarkConfirmed(id)
+	}
+}
+
+// Pending returns the total queued transactions across buckets.
+func (s *Set) Pending() int {
+	n := 0
+	for _, b := range s.buckets {
+		n += b.Len()
+	}
+	return n
+}
+
+// LoadVector returns per-bucket queue lengths, for balance diagnostics.
+func (s *Set) LoadVector() []int {
+	v := make([]int, len(s.buckets))
+	for i, b := range s.buckets {
+		v[i] = b.Len()
+	}
+	return v
+}
+
+// GC runs checkpoint garbage collection on all buckets.
+func (s *Set) GC() {
+	for _, b := range s.buckets {
+		b.GC()
+	}
+}

@@ -1,0 +1,519 @@
+package pbft
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// Transport sends messages on behalf of one replica. Implementations tag or
+// route messages so multiple SB instances can share one network endpoint.
+type Transport interface {
+	// Broadcast sends msg to every replica, including the sender.
+	Broadcast(size int, msg Message)
+	// Send sends msg to one replica.
+	Send(to, size int, msg Message)
+}
+
+// Config parameterizes one PBFT engine (one SB instance at one replica).
+type Config struct {
+	N        int // number of replicas
+	F        int // fault threshold, N >= 3F+1
+	ID       int // this replica's index
+	Instance int // SB instance index
+	// Window is the number of outstanding (proposed, undelivered) sequence
+	// numbers the leader may pipeline.
+	Window int
+	// Timeout is the base progress timeout before a view change; it doubles
+	// for consecutive unsuccessful view changes.
+	Timeout time.Duration
+	// TxSize is the modeled per-transaction wire size (paper: 500 bytes).
+	TxSize int
+	// MakeNoop builds a no-op filler block for a sequence number the new
+	// leader must decide without a prepared certificate (ISS-style).
+	MakeNoop func(sn uint64) *types.Block
+	// OnDeliver is invoked exactly once per sequence number, in order.
+	OnDeliver func(b *types.Block)
+	// OnViewChange is invoked when a new view is installed.
+	OnViewChange func(view uint64, leader int)
+	// Mute suppresses this replica's votes (prepare/commit/view-change) —
+	// models the undetectable Byzantine behavior of Sec. VII-E where a
+	// replica avoids participating in instances it does not lead.
+	Mute bool
+}
+
+// LeaderOf returns the leader of a view for this instance: instance i is
+// initially led by replica i, rotating round-robin on view changes.
+func (c Config) LeaderOf(view uint64) int {
+	return (c.Instance + int(view)) % c.N
+}
+
+// Quorum returns the commit quorum size, 2f+1.
+func (c Config) Quorum() int { return 2*c.F + 1 }
+
+// slot tracks agreement state for one sequence number.
+type slot struct {
+	view      uint64
+	block     *types.Block
+	digest    types.BlockID
+	hasBlock  bool
+	prepares  map[int]types.BlockID
+	commits   map[int]types.BlockID
+	prepared  bool
+	committed bool
+	// Highest view in which this replica held a prepared certificate, and
+	// the corresponding block — carried into view changes.
+	preparedView  uint64
+	preparedBlock *types.Block
+}
+
+func newSlot(view uint64) *slot {
+	return &slot{
+		view:     view,
+		prepares: make(map[int]types.BlockID),
+		commits:  make(map[int]types.BlockID),
+	}
+}
+
+// Engine is one PBFT instance at one replica.
+type Engine struct {
+	cfg Config
+	tr  Transport
+	sim *simnet.Sim
+
+	view         uint64
+	viewChanging bool
+	vcTarget     uint64 // view we are trying to install while viewChanging
+	vcVotes      map[uint64]map[int]*ViewChange
+
+	slots       map[uint64]*slot
+	nextDeliver uint64 // next sequence number to deliver
+	nextPropose uint64 // next sequence number this replica would propose
+	target      uint64 // deliveries expected (progress obligation); 0 = idle
+
+	timeoutMult   time.Duration
+	progressTimer *simnet.Timer
+	vcTimer       *simnet.Timer
+
+	delivered uint64 // count of delivered blocks
+	stopped   bool
+}
+
+// New creates an engine. The transport must deliver broadcast messages back
+// to the sender (self-delivery), which simnet.Network does.
+func New(cfg Config, tr Transport, sim *simnet.Sim) *Engine {
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.TxSize <= 0 {
+		cfg.TxSize = 500
+	}
+	if cfg.MakeNoop == nil {
+		inst := cfg.Instance
+		cfg.MakeNoop = func(sn uint64) *types.Block {
+			return &types.Block{Instance: inst, SN: sn}
+		}
+	}
+	return &Engine{
+		cfg:         cfg,
+		tr:          tr,
+		sim:         sim,
+		vcVotes:     make(map[uint64]map[int]*ViewChange),
+		slots:       make(map[uint64]*slot),
+		timeoutMult: 1,
+	}
+}
+
+// View returns the current view number.
+func (e *Engine) View() uint64 { return e.view }
+
+// Leader returns the current view's leader.
+func (e *Engine) Leader() int { return e.cfg.LeaderOf(e.view) }
+
+// IsLeader reports whether this replica leads the current view.
+func (e *Engine) IsLeader() bool { return e.Leader() == e.cfg.ID }
+
+// Delivered returns the number of delivered blocks (== next seq to deliver).
+func (e *Engine) Delivered() uint64 { return e.delivered }
+
+// NextProposeSeq returns the sequence number the leader would assign next.
+func (e *Engine) NextProposeSeq() uint64 { return e.nextPropose }
+
+// InFlight returns the number of proposed-but-undelivered sequence numbers.
+func (e *Engine) InFlight() int { return int(e.nextPropose - e.nextDeliver) }
+
+// CanPropose reports whether the replica may propose now: it leads the
+// current view, is not mid view change, and the pipeline window has room.
+func (e *Engine) CanPropose() bool {
+	return !e.stopped && e.IsLeader() && !e.viewChanging && e.InFlight() < e.cfg.Window
+}
+
+// Stop halts the engine; all subsequent messages and timers are ignored.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Complain votes for a view change immediately — used by the censorship
+// detector when a leader keeps proposing blocks that omit an old pending
+// transaction (Sec. V-B's failure detector). Idempotent while a view
+// change for the next view is already in progress.
+func (e *Engine) Complain() {
+	if e.stopped || e.viewChanging {
+		return
+	}
+	e.startViewChange(e.view + 1)
+}
+
+// SetTarget declares that sequence numbers [0, target) are expected to be
+// delivered; while delivery lags the target a progress timer runs and a
+// view change fires on expiry. Used by the epoch layer to detect censoring
+// or crashed leaders.
+func (e *Engine) SetTarget(target uint64) {
+	if target > e.target {
+		e.target = target
+	}
+	e.resetProgressTimer()
+}
+
+// Propose submits a block as the next proposal. The caller must be the
+// current leader (checked); the block's SN must equal NextProposeSeq.
+func (e *Engine) Propose(b *types.Block) error {
+	if !e.CanPropose() {
+		return fmt.Errorf("pbft: replica %d cannot propose on instance %d (leader=%d viewChanging=%v inflight=%d)",
+			e.cfg.ID, e.cfg.Instance, e.Leader(), e.viewChanging, e.InFlight())
+	}
+	if b.SN != e.nextPropose {
+		return fmt.Errorf("pbft: proposal SN %d != next %d", b.SN, e.nextPropose)
+	}
+	e.nextPropose++
+	m := &PrePrepare{Instance: e.cfg.Instance, View: e.view, Seq: b.SN, Block: b}
+	e.tr.Broadcast(SizeOf(m, e.cfg.TxSize), m)
+	return nil
+}
+
+// Handle processes an incoming protocol message.
+func (e *Engine) Handle(from int, msg Message) {
+	if e.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case *PrePrepare:
+		e.onPrePrepare(from, m)
+	case *Prepare:
+		e.onPrepare(m)
+	case *Commit:
+		e.onCommit(m)
+	case *ViewChange:
+		e.onViewChange(m)
+	case *NewView:
+		e.onNewView(from, m)
+	}
+}
+
+func (e *Engine) slotFor(seq uint64) *slot {
+	s, ok := e.slots[seq]
+	if !ok {
+		s = newSlot(e.view)
+		e.slots[seq] = s
+	}
+	return s
+}
+
+func (e *Engine) onPrePrepare(from int, m *PrePrepare) {
+	if m.View != e.view || e.viewChanging {
+		return
+	}
+	if from != e.cfg.LeaderOf(m.View) {
+		return // only the leader proposes
+	}
+	if m.Seq < e.nextDeliver {
+		return // already delivered
+	}
+	s := e.slotFor(m.Seq)
+	if s.view != m.View {
+		return
+	}
+	if s.hasBlock {
+		return // first proposal wins; honest leaders do not equivocate
+	}
+	s.block = m.Block
+	s.digest = m.Block.Digest()
+	s.hasBlock = true
+	// Backups (and the leader itself) echo a prepare vote.
+	if !e.cfg.Mute {
+		p := &Prepare{Instance: e.cfg.Instance, View: m.View, Seq: m.Seq, Digest: s.digest, Replica: e.cfg.ID}
+		e.tr.Broadcast(SizeOf(p, e.cfg.TxSize), p)
+	}
+	e.advance(m.Seq)
+}
+
+func (e *Engine) onPrepare(m *Prepare) {
+	if m.View != e.view || e.viewChanging || m.Seq < e.nextDeliver {
+		return
+	}
+	s := e.slotFor(m.Seq)
+	if s.view != m.View {
+		return
+	}
+	if _, dup := s.prepares[m.Replica]; dup {
+		return
+	}
+	s.prepares[m.Replica] = m.Digest
+	e.advance(m.Seq)
+}
+
+func (e *Engine) onCommit(m *Commit) {
+	if m.View != e.view || e.viewChanging || m.Seq < e.nextDeliver {
+		return
+	}
+	s := e.slotFor(m.Seq)
+	if s.view != m.View {
+		return
+	}
+	if _, dup := s.commits[m.Replica]; dup {
+		return
+	}
+	s.commits[m.Replica] = m.Digest
+	e.advance(m.Seq)
+}
+
+// advance re-evaluates a slot's phase transitions after new evidence.
+func (e *Engine) advance(seq uint64) {
+	s, ok := e.slots[seq]
+	if !ok {
+		return
+	}
+	if s.hasBlock && !s.prepared {
+		// Prepared: pre-prepare + 2f matching prepares (the leader's own
+		// prepare counts as one of the 2f+1 total votes here since every
+		// replica broadcasts a prepare on accepting the proposal).
+		if countMatching(s.prepares, s.digest) >= e.cfg.Quorum() {
+			s.prepared = true
+			s.preparedView = s.view
+			s.preparedBlock = s.block
+			if !e.cfg.Mute {
+				c := &Commit{Instance: e.cfg.Instance, View: s.view, Seq: seq, Digest: s.digest, Replica: e.cfg.ID}
+				e.tr.Broadcast(SizeOf(c, e.cfg.TxSize), c)
+			}
+		}
+	}
+	if s.prepared && !s.committed {
+		if countMatching(s.commits, s.digest) >= e.cfg.Quorum() {
+			s.committed = true
+		}
+	}
+	e.tryDeliver()
+}
+
+func countMatching(votes map[int]types.BlockID, digest types.BlockID) int {
+	n := 0
+	for _, d := range votes {
+		if d == digest {
+			n++
+		}
+	}
+	return n
+}
+
+// tryDeliver delivers committed slots in sequence order.
+func (e *Engine) tryDeliver() {
+	for {
+		s, ok := e.slots[e.nextDeliver]
+		if !ok || !s.committed {
+			return
+		}
+		b := s.block
+		delete(e.slots, e.nextDeliver)
+		e.nextDeliver++
+		e.delivered++
+		if e.nextPropose < e.nextDeliver {
+			e.nextPropose = e.nextDeliver
+		}
+		e.timeoutMult = 1
+		e.resetProgressTimer()
+		if e.cfg.OnDeliver != nil {
+			e.cfg.OnDeliver(b)
+		}
+	}
+}
+
+// --- failure detection & view change ---
+
+func (e *Engine) resetProgressTimer() {
+	if e.progressTimer != nil {
+		e.progressTimer.Stop()
+		e.progressTimer = nil
+	}
+	if e.stopped || e.viewChanging || e.nextDeliver >= e.target {
+		return
+	}
+	d := e.cfg.Timeout * e.timeoutMult
+	e.progressTimer = e.sim.AfterTimer(d, func() {
+		if e.stopped || e.viewChanging || e.nextDeliver >= e.target {
+			return
+		}
+		e.startViewChange(e.view + 1)
+	})
+}
+
+// startViewChange broadcasts a view-change vote for newView.
+func (e *Engine) startViewChange(newView uint64) {
+	if newView <= e.view {
+		return
+	}
+	e.viewChanging = true
+	e.vcTarget = newView
+	if e.progressTimer != nil {
+		e.progressTimer.Stop()
+		e.progressTimer = nil
+	}
+	var prepared []PreparedEntry
+	for seq, s := range e.slots {
+		if seq >= e.nextDeliver && s.preparedBlock != nil {
+			prepared = append(prepared, PreparedEntry{Seq: seq, View: s.preparedView, Block: s.preparedBlock})
+		}
+	}
+	vc := &ViewChange{
+		Instance:  e.cfg.Instance,
+		NewView:   newView,
+		Replica:   e.cfg.ID,
+		Delivered: e.nextDeliver,
+		Prepared:  prepared,
+	}
+	if !e.cfg.Mute {
+		e.tr.Broadcast(SizeOf(vc, e.cfg.TxSize), vc)
+	} else {
+		// A muted replica still tracks its own intent locally.
+		e.onViewChange(vc)
+	}
+	// If the new view does not install in time, escalate further.
+	e.timeoutMult *= 2
+	if e.vcTimer != nil {
+		e.vcTimer.Stop()
+	}
+	e.vcTimer = e.sim.AfterTimer(e.cfg.Timeout*e.timeoutMult, func() {
+		if e.stopped || !e.viewChanging {
+			return
+		}
+		e.startViewChange(e.vcTarget + 1)
+	})
+}
+
+func (e *Engine) onViewChange(m *ViewChange) {
+	if m.NewView <= e.view {
+		return
+	}
+	votes, ok := e.vcVotes[m.NewView]
+	if !ok {
+		votes = make(map[int]*ViewChange)
+		e.vcVotes[m.NewView] = votes
+	}
+	if _, dup := votes[m.Replica]; dup {
+		return
+	}
+	votes[m.Replica] = m
+
+	// Join amplification: if f+1 replicas want a higher view, join them so
+	// a correct replica never lags a view change indefinitely.
+	if !e.viewChanging || m.NewView > e.vcTarget {
+		if len(votes) >= e.cfg.F+1 && m.NewView > e.view && (!e.viewChanging || m.NewView > e.vcTarget) {
+			e.startViewChange(m.NewView)
+		}
+	}
+
+	// New leader installs the view with a quorum of view-change votes.
+	if e.cfg.LeaderOf(m.NewView) == e.cfg.ID && len(votes) >= e.cfg.Quorum() && !e.cfg.Mute {
+		e.sendNewView(m.NewView, votes)
+	}
+}
+
+// sendNewView assembles re-proposals from the collected view changes: for
+// each undecided sequence number, the prepared block from the highest view
+// wins; gaps are filled with no-op blocks.
+func (e *Engine) sendNewView(view uint64, votes map[int]*ViewChange) {
+	minDelivered := ^uint64(0)
+	maxSeq := uint64(0)
+	havePrepared := make(map[uint64]PreparedEntry)
+	for _, vc := range votes {
+		if vc.Delivered < minDelivered {
+			minDelivered = vc.Delivered
+		}
+		if vc.Delivered > maxSeq {
+			maxSeq = vc.Delivered
+		}
+		for _, p := range vc.Prepared {
+			if p.Seq+1 > maxSeq {
+				maxSeq = p.Seq + 1
+			}
+			if prev, ok := havePrepared[p.Seq]; !ok || p.View > prev.View {
+				havePrepared[p.Seq] = p
+			}
+		}
+	}
+	if minDelivered == ^uint64(0) {
+		minDelivered = 0
+	}
+	nv := &NewView{Instance: e.cfg.Instance, View: view}
+	for seq := minDelivered; seq < maxSeq; seq++ {
+		var b *types.Block
+		if p, ok := havePrepared[seq]; ok {
+			b = p.Block
+		} else {
+			b = e.cfg.MakeNoop(seq)
+		}
+		nv.Reproposals = append(nv.Reproposals, &PrePrepare{
+			Instance: e.cfg.Instance, View: view, Seq: seq, Block: b,
+		})
+	}
+	e.tr.Broadcast(SizeOf(nv, e.cfg.TxSize), nv)
+}
+
+func (e *Engine) onNewView(from int, m *NewView) {
+	if m.View <= e.view {
+		return
+	}
+	if from != e.cfg.LeaderOf(m.View) {
+		return
+	}
+	// Install the new view: reset undecided slots and replay re-proposals.
+	e.view = m.View
+	e.viewChanging = false
+	if e.vcTimer != nil {
+		e.vcTimer.Stop()
+		e.vcTimer = nil
+	}
+	for seq := range e.slots {
+		if seq >= e.nextDeliver {
+			// Preserve the local prepared certificate (safety across views)
+			// while resetting vote state for the new view.
+			old := e.slots[seq]
+			s := newSlot(m.View)
+			s.preparedView = old.preparedView
+			s.preparedBlock = old.preparedBlock
+			e.slots[seq] = s
+		}
+	}
+	// Clean up stale view-change votes.
+	for v := range e.vcVotes {
+		if v <= e.view {
+			delete(e.vcVotes, v)
+		}
+	}
+	maxSeq := e.nextDeliver
+	for _, pp := range m.Reproposals {
+		if pp.Seq+1 > maxSeq {
+			maxSeq = pp.Seq + 1
+		}
+		e.onPrePrepare(from, pp)
+	}
+	if e.nextPropose < maxSeq {
+		e.nextPropose = maxSeq
+	}
+	e.resetProgressTimer()
+	if e.cfg.OnViewChange != nil {
+		e.cfg.OnViewChange(e.view, e.Leader())
+	}
+}

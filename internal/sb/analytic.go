@@ -1,0 +1,207 @@
+// Package sb provides an analytic sequenced-broadcast implementation: a
+// drop-in replacement for message-level PBFT that computes each replica's
+// delivery time for a block in closed form from the network's deterministic
+// latency matrix, instead of simulating the O(n^2) prepare/commit traffic.
+//
+// Why: a figure-3 style sweep runs 6 protocols x {8..128} replicas with
+// m = n instances; at n = 128 each block costs ~33k message events, which
+// makes message-level simulation infeasible on a laptop. The analytic model
+// schedules exactly n delivery events per block while reproducing PBFT's
+// timing: pre-prepare dissemination, a 2f+1 prepare quorum, and a 2f+1
+// commit quorum, all over the same latency matrix (including straggler
+// out-scaling). It is validated against the message-level engine in
+// analytic_test.go.
+//
+// Limitations (by design): no view changes and no Byzantine behavior — the
+// large-scale experiments that use it (Figs. 3 and 4) run fault-free with
+// at most a straggler, which is slow but correct. Fault experiments
+// (Figs. 7 and 8) use message-level PBFT at n = 16.
+package sb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// Config parameterizes one analytic SB instance (shared by all replicas).
+type Config struct {
+	N        int // replicas
+	F        int // fault threshold
+	Instance int // SB instance index
+	Window   int // pipelined proposals
+	TxSize   int // modeled per-transaction wire size
+	CtrlSize int // vote message size
+	// BlockOverhead is the fixed per-block wire overhead.
+	BlockOverhead int
+}
+
+// Instance is the shared state of one analytic SB instance. Each replica
+// holds a *Port into it; the leader's port proposes, every port delivers.
+type Instance struct {
+	cfg    Config
+	sim    *simnet.Sim
+	nw     *simnet.Network
+	leader int
+	nextSN uint64
+
+	ports       []*Port
+	lastDeliver []simnet.Time // per replica, to enforce in-order delivery
+
+	// Scratch buffers reused across proposals.
+	arrive    []simnet.Time
+	prepared  []simnet.Time
+	committed []simnet.Time
+	tmp       []simnet.Time
+}
+
+// NewInstance creates the shared instance. The initial (and, in this
+// implementation, permanent) leader of instance i is replica i mod n.
+func NewInstance(cfg Config, sim *simnet.Sim, nw *simnet.Network) *Instance {
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	if cfg.TxSize <= 0 {
+		cfg.TxSize = 500
+	}
+	if cfg.CtrlSize <= 0 {
+		cfg.CtrlSize = 96
+	}
+	if cfg.BlockOverhead <= 0 {
+		cfg.BlockOverhead = 160
+	}
+	inst := &Instance{
+		cfg:         cfg,
+		sim:         sim,
+		nw:          nw,
+		leader:      cfg.Instance % cfg.N,
+		ports:       make([]*Port, cfg.N),
+		lastDeliver: make([]simnet.Time, cfg.N),
+		arrive:      make([]simnet.Time, cfg.N),
+		prepared:    make([]simnet.Time, cfg.N),
+		committed:   make([]simnet.Time, cfg.N),
+		tmp:         make([]simnet.Time, cfg.N),
+	}
+	for i := range inst.ports {
+		inst.ports[i] = &Port{inst: inst, id: i}
+	}
+	return inst
+}
+
+// Port returns replica id's view of the instance. The caller installs the
+// delivery callback before the first proposal.
+func (inst *Instance) Port(id int, deliver func(*types.Block)) *Port {
+	p := inst.ports[id]
+	p.deliver = deliver
+	return p
+}
+
+// propose computes per-replica delivery times for a block proposed now and
+// schedules the delivery events.
+func (inst *Instance) propose(b *types.Block) {
+	n, f := inst.cfg.N, inst.cfg.F
+	quorum := 2*f + 1
+	t0 := inst.sim.Now()
+	blockSize := inst.cfg.BlockOverhead + len(b.Txs)*inst.cfg.TxSize
+	ctrl := inst.cfg.CtrlSize
+
+	// Pre-prepare dissemination from the leader.
+	for i := 0; i < n; i++ {
+		inst.arrive[i] = t0 + simnet.Time(inst.nw.BaseDelay(inst.leader, i, blockSize))
+	}
+	// Prepared at j: pre-prepare arrived and a quorum of prepares arrived.
+	// Replica i broadcasts its prepare the moment the pre-prepare reaches
+	// it; the vote from i reaches j after the (i,j) control delay.
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			inst.tmp[i] = inst.arrive[i] + simnet.Time(inst.nw.BaseDelay(i, j, ctrl))
+		}
+		sort.Slice(inst.tmp, func(a, b int) bool { return inst.tmp[a] < inst.tmp[b] })
+		p := inst.tmp[quorum-1]
+		if inst.arrive[j] > p {
+			p = inst.arrive[j]
+		}
+		inst.prepared[j] = p
+	}
+	// Committed at j: prepared and a quorum of commits arrived; replica i
+	// broadcasts its commit the moment it is prepared.
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			inst.tmp[i] = inst.prepared[i] + simnet.Time(inst.nw.BaseDelay(i, j, ctrl))
+		}
+		sort.Slice(inst.tmp, func(a, b int) bool { return inst.tmp[a] < inst.tmp[b] })
+		c := inst.tmp[quorum-1]
+		if inst.prepared[j] > c {
+			c = inst.prepared[j]
+		}
+		inst.committed[j] = c
+	}
+	// Schedule in-order deliveries.
+	for j := 0; j < n; j++ {
+		j := j
+		at := inst.committed[j]
+		if at <= inst.lastDeliver[j] {
+			at = inst.lastDeliver[j] + 1
+		}
+		inst.lastDeliver[j] = at
+		port := inst.ports[j]
+		inst.sim.At(at, func() {
+			if port.stopped || port.deliver == nil {
+				return
+			}
+			port.delivered++
+			port.deliver(b)
+		})
+	}
+}
+
+// Port is one replica's handle on an analytic SB instance; it implements
+// the core.SB interface structurally.
+type Port struct {
+	inst      *Instance
+	id        int
+	deliver   func(*types.Block)
+	delivered uint64
+	stopped   bool
+}
+
+// CanPropose implements core.SB.
+func (p *Port) CanPropose() bool {
+	return !p.stopped && p.id == p.inst.leader &&
+		int(p.inst.nextSN-p.delivered) < p.inst.cfg.Window
+}
+
+// NextProposeSeq implements core.SB.
+func (p *Port) NextProposeSeq() uint64 { return p.inst.nextSN }
+
+// Propose implements core.SB.
+func (p *Port) Propose(b *types.Block) error {
+	if !p.CanPropose() {
+		return fmt.Errorf("sb: replica %d cannot propose on instance %d", p.id, p.inst.cfg.Instance)
+	}
+	if b.SN != p.inst.nextSN {
+		return fmt.Errorf("sb: proposal SN %d != next %d", b.SN, p.inst.nextSN)
+	}
+	p.inst.nextSN++
+	p.inst.propose(b)
+	return nil
+}
+
+// SetTarget implements core.SB. The analytic instance has no failure
+// detector (it is used only in fault-free large-scale runs), so this is a
+// no-op.
+func (p *Port) SetTarget(uint64) {}
+
+// IsLeader implements core.SB.
+func (p *Port) IsLeader() bool { return p.id == p.inst.leader }
+
+// Leader implements core.SB.
+func (p *Port) Leader() int { return p.inst.leader }
+
+// View implements core.SB: the analytic instance never changes views.
+func (p *Port) View() uint64 { return 0 }
+
+// Stop implements core.SB.
+func (p *Port) Stop() { p.stopped = true }

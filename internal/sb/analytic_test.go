@@ -1,0 +1,257 @@
+package sb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pbft"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+func mkBlock(instance int, sn uint64, ntx int) *types.Block {
+	b := &types.Block{Instance: instance, SN: sn}
+	for j := 0; j < ntx; j++ {
+		b.Txs = append(b.Txs, *types.NewPayment("alice", "bob", 1, sn*1000+uint64(j)))
+	}
+	return b
+}
+
+func TestAnalyticDeliversInOrderToAll(t *testing.T) {
+	sim := simnet.New(1)
+	nw := simnet.NewNetwork(sim, 4, simnet.FixedModel{D: 10 * time.Millisecond})
+	inst := NewInstance(Config{N: 4, F: 1, Instance: 0}, sim, nw)
+	got := make([][]uint64, 4)
+	ports := make([]*Port, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		ports[i] = inst.Port(i, func(b *types.Block) { got[i] = append(got[i], b.SN) })
+	}
+	for sn := uint64(0); sn < 3; sn++ {
+		if err := ports[0].Propose(mkBlock(0, sn, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.RunAll(0)
+	for i, seq := range got {
+		if len(seq) != 3 {
+			t.Fatalf("replica %d delivered %d", i, len(seq))
+		}
+		for sn, v := range seq {
+			if v != uint64(sn) {
+				t.Fatalf("replica %d out of order: %v", i, seq)
+			}
+		}
+	}
+}
+
+func TestAnalyticOnlyLeaderProposes(t *testing.T) {
+	sim := simnet.New(1)
+	nw := simnet.NewNetwork(sim, 4, simnet.FixedModel{D: time.Millisecond})
+	inst := NewInstance(Config{N: 4, F: 1, Instance: 2}, sim, nw)
+	p0 := inst.Port(0, func(*types.Block) {})
+	p2 := inst.Port(2, func(*types.Block) {})
+	if p0.IsLeader() || !p2.IsLeader() {
+		t.Fatal("instance 2 must be led by replica 2")
+	}
+	if err := p0.Propose(mkBlock(2, 0, 0)); err == nil {
+		t.Fatal("non-leader proposal accepted")
+	}
+	if err := p2.Propose(mkBlock(2, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyticWindowBackpressure(t *testing.T) {
+	sim := simnet.New(1)
+	nw := simnet.NewNetwork(sim, 4, simnet.FixedModel{D: time.Millisecond})
+	inst := NewInstance(Config{N: 4, F: 1, Instance: 0, Window: 2}, sim, nw)
+	var p *Port
+	for i := 0; i < 4; i++ {
+		port := inst.Port(i, func(*types.Block) {})
+		if i == 0 {
+			p = port
+		}
+	}
+	if err := p.Propose(mkBlock(0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Propose(mkBlock(0, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if p.CanPropose() {
+		t.Fatal("window overrun allowed")
+	}
+	sim.RunAll(0)
+	if !p.CanPropose() {
+		t.Fatal("window did not drain after delivery")
+	}
+}
+
+// TestAnalyticMatchesMessageLevelPBFT is the validation experiment promised
+// in DESIGN.md: with the same deterministic latency model, the analytic
+// delivery times must equal message-level PBFT's delivery times exactly.
+func TestAnalyticMatchesMessageLevelPBFT(t *testing.T) {
+	const n, f = 7, 2
+	model := simnet.FixedModel{D: 15 * time.Millisecond}
+
+	// Message-level PBFT run.
+	simA := simnet.New(1)
+	nwA := simnet.NewNetwork(simA, n, model)
+	pbftTimes := make([]simnet.Time, 0, n)
+	engines := make([]*pbft.Engine, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cfg := pbft.Config{N: n, F: f, ID: i, Instance: 0, Timeout: time.Hour,
+			OnDeliver: func(b *types.Block) { pbftTimes = append(pbftTimes, simA.Now()) }}
+		engines[i] = pbft.New(cfg, &loopTransport{nw: nwA, id: i}, simA)
+		nwA.Register(i, func(from int, msg any) { engines[i].Handle(from, msg.(pbft.Message)) })
+	}
+	if err := engines[0].Propose(mkBlock(0, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	simA.RunAll(0)
+	if len(pbftTimes) != n {
+		t.Fatalf("pbft delivered at %d replicas", len(pbftTimes))
+	}
+
+	// Analytic run over an identical network.
+	simB := simnet.New(1)
+	nwB := simnet.NewNetwork(simB, n, model)
+	inst := NewInstance(Config{N: n, F: f, Instance: 0}, simB, nwB)
+	anaTimes := make([]simnet.Time, 0, n)
+	var leader *Port
+	for i := 0; i < n; i++ {
+		port := inst.Port(i, func(b *types.Block) { anaTimes = append(anaTimes, simB.Now()) })
+		if i == 0 {
+			leader = port
+		}
+	}
+	if err := leader.Propose(mkBlock(0, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	simB.RunAll(0)
+	if len(anaTimes) != n {
+		t.Fatalf("analytic delivered at %d replicas", len(anaTimes))
+	}
+
+	// With a uniform fixed delay all replicas deliver at the same time in
+	// both systems; compare the full sorted vectors.
+	for i := range pbftTimes {
+		if pbftTimes[i] != anaTimes[i] {
+			t.Fatalf("delivery %d: pbft %v vs analytic %v", i, pbftTimes[i], anaTimes[i])
+		}
+	}
+}
+
+// TestAnalyticMatchesPBFTOnWAN compares delivery times under the real WAN
+// matrix (jitter disabled for exact comparison).
+func TestAnalyticMatchesPBFTOnWAN(t *testing.T) {
+	const n, f = 8, 2
+	wan := simnet.NewWAN()
+	wan.JitterFrac = 0 // deterministic for exact comparison
+
+	simA := simnet.New(1)
+	nwA := simnet.NewNetwork(simA, n, wan)
+	pbftTimes := make(map[int]simnet.Time, n)
+	engines := make([]*pbft.Engine, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cfg := pbft.Config{N: n, F: f, ID: i, Instance: 0, Timeout: time.Hour,
+			OnDeliver: func(b *types.Block) { pbftTimes[i] = simA.Now() }}
+		engines[i] = pbft.New(cfg, &loopTransport{nw: nwA, id: i}, simA)
+		nwA.Register(i, func(from int, msg any) { engines[i].Handle(from, msg.(pbft.Message)) })
+	}
+	if err := engines[0].Propose(mkBlock(0, 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	simA.RunAll(0)
+
+	simB := simnet.New(1)
+	nwB := simnet.NewNetwork(simB, n, wan)
+	inst := NewInstance(Config{N: n, F: f, Instance: 0}, simB, nwB)
+	anaTimes := make(map[int]simnet.Time, n)
+	var leader *Port
+	for i := 0; i < n; i++ {
+		i := i
+		port := inst.Port(i, func(b *types.Block) { anaTimes[i] = simB.Now() })
+		if i == 0 {
+			leader = port
+		}
+	}
+	if err := leader.Propose(mkBlock(0, 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	simB.RunAll(0)
+
+	for i := 0; i < n; i++ {
+		if pbftTimes[i] != anaTimes[i] {
+			t.Fatalf("replica %d: pbft %v vs analytic %v", i, pbftTimes[i], anaTimes[i])
+		}
+	}
+}
+
+func TestAnalyticStragglerSlowsOwnInstanceOnly(t *testing.T) {
+	const n, f = 4, 1
+	model := simnet.FixedModel{D: 10 * time.Millisecond}
+	run := func(straggle bool) simnet.Time {
+		sim := simnet.New(1)
+		nw := simnet.NewNetwork(sim, n, model)
+		if straggle {
+			nw.SetOutScale(0, 10)
+		}
+		inst := NewInstance(Config{N: n, F: f, Instance: 0}, sim, nw)
+		var last simnet.Time
+		var leader *Port
+		for i := 0; i < n; i++ {
+			port := inst.Port(i, func(b *types.Block) { last = sim.Now() })
+			if i == 0 {
+				leader = port
+			}
+		}
+		if err := leader.Propose(mkBlock(0, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		sim.RunAll(0)
+		return last
+	}
+	normal, slow := run(false), run(true)
+	if slow <= normal {
+		t.Fatalf("straggler leader did not slow delivery: %v vs %v", slow, normal)
+	}
+}
+
+func TestAnalyticStoppedPortDoesNotDeliver(t *testing.T) {
+	sim := simnet.New(1)
+	nw := simnet.NewNetwork(sim, 4, simnet.FixedModel{D: time.Millisecond})
+	inst := NewInstance(Config{N: 4, F: 1, Instance: 0}, sim, nw)
+	count := 0
+	var leader *Port
+	var victim *Port
+	for i := 0; i < 4; i++ {
+		port := inst.Port(i, func(b *types.Block) { count++ })
+		switch i {
+		case 0:
+			leader = port
+		case 3:
+			victim = port
+		}
+	}
+	victim.Stop()
+	if err := leader.Propose(mkBlock(0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunAll(0)
+	if count != 3 {
+		t.Fatalf("delivered to %d replicas, want 3 (one stopped)", count)
+	}
+}
+
+// loopTransport adapts simnet to pbft.Transport for the comparison tests.
+type loopTransport struct {
+	nw *simnet.Network
+	id int
+}
+
+func (t *loopTransport) Broadcast(size int, msg pbft.Message) { t.nw.Broadcast(t.id, size, msg) }
+func (t *loopTransport) Send(to, size int, msg pbft.Message)  { t.nw.Send(t.id, to, size, msg) }

@@ -1,0 +1,113 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LatencyModel computes the one-way delay of a message of the given size
+// from node `from` to node `to`. Implementations may draw jitter from rng.
+type LatencyModel interface {
+	Delay(from, to, size int, rng *rand.Rand) time.Duration
+	// Base returns the deterministic component (no jitter) of the delay;
+	// the analytic sequenced-broadcast layer uses it for closed-form quorum
+	// time computation.
+	Base(from, to, size int) time.Duration
+}
+
+// GeoModel models a geo-distributed deployment: nodes are assigned
+// round-robin to regions; delay = inter-region base RTT/2 + serialization
+// time at the bandwidth + small jitter. It reproduces the paper's 4-region
+// WAN (France, US, Australia, Tokyo) and its 1 Gbps LAN.
+type GeoModel struct {
+	// RegionOf maps a node index to a region index.
+	RegionOf func(node int) int
+	// BaseLatency[i][j] is the one-way propagation delay region i -> j.
+	BaseLatency [][]time.Duration
+	// BandwidthBps is the per-link bandwidth in bits per second; a message
+	// of size bytes adds size*8/BandwidthBps of serialization delay.
+	BandwidthBps float64
+	// JitterFrac is the max uniform jitter as a fraction of base latency.
+	JitterFrac float64
+	// LocalDelay is the delay for self-sends and intra-process handoff.
+	LocalDelay time.Duration
+}
+
+// Base implements LatencyModel.
+func (g *GeoModel) Base(from, to, size int) time.Duration {
+	var base time.Duration
+	if from == to {
+		base = g.LocalDelay
+	} else {
+		base = g.BaseLatency[g.RegionOf(from)][g.RegionOf(to)]
+		if base == 0 {
+			base = g.LocalDelay
+		}
+	}
+	if g.BandwidthBps > 0 && size > 0 {
+		base += time.Duration(float64(size) * 8 / g.BandwidthBps * float64(time.Second))
+	}
+	return base
+}
+
+// Delay implements LatencyModel.
+func (g *GeoModel) Delay(from, to, size int, rng *rand.Rand) time.Duration {
+	base := g.Base(from, to, size)
+	if g.JitterFrac > 0 && rng != nil {
+		base += time.Duration(rng.Float64() * g.JitterFrac * float64(base))
+	}
+	return base
+}
+
+// wanRTT holds measured-ish RTTs (ms) between the paper's four regions:
+// 0 France (eu-west-3), 1 US (us-east-1), 2 Australia (ap-southeast-2),
+// 3 Tokyo (ap-northeast-1). One-way delay is RTT/2.
+var wanRTT = [4][4]float64{
+	{0, 80, 280, 230},
+	{80, 0, 200, 150},
+	{280, 200, 0, 110},
+	{230, 150, 110, 0},
+}
+
+// NewWAN returns the paper's WAN profile: nodes spread round-robin over the
+// four regions, 1 Gbps links, 5% jitter.
+func NewWAN() *GeoModel {
+	base := make([][]time.Duration, 4)
+	for i := range base {
+		base[i] = make([]time.Duration, 4)
+		for j := range base[i] {
+			base[i][j] = time.Duration(wanRTT[i][j] / 2 * float64(time.Millisecond))
+		}
+	}
+	return &GeoModel{
+		RegionOf:     func(node int) int { return node % 4 },
+		BaseLatency:  base,
+		BandwidthBps: 1e9,
+		JitterFrac:   0.05,
+		LocalDelay:   50 * time.Microsecond,
+	}
+}
+
+// NewLAN returns the paper's LAN profile: a single site with sub-millisecond
+// latency and 1 Gbps links.
+func NewLAN() *GeoModel {
+	base := [][]time.Duration{{500 * time.Microsecond}}
+	return &GeoModel{
+		RegionOf:     func(node int) int { return 0 },
+		BaseLatency:  base,
+		BandwidthBps: 1e9,
+		JitterFrac:   0.05,
+		LocalDelay:   50 * time.Microsecond,
+	}
+}
+
+// FixedModel is a trivially uniform latency model for unit tests.
+type FixedModel struct {
+	D time.Duration
+}
+
+// Base implements LatencyModel.
+func (f FixedModel) Base(from, to, size int) time.Duration { return f.D }
+
+// Delay implements LatencyModel.
+func (f FixedModel) Delay(from, to, size int, rng *rand.Rand) time.Duration { return f.D }

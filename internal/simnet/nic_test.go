@@ -1,0 +1,111 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNICSerializationDelay(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, 2, FixedModel{D: 10 * time.Millisecond})
+	nw.SetNICBps(1e9) // 1 Gbps
+	var at Time
+	nw.Register(0, func(from int, msg any) {})
+	nw.Register(1, func(from int, msg any) { at = s.Now() })
+	// 1 MB message: 8 ms egress + 10 ms propagation + 8 ms ingress = 26 ms.
+	nw.Send(0, 1, 1_000_000, "big")
+	s.RunAll(0)
+	want := Time(26 * time.Millisecond)
+	if at < want-Time(time.Millisecond) || at > want+Time(time.Millisecond) {
+		t.Fatalf("delivery at %v, want ~%v", at, want)
+	}
+}
+
+func TestNICEgressQueueing(t *testing.T) {
+	// Two large messages from one sender must serialize on its egress link:
+	// the second starts transmitting only after the first finishes.
+	s := New(1)
+	nw := NewNetwork(s, 3, FixedModel{D: time.Millisecond})
+	nw.SetNICBps(1e9)
+	var times []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		nw.Register(i, func(from int, msg any) {
+			if i != 0 {
+				times = append(times, s.Now())
+			}
+		})
+	}
+	nw.Send(0, 1, 1_000_000, "a") // 8 ms egress
+	nw.Send(0, 2, 1_000_000, "b") // waits for a's egress
+	s.RunAll(0)
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	gap := times[1] - times[0]
+	if gap < Time(7*time.Millisecond) {
+		t.Fatalf("second message not serialized behind first: gap %v", gap)
+	}
+}
+
+func TestNICIngressQueueing(t *testing.T) {
+	// Two senders converging on one receiver share its ingress link.
+	s := New(1)
+	nw := NewNetwork(s, 3, FixedModel{D: time.Millisecond})
+	nw.SetNICBps(1e9)
+	var times []Time
+	nw.Register(0, func(from int, msg any) {})
+	nw.Register(1, func(from int, msg any) {})
+	nw.Register(2, func(from int, msg any) { times = append(times, s.Now()) })
+	nw.Send(0, 2, 1_000_000, "a")
+	nw.Send(1, 2, 1_000_000, "b")
+	s.RunAll(0)
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	if gap := times[1] - times[0]; gap < Time(7*time.Millisecond) {
+		t.Fatalf("ingress not shared: gap %v", gap)
+	}
+}
+
+func TestNICSelfSendBypassesQueues(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, 1, FixedModel{D: time.Millisecond})
+	nw.SetNICBps(1e9)
+	var at Time
+	nw.Register(0, func(from int, msg any) { at = s.Now() })
+	nw.Send(0, 0, 1_000_000, "self")
+	s.RunAll(0)
+	if at != Time(time.Millisecond) {
+		t.Fatalf("self-send delayed by NIC: %v", at)
+	}
+}
+
+func TestNICSmallMessagesCheap(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, 2, FixedModel{D: 10 * time.Millisecond})
+	nw.SetNICBps(1e9)
+	var at Time
+	nw.Register(0, func(from int, msg any) {})
+	nw.Register(1, func(from int, msg any) { at = s.Now() })
+	nw.Send(0, 1, 100, "small") // 0.8 us x2 — negligible
+	s.RunAll(0)
+	if at > Time(10*time.Millisecond+10*time.Microsecond) {
+		t.Fatalf("small message overcharged: %v", at)
+	}
+}
+
+func TestBaseDelayDeterministicAndScaled(t *testing.T) {
+	s := New(1)
+	wan := NewWAN()
+	nw := NewNetwork(s, 8, wan)
+	d1 := nw.BaseDelay(0, 2, 500)
+	d2 := nw.BaseDelay(0, 2, 500)
+	if d1 != d2 {
+		t.Fatal("BaseDelay nondeterministic")
+	}
+	nw.SetOutScale(0, 10)
+	if nw.BaseDelay(0, 2, 500) != 10*d1 {
+		t.Fatal("BaseDelay ignores straggler scaling")
+	}
+}

@@ -1,0 +1,316 @@
+// Package simnet is a deterministic discrete-event network simulator. It
+// substitutes for the paper's AWS WAN/LAN deployment: replicas are
+// event-driven state machines, messages are events scheduled on a virtual
+// clock with delays drawn from a configurable latency model (4-region WAN
+// or single-site LAN), and fault/straggler injection perturbs delivery.
+//
+// Determinism: events at equal virtual times are processed in scheduling
+// order (a monotone sequence number breaks ties), and all randomness flows
+// through a seeded generator, so every experiment is exactly reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time in nanoseconds since simulation start.
+type Time int64
+
+// Duration re-exports time.Duration for readability at call sites.
+type Duration = time.Duration
+
+// String formats the virtual time as a duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns the time in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a min-heap over (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is the discrete-event engine.
+type Sim struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	rng    *rand.Rand
+	events uint64 // total events processed, for accounting
+}
+
+// New creates a simulator with a seeded deterministic RNG.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand exposes the simulation RNG (single-threaded by construction).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// EventsProcessed returns the number of events executed so far.
+func (s *Sim) EventsProcessed() uint64 { return s.events }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (s *Sim) After(d Duration, fn func()) { s.At(s.now+Time(d), fn) }
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	stopped bool
+}
+
+// Stop cancels the timer; the callback will not run.
+func (t *Timer) Stop() { t.stopped = true }
+
+// Stopped reports whether the timer was cancelled.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+// AfterTimer schedules fn after d and returns a handle that can cancel it.
+func (s *Sim) AfterTimer(d Duration, fn func()) *Timer {
+	t := &Timer{}
+	s.After(d, func() {
+		if !t.stopped {
+			fn()
+		}
+	})
+	return t
+}
+
+// Step executes the next event. It returns false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.events++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or virtual time exceeds until.
+func (s *Sim) Run(until Time) {
+	for len(s.queue) > 0 && s.queue[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll executes events until the queue drains or maxEvents is reached;
+// maxEvents <= 0 means no limit. It returns the number of events executed.
+func (s *Sim) RunAll(maxEvents uint64) uint64 {
+	start := s.events
+	for len(s.queue) > 0 {
+		if maxEvents > 0 && s.events-start >= maxEvents {
+			break
+		}
+		s.Step()
+	}
+	return s.events - start
+}
+
+// Handler consumes a message delivered to a node.
+type Handler func(from int, msg any)
+
+// Network delivers messages between registered nodes over a latency model.
+type Network struct {
+	sim      *Sim
+	model    LatencyModel
+	handlers []Handler
+	// outScale multiplies all delays for messages *sent by* a node; used to
+	// model a straggler whose instance runs 10x slower (Sec. VII-A).
+	outScale []float64
+	// down marks crashed nodes: they neither send nor receive.
+	down []bool
+	// dropRate is the probability a message is lost (0 by default; GST
+	// behavior is modeled as dropRate 0).
+	dropRate float64
+	// nicBps, when > 0, enables the NIC store-and-forward model: each node
+	// has one egress and one ingress link of this bandwidth (bits/s) shared
+	// by all its traffic. This is what makes throughput saturate under load
+	// the way the paper's 1 Gbps interfaces do.
+	nicBps      float64
+	egressFree  []Time
+	ingressFree []Time
+	// Stats
+	msgs  uint64
+	bytes uint64
+}
+
+// NewNetwork creates a network for n nodes over the given latency model.
+func NewNetwork(sim *Sim, n int, model LatencyModel) *Network {
+	return &Network{
+		sim:      sim,
+		model:    model,
+		handlers: make([]Handler, n),
+		outScale: onesVec(n),
+		down:     make([]bool, n),
+	}
+}
+
+func onesVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Sim returns the underlying simulator.
+func (nw *Network) Sim() *Sim { return nw.sim }
+
+// Size returns the number of nodes.
+func (nw *Network) Size() int { return len(nw.handlers) }
+
+// Register installs the message handler for node id.
+func (nw *Network) Register(id int, h Handler) {
+	if id < 0 || id >= len(nw.handlers) {
+		panic(fmt.Sprintf("simnet: register node %d out of range [0,%d)", id, len(nw.handlers)))
+	}
+	nw.handlers[id] = h
+}
+
+// SetOutScale sets the outgoing-delay multiplier of a node (straggler
+// modeling: scale > 1 slows everything the node sends).
+func (nw *Network) SetOutScale(id int, scale float64) { nw.outScale[id] = scale }
+
+// OutScale returns the outgoing-delay multiplier of a node.
+func (nw *Network) OutScale(id int) float64 { return nw.outScale[id] }
+
+// SetDown marks a node crashed (true) or recovered (false).
+func (nw *Network) SetDown(id int, down bool) { nw.down[id] = down }
+
+// Down reports whether a node is crashed.
+func (nw *Network) Down(id int) bool { return nw.down[id] }
+
+// SetDropRate sets the uniform message-loss probability.
+func (nw *Network) SetDropRate(p float64) { nw.dropRate = p }
+
+// Messages returns the count of messages delivered.
+func (nw *Network) Messages() uint64 { return nw.msgs }
+
+// Bytes returns the total payload bytes delivered.
+func (nw *Network) Bytes() uint64 { return nw.bytes }
+
+// SetNICBps enables the shared-NIC model with the given per-node bandwidth
+// in bits per second (0 disables it). When enabled, the latency model
+// should not also charge serialization time (set its BandwidthBps to 0).
+func (nw *Network) SetNICBps(bps float64) {
+	nw.nicBps = bps
+	if bps > 0 && nw.egressFree == nil {
+		nw.egressFree = make([]Time, len(nw.handlers))
+		nw.ingressFree = make([]Time, len(nw.handlers))
+	}
+}
+
+// Delay returns the modeled propagation delay for a message of size bytes
+// from -> to, including the sender's straggler scaling (NIC queueing is
+// applied separately in Send). Exposed for the analytic SB.
+func (nw *Network) Delay(from, to, size int) Duration {
+	d := nw.model.Delay(from, to, size, nw.sim.rng)
+	return Duration(float64(d) * nw.outScale[from])
+}
+
+// BaseDelay returns the deterministic (jitter-free) delay for a message of
+// size bytes from -> to, including the sender's straggler scaling. The
+// analytic sequenced-broadcast layer uses it for closed-form quorum times.
+func (nw *Network) BaseDelay(from, to, size int) Duration {
+	d := nw.model.Base(from, to, size)
+	return Duration(float64(d) * nw.outScale[from])
+}
+
+// serTime returns the time to push size bytes through one NIC link.
+func (nw *Network) serTime(size int) Time {
+	return Time(float64(size) * 8 / nw.nicBps * 1e9)
+}
+
+// Send delivers msg of the given size from -> to after the modeled delay.
+// With the NIC model enabled, the message first queues on the sender's
+// egress link, propagates, then queues on the receiver's ingress link.
+// Self-sends are delivered with the model's local delay.
+func (nw *Network) Send(from, to, size int, msg any) {
+	if nw.down[from] || nw.down[to] {
+		return
+	}
+	if nw.dropRate > 0 && nw.sim.rng.Float64() < nw.dropRate {
+		return
+	}
+	prop := nw.Delay(from, to, size)
+	var deliverAt Time
+	if nw.nicBps > 0 && from != to {
+		ser := nw.serTime(size)
+		start := nw.sim.now
+		if nw.egressFree[from] > start {
+			start = nw.egressFree[from]
+		}
+		sent := start + ser
+		nw.egressFree[from] = sent
+		arrive := sent + Time(prop)
+		recvStart := arrive
+		if nw.ingressFree[to] > recvStart {
+			recvStart = nw.ingressFree[to]
+		}
+		deliverAt = recvStart + ser
+		nw.ingressFree[to] = deliverAt
+	} else {
+		deliverAt = nw.sim.now + Time(prop)
+	}
+	nw.sim.At(deliverAt, func() {
+		if nw.down[to] || nw.handlers[to] == nil {
+			return
+		}
+		nw.msgs++
+		nw.bytes += uint64(size)
+		nw.handlers[to](from, msg)
+	})
+}
+
+// Broadcast sends msg from -> every node including the sender itself
+// (protocols typically self-deliver).
+func (nw *Network) Broadcast(from, size int, msg any) {
+	for to := range nw.handlers {
+		nw.Send(from, to, size, msg)
+	}
+}

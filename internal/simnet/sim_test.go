@@ -1,0 +1,263 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(3*time.Millisecond, func() { got = append(got, 3) })
+	s.After(1*time.Millisecond, func() { got = append(got, 1) })
+	s.After(2*time.Millisecond, func() { got = append(got, 2) })
+	s.RunAll(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != Time(3*time.Millisecond) {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.RunAll(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	s.After(time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.After(time.Millisecond, func() { fired = append(fired, s.Now()) })
+	})
+	s.RunAll(0)
+	if len(fired) != 2 || fired[1] != Time(2*time.Millisecond) {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.Run(Time(5 * time.Second))
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.AfterTimer(time.Millisecond, func() { fired = true })
+	tm.Stop()
+	s.RunAll(0)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if !tm.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+}
+
+func TestSchedulePastClamps(t *testing.T) {
+	s := New(1)
+	s.After(time.Second, func() {
+		s.At(0, func() {}) // in the past; should clamp, not panic or loop
+	})
+	s.RunAll(0)
+	if s.Now() != Time(time.Second) {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, 2, FixedModel{D: 10 * time.Millisecond})
+	var gotFrom int
+	var gotMsg any
+	var at Time
+	nw.Register(1, func(from int, msg any) { gotFrom, gotMsg, at = from, msg, s.Now() })
+	nw.Register(0, func(from int, msg any) {})
+	nw.Send(0, 1, 100, "hello")
+	s.RunAll(0)
+	if gotFrom != 0 || gotMsg != "hello" {
+		t.Fatalf("got from=%d msg=%v", gotFrom, gotMsg)
+	}
+	if at != Time(10*time.Millisecond) {
+		t.Fatalf("delivered at %v", at)
+	}
+	if nw.Messages() != 1 || nw.Bytes() != 100 {
+		t.Fatalf("stats msgs=%d bytes=%d", nw.Messages(), nw.Bytes())
+	}
+}
+
+func TestNetworkBroadcastIncludesSelf(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, 3, FixedModel{D: time.Millisecond})
+	got := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		nw.Register(i, func(from int, msg any) { got[i]++ })
+	}
+	nw.Broadcast(0, 10, "x")
+	s.RunAll(0)
+	for i, c := range got {
+		if c != 1 {
+			t.Fatalf("node %d received %d messages", i, c)
+		}
+	}
+}
+
+func TestNetworkDownNode(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, 2, FixedModel{D: time.Millisecond})
+	received := 0
+	nw.Register(0, func(from int, msg any) {})
+	nw.Register(1, func(from int, msg any) { received++ })
+	nw.SetDown(1, true)
+	nw.Send(0, 1, 10, "x")
+	s.RunAll(0)
+	if received != 0 {
+		t.Fatal("down node received a message")
+	}
+	nw.SetDown(1, false)
+	nw.Send(0, 1, 10, "x")
+	s.RunAll(0)
+	if received != 1 {
+		t.Fatal("recovered node did not receive")
+	}
+	// A down sender cannot send.
+	nw.SetDown(0, true)
+	nw.Send(0, 1, 10, "x")
+	s.RunAll(0)
+	if received != 1 {
+		t.Fatal("down sender delivered a message")
+	}
+}
+
+func TestNetworkCrashMidFlight(t *testing.T) {
+	// A message in flight when the destination crashes must not deliver.
+	s := New(1)
+	nw := NewNetwork(s, 2, FixedModel{D: 10 * time.Millisecond})
+	received := 0
+	nw.Register(0, func(from int, msg any) {})
+	nw.Register(1, func(from int, msg any) { received++ })
+	nw.Send(0, 1, 10, "x")
+	s.After(5*time.Millisecond, func() { nw.SetDown(1, true) })
+	s.RunAll(0)
+	if received != 0 {
+		t.Fatal("message delivered to node that crashed mid-flight")
+	}
+}
+
+func TestStragglerOutScale(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, 2, FixedModel{D: 10 * time.Millisecond})
+	var at Time
+	nw.Register(0, func(from int, msg any) {})
+	nw.Register(1, func(from int, msg any) { at = s.Now() })
+	nw.SetOutScale(0, 10)
+	nw.Send(0, 1, 10, "x")
+	s.RunAll(0)
+	if at != Time(100*time.Millisecond) {
+		t.Fatalf("straggler message arrived at %v, want 100ms", at)
+	}
+	if nw.OutScale(0) != 10 {
+		t.Fatal("OutScale getter wrong")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	s := New(7)
+	nw := NewNetwork(s, 2, FixedModel{D: time.Millisecond})
+	received := 0
+	nw.Register(0, func(from int, msg any) {})
+	nw.Register(1, func(from int, msg any) { received++ })
+	nw.SetDropRate(1.0)
+	for i := 0; i < 50; i++ {
+		nw.Send(0, 1, 1, i)
+	}
+	s.RunAll(0)
+	if received != 0 {
+		t.Fatalf("dropRate=1 delivered %d messages", received)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New(99)
+		nw := NewNetwork(s, 4, NewWAN())
+		var times []Time
+		for i := 0; i < 4; i++ {
+			i := i
+			nw.Register(i, func(from int, msg any) { times = append(times, s.Now()) })
+		}
+		for i := 0; i < 4; i++ {
+			nw.Broadcast(i, 500, i)
+		}
+		s.RunAll(0)
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWANRegionsAsymmetry(t *testing.T) {
+	wan := NewWAN()
+	// Nodes 0 and 4 share region 0 (France); node 2 is Australia.
+	same := wan.Base(0, 4, 0)
+	far := wan.Base(0, 2, 0)
+	if same >= far {
+		t.Fatalf("intra-region %v >= France-Australia %v", same, far)
+	}
+	if got := wan.Base(0, 2, 0); got != 140*time.Millisecond {
+		t.Fatalf("France->Australia base = %v, want 140ms", got)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	lan := NewLAN()
+	small := lan.Base(0, 1, 0)
+	big := lan.Base(0, 1, 1e6) // 1 MB at 1 Gbps = 8 ms extra
+	extra := big - small
+	if extra < 7*time.Millisecond || extra > 9*time.Millisecond {
+		t.Fatalf("serialization delay for 1MB = %v, want ~8ms", extra)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	s := New(5)
+	wan := NewWAN()
+	base := wan.Base(0, 1, 500)
+	for i := 0; i < 100; i++ {
+		d := wan.Delay(0, 1, 500, s.Rand())
+		if d < base || float64(d) > float64(base)*1.051 {
+			t.Fatalf("jittered delay %v outside [base, base*1.05] (base %v)", d, base)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package workload
+
+// Trace replay: the paper drives its evaluation with ~200k transactions
+// extracted from Ethereum blocks 17,198,000-17,202,000, resetting account
+// state and re-executing the same trace. This file provides the equivalent
+// machinery: a CSV trace format, a reader that replays it, and an exporter
+// that snapshots the synthetic generator into a trace so runs are exactly
+// repeatable across machines and implementations.
+//
+// Trace format (one transaction per line):
+//
+//	payment,<from>,<to>,<amount>
+//	multipay,<from1>,<from2>,<to>,<amount1>,<amount2>
+//	contract,<caller>,<record>,<fee>,<value>
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/ledger"
+	"repro/internal/types"
+)
+
+// Source produces a transaction stream with a matching genesis state; both
+// Generator and Trace implement it, so the cluster harness can run either
+// synthetic or recorded workloads.
+type Source interface {
+	Next() *types.Transaction
+	Genesis() func(st *ledger.Store)
+}
+
+// Trace is a recorded transaction sequence replayed in order. When the
+// sequence is exhausted it wraps around with fresh nonces, mirroring the
+// paper's repeated re-execution of its 200k-transaction dataset.
+type Trace struct {
+	txs     []*types.Transaction
+	pos     int
+	lap     uint64
+	balance types.Amount
+}
+
+// NewTrace wraps a transaction list into a replayable source; balance is
+// the reset value every referenced account starts from.
+func NewTrace(txs []*types.Transaction, balance types.Amount) *Trace {
+	if balance <= 0 {
+		balance = 1_000_000
+	}
+	return &Trace{txs: txs, balance: balance}
+}
+
+// Len returns the number of recorded transactions.
+func (t *Trace) Len() int { return len(t.txs) }
+
+// Next implements Source. Wrapped-around laps get distinct nonces so the
+// replayed transactions are new to the dedup layer.
+func (t *Trace) Next() *types.Transaction {
+	src := t.txs[t.pos]
+	t.pos++
+	if t.pos == len(t.txs) {
+		t.pos = 0
+		t.lap++
+	}
+	if t.lap == 0 {
+		return src
+	}
+	clone := &types.Transaction{
+		Ops:    src.Ops,
+		Client: src.Client,
+		Nonce:  src.Nonce + t.lap*1_000_000_007,
+	}
+	return clone
+}
+
+// Genesis implements Source: every account mentioned anywhere in the trace
+// is reset to the configured balance, every shared record to zero.
+func (t *Trace) Genesis() func(st *ledger.Store) {
+	accounts := map[types.Key]bool{}
+	records := map[types.Key]bool{}
+	for _, tx := range t.txs {
+		accounts[tx.Client] = true
+		for _, op := range tx.Ops {
+			if op.Type == types.Owned {
+				accounts[op.Key] = true
+			} else {
+				records[op.Key] = true
+			}
+		}
+	}
+	balance := t.balance
+	return func(st *ledger.Store) {
+		for k := range accounts {
+			st.Credit(k, balance)
+		}
+		for k := range records {
+			st.SetShared(k, 0)
+		}
+	}
+}
+
+// WriteTrace serializes transactions in the CSV trace format. Only the
+// three shapes the paper's workload contains are supported; other
+// transactions are rejected.
+func WriteTrace(w io.Writer, txs []*types.Transaction) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	for i, tx := range txs {
+		rec, err := encodeTraceTx(tx)
+		if err != nil {
+			return fmt.Errorf("workload: tx %d: %w", i, err)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func encodeTraceTx(tx *types.Transaction) ([]string, error) {
+	payers := tx.Payers()
+	if tx.Kind() == types.Contract {
+		if len(payers) != 1 {
+			return nil, fmt.Errorf("contract trace lines support one caller, have %d", len(payers))
+		}
+		var record types.Key
+		var value types.Amount
+		for _, op := range tx.Ops {
+			if op.Type == types.Shared && op.Kind == types.OpAssign {
+				record, value = op.Key, op.Amount
+				break
+			}
+		}
+		if record == "" {
+			return nil, fmt.Errorf("contract trace lines need a shared assignment")
+		}
+		return []string{"contract", string(payers[0]), string(record),
+			itoa(tx.TotalDebit()), itoa(value)}, nil
+	}
+	switch len(payers) {
+	case 1:
+		var to types.Key
+		for _, op := range tx.Ops {
+			if op.Type == types.Owned && op.Kind == types.OpIncrement {
+				to = op.Key
+			}
+		}
+		return []string{"payment", string(payers[0]), string(to), itoa(tx.TotalDebit())}, nil
+	case 2:
+		var to types.Key
+		amounts := map[types.Key]types.Amount{}
+		for _, op := range tx.Ops {
+			if op.IsPayerOp() {
+				amounts[op.Key] = op.Amount
+			} else if op.Type == types.Owned && op.Kind == types.OpIncrement {
+				to = op.Key
+			}
+		}
+		return []string{"multipay", string(payers[0]), string(payers[1]), string(to),
+			itoa(amounts[payers[0]]), itoa(amounts[payers[1]])}, nil
+	default:
+		return nil, fmt.Errorf("payment with %d payers not representable", len(payers))
+	}
+}
+
+func itoa(a types.Amount) string { return strconv.FormatInt(int64(a), 10) }
+
+// ReadTrace parses a CSV trace into a replayable Trace.
+func ReadTrace(r io.Reader, balance types.Amount) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var txs []*types.Transaction
+	nonce := uint64(0)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		nonce++
+		tx, err := decodeTraceTx(rec, nonce)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", nonce, err)
+		}
+		txs = append(txs, tx)
+	}
+	if len(txs) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return NewTrace(txs, balance), nil
+}
+
+func decodeTraceTx(rec []string, nonce uint64) (*types.Transaction, error) {
+	amount := func(s string) (types.Amount, error) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad amount %q", s)
+		}
+		return types.Amount(v), nil
+	}
+	switch rec[0] {
+	case "payment":
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("payment needs 4 fields, has %d", len(rec))
+		}
+		amt, err := amount(rec[3])
+		if err != nil {
+			return nil, err
+		}
+		return types.NewPayment(types.Key(rec[1]), types.Key(rec[2]), amt, nonce), nil
+	case "multipay":
+		if len(rec) != 6 {
+			return nil, fmt.Errorf("multipay needs 6 fields, has %d", len(rec))
+		}
+		a1, err := amount(rec[4])
+		if err != nil {
+			return nil, err
+		}
+		a2, err := amount(rec[5])
+		if err != nil {
+			return nil, err
+		}
+		return types.NewMultiPayment(types.Key(rec[1]), []types.Transfer{
+			{From: types.Key(rec[1]), To: types.Key(rec[3]), Amount: a1},
+			{From: types.Key(rec[2]), To: types.Key(rec[3]), Amount: a2},
+		}, nonce), nil
+	case "contract":
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("contract needs 5 fields, has %d", len(rec))
+		}
+		fee, err := amount(rec[3])
+		if err != nil {
+			return nil, err
+		}
+		val, err := amount(rec[4])
+		if err != nil {
+			return nil, err
+		}
+		return types.NewContractCall(types.Key(rec[1]), []types.Key{types.Key(rec[1])}, fee,
+			[]types.Op{types.NewSharedAssign(types.Key(rec[2]), val)}, nonce), nil
+	default:
+		return nil, fmt.Errorf("unknown trace line kind %q", rec[0])
+	}
+}
+
+// Export records the generator's next n transactions as a trace, so a
+// synthetic workload can be frozen, shared and replayed bit-for-bit.
+func (g *Generator) Export(w io.Writer, n int) error {
+	return WriteTrace(w, g.Batch(n))
+}

@@ -1,0 +1,178 @@
+// Package workload generates the synthetic transaction stream that stands
+// in for the paper's Ethereum trace (200,000 transactions from blocks
+// 17,198,000-17,202,000 over 18,000 active accounts, 46% of which are
+// payment transactions). The generator reproduces the properties Orthrus is
+// sensitive to: the account count, the payment/contract mix, a Zipf
+// popularity skew over accounts (heavy-hitter senders, as on Ethereum), a
+// configurable multi-payer fraction, and contract calls touching a pool of
+// shared records.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ledger"
+	"repro/internal/types"
+)
+
+// Config parameterizes the generator. The zero value is completed with the
+// paper's defaults by New.
+type Config struct {
+	Accounts      int // number of active accounts (paper: 18,000)
+	SharedRecords int // shared contract records
+	// PaymentFraction is the fraction of payment transactions. Zero selects
+	// the paper's default 0.46; pass a negative value for an explicit 0%
+	// (all-contract) workload, as in the Fig. 5 sweep's left edge.
+	PaymentFraction float64
+	// MultiPayerFraction is the fraction of payments with two payers,
+	// exercising cross-instance atomicity.
+	MultiPayerFraction float64
+	// ContractCallers is the number of fee-paying callers per contract tx.
+	ContractCallers int
+	// ZipfS > 1 skews account popularity (s -> 1 is most skewed allowed).
+	ZipfS float64
+	// MaxAmount bounds transfer amounts (drawn uniformly in [1, MaxAmount]).
+	MaxAmount types.Amount
+	// InitialBalance is each account's genesis balance. It is deliberately
+	// large relative to MaxAmount so honest traffic never overdrafts, like
+	// the paper's reset-and-replay methodology.
+	InitialBalance types.Amount
+	Seed           int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Accounts <= 0 {
+		c.Accounts = 18000
+	}
+	if c.SharedRecords <= 0 {
+		c.SharedRecords = 256
+	}
+	if c.PaymentFraction == 0 {
+		c.PaymentFraction = 0.46
+	}
+	if c.MultiPayerFraction == 0 {
+		c.MultiPayerFraction = 0.05
+	}
+	if c.ContractCallers <= 0 {
+		c.ContractCallers = 1
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.MaxAmount <= 0 {
+		c.MaxAmount = 100
+	}
+	if c.InitialBalance <= 0 {
+		c.InitialBalance = 1_000_000
+	}
+	return c
+}
+
+// Generator produces a deterministic transaction stream.
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	nonce uint64
+}
+
+// New creates a generator; unset Config fields take the paper's defaults.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Generator{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Accounts-1)),
+	}
+}
+
+// Config returns the effective configuration after defaulting.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Account returns the key of account i.
+func Account(i int) types.Key { return types.Key(fmt.Sprintf("acct-%06d", i)) }
+
+// Record returns the key of shared record i.
+func Record(i int) types.Key { return types.Key(fmt.Sprintf("record-%04d", i)) }
+
+// Genesis returns the ledger initializer matching the generator's accounts.
+func (g *Generator) Genesis() func(st *ledger.Store) {
+	cfg := g.cfg
+	return func(st *ledger.Store) {
+		for i := 0; i < cfg.Accounts; i++ {
+			st.Credit(Account(i), cfg.InitialBalance)
+		}
+		for i := 0; i < cfg.SharedRecords; i++ {
+			st.SetShared(Record(i), 0)
+		}
+	}
+}
+
+func (g *Generator) pickAccount() types.Key { return Account(int(g.zipf.Uint64())) }
+
+func (g *Generator) pickOther(not types.Key) types.Key {
+	for i := 0; i < 100; i++ {
+		k := g.pickAccount()
+		if k != not {
+			return k
+		}
+	}
+	// Degenerate skew: fall back to a uniform draw.
+	for {
+		k := Account(g.rng.Intn(g.cfg.Accounts))
+		if k != not {
+			return k
+		}
+	}
+}
+
+func (g *Generator) amount() types.Amount {
+	return types.Amount(g.rng.Int63n(int64(g.cfg.MaxAmount))) + 1
+}
+
+// Next produces the next transaction of the stream.
+func (g *Generator) Next() *types.Transaction {
+	g.nonce++
+	if g.rng.Float64() < g.cfg.PaymentFraction {
+		return g.nextPayment()
+	}
+	return g.nextContract()
+}
+
+func (g *Generator) nextPayment() *types.Transaction {
+	payer := g.pickAccount()
+	payee := g.pickOther(payer)
+	if g.rng.Float64() < g.cfg.MultiPayerFraction {
+		payer2 := g.pickOther(payer)
+		return types.NewMultiPayment(payer, []types.Transfer{
+			{From: payer, To: payee, Amount: g.amount()},
+			{From: payer2, To: payee, Amount: g.amount()},
+		}, g.nonce)
+	}
+	return types.NewPayment(payer, payee, g.amount(), g.nonce)
+}
+
+func (g *Generator) nextContract() *types.Transaction {
+	caller := g.pickAccount()
+	callers := []types.Key{caller}
+	for len(callers) < g.cfg.ContractCallers {
+		callers = append(callers, g.pickOther(caller))
+	}
+	rec := Record(g.rng.Intn(g.cfg.SharedRecords))
+	ops := []types.Op{types.NewSharedAssign(rec, g.amount())}
+	if g.rng.Intn(2) == 0 {
+		ops = append(ops, types.NewSharedRead(Record(g.rng.Intn(g.cfg.SharedRecords))))
+	}
+	return types.NewContractCall(caller, callers, 1, ops, g.nonce)
+}
+
+// Batch produces the next n transactions.
+func (g *Generator) Batch(n int) []*types.Transaction {
+	out := make([]*types.Transaction, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
