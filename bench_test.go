@@ -1,8 +1,9 @@
 package repro
 
-// Benchmark harness: one benchmark per evaluation figure (Sec. VII), plus
-// ablations for the design choices DESIGN.md calls out and micro-benchmarks
-// for the hot substrates. Figure benchmarks run scaled-down configurations
+// Benchmark harness: one benchmark per evaluation figure (Sec. VII), a
+// whole-suite benchmark that exercises the parallel runner
+// (BenchmarkFigureSuite), plus ablations for the design choices DESIGN.md
+// calls out and micro-benchmarks for the hot substrates. Figure benchmarks run scaled-down configurations
 // (the full paper-sized sweeps are cmd/orthrus-bench -scale 1); the custom
 // ReportMetric outputs — ktps, latency seconds — are the quantities the
 // paper plots, so regressions in protocol behavior show up directly.
@@ -14,10 +15,12 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/order"
 	"repro/internal/pbft"
+	"repro/internal/runner"
 	"repro/internal/simnet"
 	"repro/internal/types"
 	"repro/internal/workload"
@@ -169,6 +172,31 @@ func BenchmarkFig8(b *testing.B) {
 				cfg := benchCfg(core.OrthrusMode(), 16, cluster.WAN)
 				cfg.UndetectableFaults = byz
 				reportCluster(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkFigureSuite regenerates the whole figure suite at a small scale
+// through internal/runner, serially and with the full worker pool; the
+// wall-clock gap between the two sub-benchmarks is the runner's speedup.
+// Both produce identical FigureResults (see the determinism tests).
+func BenchmarkFigureSuite(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		workers := workers
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.Run(experiments.FigureIDs(), runner.Options{Workers: workers}, 0.05)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(experiments.FigureIDs()) {
+					b.Fatalf("got %d figures", len(results))
+				}
 			}
 		})
 	}

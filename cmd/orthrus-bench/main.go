@@ -1,49 +1,136 @@
 // Command orthrus-bench regenerates the paper's evaluation figures
-// (Sec. VII). Each figure prints the same series the paper plots.
+// (Sec. VII). Each figure prints the same series the paper plots, and
+// -json additionally writes the structured results as a machine-checkable
+// artifact.
 //
 // Usage:
 //
-//	orthrus-bench -fig all -scale 0.25   # quick pass over every figure
-//	orthrus-bench -fig 3 -scale 1        # full Fig. 3 sweep (slow)
-//	orthrus-bench -fig 6                 # latency breakdown only
+//	orthrus-bench -fig all -scale 0.25              # quick pass over every figure
+//	orthrus-bench -fig 3,4 -scale 1                 # full Fig. 3+4 sweeps (slow)
+//	orthrus-bench -fig 6                            # latency breakdown only
+//	orthrus-bench -parallel 1                       # force a serial run
+//	orthrus-bench -json BENCH_results.json          # write the JSON artifact
 //
 // Scale in (0,1] shrinks run durations, loads and the replica-count axis
-// proportionally; 1 is the paper-sized configuration.
+// proportionally; 1 is the paper-sized configuration. Runs fan out across
+// all cores by default (-parallel 0); results are identical to a serial
+// run, only faster.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
-func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1b, 3, 4, 5, 6, 7, 8, or all")
-	scale := flag.Float64("scale", 0.25, "experiment scale in (0,1]; 1 = paper-sized")
-	flag.Parse()
+// artifact is the document -json writes: schema identifier, the scale the
+// suite ran at, and one FigureResult per requested figure. It contains no
+// timing metadata, so serial and parallel runs write identical bytes.
+type artifact struct {
+	Schema  string                     `json:"schema"`
+	Scale   float64                    `json:"scale"`
+	Figures []experiments.FigureResult `json:"figures"`
+}
 
-	w := os.Stdout
-	switch *fig {
-	case "1b":
-		experiments.Fig1b(w, *scale)
-	case "3":
-		experiments.Fig3(w, *scale)
-	case "4":
-		experiments.Fig4(w, *scale)
-	case "5":
-		experiments.Fig5(w, *scale)
-	case "6":
-		experiments.Fig6(w, *scale)
-	case "7":
-		experiments.Fig7(w, *scale)
-	case "8":
-		experiments.Fig8(w, *scale)
-	case "all":
-		experiments.All(w, *scale)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1b, 3, 4, 5, 6, 7, 8, all)\n", *fig)
+// selectFigures expands a -fig value into a deduplicated id list: "all"
+// (alone or inside a comma-separated list) selects every figure, repeated
+// ids run once, and order of first mention is preserved. Unknown ids are
+// caught later by experiments.Run.
+func selectFigures(fig string) ([]string, error) {
+	seen := map[string]bool{}
+	var ids []string
+	for _, id := range strings.Split(fig, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" || seen[id] {
+			continue
+		}
+		if id == "all" {
+			for _, all := range experiments.FigureIDs() {
+				if !seen[all] {
+					seen[all] = true
+					ids = append(ids, all)
+				}
+			}
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("-fig selects no figures (want %s, or all)", strings.Join(experiments.FigureIDs(), ", "))
+	}
+	return ids, nil
+}
+
+// errAlreadyReported marks failures the FlagSet has already printed to
+// stderr, so main exits nonzero without repeating them.
+var errAlreadyReported = errors.New("orthrus-bench: flag parsing failed")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errAlreadyReported) {
+			fmt.Fprintln(os.Stderr, err)
+		}
 		os.Exit(2)
 	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("orthrus-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "comma-separated figures to regenerate: "+strings.Join(experiments.FigureIDs(), ", ")+", or all")
+	scale := fs.Float64("scale", 0.25, "experiment scale in (0,1]; 1 = paper-sized")
+	parallel := fs.Int("parallel", 0, "worker pool size: 0 = all cores, 1 = serial")
+	jsonPath := fs.String("json", "", "write structured results to this path (e.g. BENCH_results.json)")
+	quiet := fs.Bool("q", false, "suppress the text rendering (useful with -json)")
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errAlreadyReported
+	}
+
+	// Reject rather than clamp out-of-range scales: the artifact records
+	// the scale verbatim, so it must be the scale the figures ran at.
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("-scale must be in (0,1], got %v", *scale)
+	}
+
+	ids, err := selectFigures(*fig)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	results, err := experiments.Run(ids, runner.Options{Workers: *parallel}, *scale)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		for _, f := range results {
+			f.Render(stdout)
+		}
+	}
+	fmt.Fprintf(stderr, "ran %d figure(s) in %.1fs\n", len(results), time.Since(start).Seconds())
+
+	if *jsonPath != "" {
+		doc := artifact{Schema: "orthrus-bench/v1", Scale: *scale, Figures: results}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *jsonPath)
+	}
+	return nil
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-fig", "99"}, &out, &errOut); err == nil {
+		t.Fatal("expected an error for an unknown figure")
+	}
+}
+
+func TestRunRejectsEmptySelection(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-fig", " , "}, &out, &errOut); err == nil {
+		t.Fatal("expected an error for an empty -fig list")
+	}
+}
+
+func TestRunRejectsOutOfRangeScale(t *testing.T) {
+	for _, scale := range []string{"0", "-1", "1.5"} {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-scale", scale}, &out, &errOut); err == nil {
+			t.Fatalf("expected an error for -scale %s", scale)
+		}
+	}
+}
+
+// TestRunFig1bJSONArtifact runs the cheapest figure at tiny scale and
+// checks both the text rendering and the JSON artifact.
+func TestRunFig1bJSONArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a miniature cluster")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-fig", "1b", "-scale", "0.05", "-json", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig 1b") || !strings.Contains(out.String(), "ISS") {
+		t.Fatalf("unexpected text output: %s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc artifact
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Schema != "orthrus-bench/v1" {
+		t.Fatalf("schema %q", doc.Schema)
+	}
+	if len(doc.Figures) != 1 || doc.Figures[0].Figure != "1b" {
+		t.Fatalf("figures %+v", doc.Figures)
+	}
+	if len(doc.Figures[0].Breakdowns) != 1 || doc.Figures[0].Breakdowns[0].Total <= 0 {
+		t.Fatalf("breakdown missing from artifact: %+v", doc.Figures[0])
+	}
+}
+
+func TestSelectFigures(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"all", []string{"1b", "3", "4", "5", "6", "7", "8"}},
+		{"3,3", []string{"3"}},
+		{"6, 1b ,6", []string{"6", "1b"}},
+		{"3,all", []string{"3", "1b", "4", "5", "6", "7", "8"}},
+	}
+	for _, c := range cases {
+		got, err := selectFigures(c.in)
+		if err != nil {
+			t.Fatalf("selectFigures(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("selectFigures(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"", " , "} {
+		if _, err := selectFigures(in); err == nil {
+			t.Fatalf("selectFigures(%q): expected error", in)
+		}
+	}
+}

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,26 +24,45 @@ import (
 	"repro/internal/workload"
 )
 
+// errAlreadyReported marks failures the FlagSet has already printed, so
+// main exits nonzero without repeating them.
+var errAlreadyReported = errors.New("orthrus-sim: flag parsing failed")
+
 func main() {
-	protocol := flag.String("protocol", "Orthrus", "protocol: Orthrus, ISS, RCC, Mir, DQBFT, Ladon")
-	n := flag.Int("n", 16, "number of replicas (m = n instances)")
-	netName := flag.String("net", "wan", "network profile: wan or lan")
-	stragglers := flag.Int("stragglers", 0, "number of 10x-slow instances")
-	faults := flag.Int("faults", 0, "replicas to crash at -fault-at (detectable faults)")
-	faultAt := flag.Duration("fault-at", 9*time.Second, "crash injection time")
-	byzantine := flag.Int("byzantine", 0, "undetectable (selective-participation) faulty replicas")
-	load := flag.Float64("load", 10000, "client load in tx/s")
-	duration := flag.Duration("duration", 15*time.Second, "submission window")
-	payments := flag.Float64("payments", 0.46, "payment transaction fraction (0 uses the paper default)")
-	batch := flag.Int("batch", 4096, "batch size (txs per block)")
-	analytic := flag.Bool("analytic", false, "use the analytic quorum-time SB (fault-free only)")
-	seed := flag.Int64("seed", 42, "simulation seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errAlreadyReported) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+}
+
+func run(args []string, w, stderr io.Writer) error {
+	fs := flag.NewFlagSet("orthrus-sim", flag.ContinueOnError)
+	protocol := fs.String("protocol", "Orthrus", "protocol: Orthrus, ISS, RCC, Mir, DQBFT, Ladon")
+	n := fs.Int("n", 16, "number of replicas (m = n instances)")
+	netName := fs.String("net", "wan", "network profile: wan or lan")
+	stragglers := fs.Int("stragglers", 0, "number of 10x-slow instances")
+	faults := fs.Int("faults", 0, "replicas to crash at -fault-at (detectable faults)")
+	faultAt := fs.Duration("fault-at", 9*time.Second, "crash injection time")
+	byzantine := fs.Int("byzantine", 0, "undetectable (selective-participation) faulty replicas")
+	load := fs.Float64("load", 10000, "client load in tx/s")
+	duration := fs.Duration("duration", 15*time.Second, "submission window")
+	payments := fs.Float64("payments", 0.46, "payment transaction fraction (0 uses the paper default)")
+	batch := fs.Int("batch", 4096, "batch size (txs per block)")
+	analytic := fs.Bool("analytic", false, "use the analytic quorum-time SB (fault-free only)")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errAlreadyReported
+	}
 
 	mode, ok := baseline.ModeByName(*protocol)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
-		os.Exit(2)
+		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
 	net := cluster.WAN
 	if *netName == "lan" {
@@ -66,16 +87,17 @@ func main() {
 	}
 	res := cluster.Run(cfg)
 
-	fmt.Printf("protocol     %s\n", res.Protocol)
-	fmt.Printf("network      %s, n=%d (m=n instances), f=%d\n", res.Net, res.N, (res.N-1)/3)
-	fmt.Printf("submitted    %d txs @ %.0f tps\n", res.Submitted, *load)
-	fmt.Printf("confirmed    %d in window (throughput %.1f ktps)\n", res.Confirmed, res.ThroughputTPS/1000)
-	fmt.Printf("aborted      %d\n", res.Aborted)
-	fmt.Printf("latency      %s\n", res.Latency.String())
-	fmt.Printf("view changes %d\n", res.ViewChanges)
-	fmt.Printf("sim events   %d\n", res.Events)
-	fmt.Println("breakdown    (observer replica stage means)")
+	fmt.Fprintf(w, "protocol     %s\n", res.Protocol)
+	fmt.Fprintf(w, "network      %s, n=%d (m=n instances), f=%d\n", res.Net, res.N, (res.N-1)/3)
+	fmt.Fprintf(w, "submitted    %d txs @ %.0f tps\n", res.Submitted, *load)
+	fmt.Fprintf(w, "confirmed    %d in window (throughput %.1f ktps)\n", res.Confirmed, res.ThroughputTPS/1000)
+	fmt.Fprintf(w, "aborted      %d\n", res.Aborted)
+	fmt.Fprintf(w, "latency      %s\n", res.Latency.String())
+	fmt.Fprintf(w, "view changes %d\n", res.ViewChanges)
+	fmt.Fprintf(w, "sim events   %d\n", res.Events)
+	fmt.Fprintln(w, "breakdown    (observer replica stage means)")
 	for _, s := range metrics.Stages() {
-		fmt.Printf("  %-16s %8.3fs\n", s.String(), res.Breakdown.Mean(s).Seconds())
+		fmt.Fprintf(w, "  %-16s %8.3fs\n", s.String(), res.Breakdown.Mean(s).Seconds())
 	}
+	return nil
 }

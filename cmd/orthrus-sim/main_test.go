@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-protocol", "Nope"}, &out, &errOut); err == nil {
+		t.Fatal("expected an error for an unknown protocol")
+	}
+}
+
+func TestRunParseErrorGoesToStderr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-n", "abc"}, &out, &errOut); err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("parse error leaked to stdout: %q", out.String())
+	}
+	if !strings.Contains(errOut.String(), "invalid value") {
+		t.Fatalf("stderr missing parse error: %q", errOut.String())
+	}
+}
+
+// TestRunTinyCluster drives a minimal configuration end to end and checks
+// the summary markers.
+func TestRunTinyCluster(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-protocol", "Orthrus", "-n", "4", "-net", "lan",
+		"-load", "300", "-duration", "2s", "-batch", "64"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, marker := range []string{"protocol     Orthrus", "network      LAN", "confirmed", "view changes", "breakdown"} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, s)
+		}
+	}
+}

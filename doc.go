@@ -8,12 +8,16 @@
 // the bucket partitioner (partition), global-ordering algorithms (order),
 // the Orthrus replica framework (core), the five baseline protocols
 // (baseline), the Ethereum-like workload generator (workload), and the
-// experiment harness (cluster, experiments, metrics).
+// experiment harness (cluster, experiments, metrics). Independent
+// experiment runs fan out across cores through the worker pool in
+// internal/runner; every simulation is seeded and self-contained, so
+// parallel sweeps reproduce serial results exactly.
 //
 // Entry points:
 //
 //   - examples/quickstart — minimal 4-replica cluster
 //   - cmd/orthrus-sim — run one configuration
-//   - cmd/orthrus-bench — regenerate every evaluation figure
+//   - cmd/orthrus-bench — regenerate every evaluation figure, in parallel,
+//     with -json emitting a structured results artifact (EXPERIMENTS.md)
 //   - bench_test.go — testing.B benchmarks, one per table/figure
 package repro

@@ -8,6 +8,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"strings"
 	"time"
 
@@ -16,7 +18,10 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
+func main() { run(os.Stdout) }
+
+// run executes the example, writing its narrative to w.
+func run(w io.Writer) {
 	res := cluster.Run(cluster.Config{
 		N:                7,
 		Protocol:         core.OrthrusMode(),
@@ -35,9 +40,9 @@ func main() {
 		Seed:             3,
 	})
 
-	fmt.Println("Orthrus, WAN, 7 replicas; replica 6 crashes at t=5s, view-change")
-	fmt.Printf("timeout 3s. View changes observed: %d\n\n", res.ViewChanges)
-	fmt.Println("  t(s)   tput(tps)  bar")
+	fmt.Fprintln(w, "Orthrus, WAN, 7 replicas; replica 6 crashes at t=5s, view-change")
+	fmt.Fprintf(w, "timeout 3s. View changes observed: %d\n\n", res.ViewChanges)
+	fmt.Fprintln(w, "  t(s)   tput(tps)  bar")
 	max := 0.0
 	for i := 0; i < res.Series.Bins(); i++ {
 		if tp := res.Series.Throughput(i); tp > max {
@@ -50,12 +55,12 @@ func main() {
 		if max > 0 {
 			barLen = int(tp / max * 50)
 		}
-		fmt.Printf("  %4.1f  %9.0f  %s\n",
+		fmt.Fprintf(w, "  %4.1f  %9.0f  %s\n",
 			float64(i)*res.Series.Bin.Seconds(), tp, strings.Repeat("#", barLen))
 	}
-	fmt.Printf("\nconfirmed %d, aborted %d, mean latency %.2fs\n",
+	fmt.Fprintf(w, "\nconfirmed %d, aborted %d, mean latency %.2fs\n",
 		res.Confirmed, res.Aborted, res.Latency.Mean().Seconds())
-	fmt.Println("\nThe dip after t=5s is the crashed leader's instance stalling; after")
-	fmt.Println("the view change the next replica takes over and fills the gap with")
-	fmt.Println("no-op blocks, releasing the blocked global-log positions.")
+	fmt.Fprintln(w, "\nThe dip after t=5s is the crashed leader's instance stalling; after")
+	fmt.Fprintln(w, "the view change the next replica takes over and fills the gap with")
+	fmt.Fprintln(w, "no-op blocks, releasing the blocked global-log positions.")
 }

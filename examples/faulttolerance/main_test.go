@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun executes the fault-tolerance timeline: the crash must trigger at
+// least one view change and the run must still confirm transactions.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 7-replica cluster for 16 simulated seconds")
+	}
+	var out bytes.Buffer
+	run(&out)
+	s := out.String()
+	for _, marker := range []string{"View changes observed:", "tput(tps)", "confirmed"} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, s)
+		}
+	}
+	if strings.Contains(s, "View changes observed: 0") {
+		t.Fatalf("crash produced no view change:\n%s", s)
+	}
+}

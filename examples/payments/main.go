@@ -8,6 +8,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"repro/internal/core"
@@ -16,7 +18,10 @@ import (
 	"repro/internal/types"
 )
 
-func main() {
+func main() { run(os.Stdout) }
+
+// run executes the example, writing its narrative to w.
+func run(w io.Writer) {
 	const n = 4
 	sim := simnet.New(7)
 	nw := simnet.NewNetwork(sim, n, simnet.NewLAN())
@@ -38,7 +43,7 @@ func main() {
 		}
 		if i == 0 {
 			cfg.OnConfirm = func(tx *types.Transaction, success bool, at simnet.Time) {
-				fmt.Printf("[%8s] confirmed %s success=%v payers=%v\n",
+				fmt.Fprintf(w, "[%8s] confirmed %s success=%v payers=%v\n",
 					at, tx.ID(), success, tx.Payers())
 				confirmed[tx.ID().String()] = success
 			}
@@ -92,14 +97,14 @@ func main() {
 	sim.Run(simnet.Time(6 * time.Second))
 
 	st := replicas[0].Store()
-	fmt.Printf("\nfinal balances: alice=%d bob=%d carol=%d  contract-state=%d\n",
+	fmt.Fprintf(w, "\nfinal balances: alice=%d bob=%d carol=%d  contract-state=%d\n",
 		st.Balance("alice"), st.Balance("bob"), st.Balance("carol"),
 		st.SharedValue("contract-state"))
-	fmt.Printf("escrows outstanding: %d (must be 0: no funds stuck)\n", st.EscrowCount())
+	fmt.Fprintf(w, "escrows outstanding: %d (must be 0: no funds stuck)\n", st.EscrowCount())
 	if _, ok := confirmed[tx3.ID().String()]; ok {
-		fmt.Println("tx3 confirmed (unexpected)")
+		fmt.Fprintln(w, "tx3 confirmed (unexpected)")
 	} else {
-		fmt.Println("tx3 (underfunded multi-payer) correctly never committed ✔")
+		fmt.Fprintln(w, "tx3 (underfunded multi-payer) correctly never committed ✔")
 	}
 
 	for i := 1; i < n; i++ {
@@ -107,5 +112,5 @@ func main() {
 			panic(fmt.Sprintf("replica %d diverged", i))
 		}
 	}
-	fmt.Println("all replicas agree ✔")
+	fmt.Fprintln(w, "all replicas agree ✔")
 }

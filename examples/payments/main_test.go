@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun executes the Appendix B walkthrough: the underfunded multi-payer
+// payment must never commit, no escrow may leak, and replicas converge.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	run(&out)
+	s := out.String()
+	for _, marker := range []string{
+		"escrows outstanding: 0",
+		"correctly never committed",
+		"all replicas agree",
+	} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, s)
+		}
+	}
+}

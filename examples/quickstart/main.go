@@ -6,6 +6,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"repro/internal/core"
@@ -14,7 +16,10 @@ import (
 	"repro/internal/types"
 )
 
-func main() {
+func main() { run(os.Stdout) }
+
+// run executes the example, writing its narrative to w.
+func run(w io.Writer) {
 	const n = 4
 	sim := simnet.New(1)
 	nw := simnet.NewNetwork(sim, n, simnet.NewLAN())
@@ -36,7 +41,7 @@ func main() {
 		}
 		if i == 0 {
 			cfg.OnConfirm = func(tx *types.Transaction, success bool, at simnet.Time) {
-				fmt.Printf("[%8s] %-8s tx %s confirmed success=%v\n",
+				fmt.Fprintf(w, "[%8s] %-8s tx %s confirmed success=%v\n",
 					at, tx.Kind(), tx.ID(), success)
 			}
 		}
@@ -64,10 +69,10 @@ func main() {
 	sim.Run(simnet.Time(3 * time.Second))
 
 	st := replicas[0].Store()
-	fmt.Printf("\nfinal state at replica 0:\n")
-	fmt.Printf("  alice   = %d (paid 30)\n", st.Balance("alice"))
-	fmt.Printf("  bob     = %d (received 30, paid 5 fee)\n", st.Balance("bob"))
-	fmt.Printf("  counter = %d (assigned by the contract)\n", st.SharedValue("counter"))
+	fmt.Fprintf(w, "\nfinal state at replica 0:\n")
+	fmt.Fprintf(w, "  alice   = %d (paid 30)\n", st.Balance("alice"))
+	fmt.Fprintf(w, "  bob     = %d (received 30, paid 5 fee)\n", st.Balance("bob"))
+	fmt.Fprintf(w, "  counter = %d (assigned by the contract)\n", st.SharedValue("counter"))
 
 	// Every replica reached the same state (safety, Theorem 1).
 	for i := 1; i < n; i++ {
@@ -75,5 +80,5 @@ func main() {
 			panic(fmt.Sprintf("replica %d diverged", i))
 		}
 	}
-	fmt.Println("all replicas agree ✔")
+	fmt.Fprintln(w, "all replicas agree ✔")
 }

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun executes the quickstart end to end: both transactions confirm
+// and every replica converges (run panics on divergence).
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	run(&out)
+	s := out.String()
+	for _, marker := range []string{"confirmed success=true", "final state at replica 0", "all replicas agree"} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, s)
+		}
+	}
+}

@@ -1,49 +1,66 @@
 // Straggler: the paper's headline scenario. Runs Orthrus and ISS side by
 // side on a simulated WAN with one 10x-slow instance and prints the latency
-// gap (Fig. 3d's message in miniature).
+// gap (Fig. 3d's message in miniature). The six independent runs fan out
+// across cores through internal/runner.
 //
 //	go run ./examples/straggler
 package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
-func main() {
-	run := func(mode core.Mode, stragglers int) *cluster.Result {
-		return cluster.Run(cluster.Config{
+func main() { run(os.Stdout, 1) }
+
+// run executes the example, writing its narrative to w. Scale in (0,1]
+// shrinks durations and load for quick smoke runs; 1 is the full example.
+func run(w io.Writer, scale float64) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	cfg := func(mode core.Mode, stragglers int) cluster.Config {
+		return cluster.Config{
 			N:            8,
 			Protocol:     mode,
 			Net:          cluster.WAN,
 			Stragglers:   stragglers,
 			Workload:     workload.Config{Accounts: 2000, Seed: 1},
-			LoadTPS:      2000,
-			Duration:     8 * time.Second,
-			Drain:        40 * time.Second,
+			LoadTPS:      2000 * scale,
+			Duration:     time.Duration(float64(8*time.Second) * scale),
+			Drain:        time.Duration(float64(40*time.Second) * scale),
 			BatchSize:    512,
 			BatchTimeout: 100 * time.Millisecond,
 			NIC:          true,
 			Seed:         1,
-		})
+		}
 	}
 
-	fmt.Println("WAN, 8 replicas, 46% payments — mean client latency")
-	fmt.Println()
-	fmt.Printf("%-10s %16s %16s\n", "protocol", "no straggler", "one straggler")
-	for _, mode := range []core.Mode{core.OrthrusMode(), baseline.ISSMode(), baseline.LadonMode()} {
-		clean := run(mode, 0)
-		slow := run(mode, 1)
-		fmt.Printf("%-10s %15.2fs %15.2fs\n", mode.Name,
+	modes := []core.Mode{core.OrthrusMode(), baseline.ISSMode(), baseline.LadonMode()}
+	var jobs []runner.Job
+	for _, mode := range modes {
+		jobs = append(jobs, runner.NewJob(cfg(mode, 0)), runner.NewJob(cfg(mode, 1)))
+	}
+	results := runner.Run(jobs, runner.Options{})
+
+	fmt.Fprintln(w, "WAN, 8 replicas, 46% payments — mean client latency")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %16s %16s\n", "protocol", "no straggler", "one straggler")
+	for i, mode := range modes {
+		clean, slow := results[2*i], results[2*i+1]
+		fmt.Fprintf(w, "%-10s %15.2fs %15.2fs\n", mode.Name,
 			clean.Latency.Mean().Seconds(), slow.Latency.Mean().Seconds())
 	}
-	fmt.Println()
-	fmt.Println("Orthrus's payments bypass the global log, so the straggler only")
-	fmt.Println("delays contract transactions; ISS serializes everything behind the")
-	fmt.Println("slow instance's positions in the global log.")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Orthrus's payments bypass the global log, so the straggler only")
+	fmt.Fprintln(w, "delays contract transactions; ISS serializes everything behind the")
+	fmt.Fprintln(w, "slow instance's positions in the global log.")
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun executes the straggler comparison at reduced scale through the
+// parallel runner and checks all three protocol rows render.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six 8-replica clusters")
+	}
+	var out bytes.Buffer
+	run(&out, 0.2)
+	s := out.String()
+	for _, marker := range []string{"protocol", "Orthrus", "ISS", "Ladon", "one straggler"} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, s)
+		}
+	}
+}

@@ -8,6 +8,8 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"repro/internal/baseline"
@@ -16,7 +18,10 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
+func main() { run(os.Stdout) }
+
+// run executes the example, writing its narrative to w.
+func run(w io.Writer) {
 	// 1. Generate and freeze a 2,000-transaction trace (46% payments,
 	//    Zipf-skewed accounts — the paper's dataset in miniature).
 	gen := workload.New(workload.Config{Seed: 2024, Accounts: 500, ContractCallers: 1})
@@ -24,7 +29,7 @@ func main() {
 	if err := gen.Export(&frozen, 2000); err != nil {
 		panic(err)
 	}
-	fmt.Printf("frozen trace: %d transactions, %d bytes CSV\n\n",
+	fmt.Fprintf(w, "frozen trace: %d transactions, %d bytes CSV\n\n",
 		2000, frozen.Len())
 
 	// 2. Replay the identical trace under Orthrus and ISS: same inputs,
@@ -51,14 +56,14 @@ func main() {
 		})
 	}
 
-	fmt.Printf("%-10s %10s %10s %10s %9s\n", "protocol", "confirmed", "aborted", "mean lat", "p99")
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %9s\n", "protocol", "confirmed", "aborted", "mean lat", "p99")
 	for _, mode := range []core.Mode{core.OrthrusMode(), baseline.ISSMode()} {
 		res := replay(mode)
-		fmt.Printf("%-10s %10d %10d %9.2fs %8.2fs\n",
+		fmt.Fprintf(w, "%-10s %10d %10d %9.2fs %8.2fs\n",
 			mode.Name, res.Latency.Count(), res.Aborted,
 			res.Latency.Mean().Seconds(), res.Latency.Percentile(99).Seconds())
 	}
-	fmt.Println("\nSame trace, same genesis, one 10x straggler: Orthrus confirms")
-	fmt.Println("payments from partial logs while ISS serializes everything through")
-	fmt.Println("the straggler-gated global log.")
+	fmt.Fprintln(w, "\nSame trace, same genesis, one 10x straggler: Orthrus confirms")
+	fmt.Fprintln(w, "payments from partial logs while ISS serializes everything through")
+	fmt.Fprintln(w, "the straggler-gated global log.")
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun freezes a trace and replays it through Orthrus and ISS,
+// asserting the replay table renders for both protocols.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a 2000-transaction trace through two clusters")
+	}
+	var out bytes.Buffer
+	run(&out)
+	s := out.String()
+	for _, marker := range []string{"frozen trace: 2000 transactions", "Orthrus", "ISS", "Same trace, same genesis"} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, s)
+		}
+	}
+}

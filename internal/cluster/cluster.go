@@ -113,6 +113,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Label returns a stable, human-readable key for this configuration; the
+// runner's job lists use it to identify runs. It names the measured cell
+// (protocol, network, size, fault axis), not every knob, so it is unique
+// within one figure's grid but not across figures — suite-level callers
+// namespace it (see internal/experiments suiteJobs). A negative
+// PaymentFraction is the workload's explicit-0% sentinel and labels as
+// pay=0.00.
+func (c Config) Label() string {
+	s := fmt.Sprintf("%s/%s/n=%d", c.Protocol.Name, c.Net, c.N)
+	if c.Stragglers > 0 {
+		s += fmt.Sprintf("/straggler=%d", c.Stragglers)
+	}
+	if c.DetectableFaults > 0 {
+		s += fmt.Sprintf("/crash=%d", c.DetectableFaults)
+	}
+	if c.UndetectableFaults > 0 {
+		s += fmt.Sprintf("/byz=%d", c.UndetectableFaults)
+	}
+	if frac := c.Workload.PaymentFraction; frac < 0 {
+		s += "/pay=0.00"
+	} else if frac > 0 {
+		s += fmt.Sprintf("/pay=%.2f", frac)
+	}
+	return s
+}
+
 // Result aggregates one run's measurements.
 type Result struct {
 	Protocol string

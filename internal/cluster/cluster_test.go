@@ -168,3 +168,23 @@ func TestNICModelRun(t *testing.T) {
 		t.Fatal("NIC-model run confirmed nothing")
 	}
 }
+
+func TestConfigLabel(t *testing.T) {
+	cfg := Config{N: 16, Protocol: core.OrthrusMode(), Net: WAN}
+	if got := cfg.Label(); got != "Orthrus/WAN/n=16" {
+		t.Fatalf("plain label %q", got)
+	}
+	cfg.Stragglers = 1
+	cfg.UndetectableFaults = 2
+	cfg.Workload.PaymentFraction = 0.46
+	got := cfg.Label()
+	want := "Orthrus/WAN/n=16/straggler=1/byz=2/pay=0.46"
+	if got != want {
+		t.Fatalf("label %q, want %q", got, want)
+	}
+	cfg.Workload.PaymentFraction = -1 // explicit-0% sentinel
+	cfg.Stragglers, cfg.UndetectableFaults = 0, 0
+	if got := cfg.Label(); got != "Orthrus/WAN/n=16/pay=0.00" {
+		t.Fatalf("sentinel label %q", got)
+	}
+}

@@ -1,7 +1,12 @@
 // Package experiments defines one runnable configuration per table/figure
-// of the paper's evaluation (Sec. VII) and prints the series the paper
-// plots. Both cmd/orthrus-bench and the repository's benchmark suite call
-// into it, so the numbers in EXPERIMENTS.md regenerate from one place.
+// of the paper's evaluation (Sec. VII). Each figure is a declarative job
+// list (independent cluster.Config runs) plus a pure assembler that turns
+// the measured results into a JSON-serializable FigureResult; rendering to
+// text is separate (render.go). Job lists execute through internal/runner,
+// so a figure — or the whole suite — fans out across every core while
+// producing results identical to a serial sweep. Both cmd/orthrus-bench
+// and the repository's benchmark suite call into it, so the numbers in
+// EXPERIMENTS.md regenerate from one place.
 //
 // Scale: every experiment takes a Scale in (0, 1]; 1 runs the full
 // configuration (all replica counts up to 128, paper durations), smaller
@@ -13,13 +18,13 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -85,21 +90,12 @@ func baseConfig(mode core.Mode, n int, net cluster.NetProfile, scale float64) cl
 
 // Row is one data point of a throughput/latency sweep.
 type Row struct {
-	Protocol   string
-	N          int
-	Stragglers int
-	TputKTPS   float64
-	LatencyS   float64
-	P99S       float64
-}
-
-func printRows(w io.Writer, title string, rows []Row) {
-	fmt.Fprintf(w, "\n== %s ==\n", title)
-	fmt.Fprintf(w, "%-8s %5s %10s %12s %10s %10s\n", "proto", "n", "straggler", "tput(ktps)", "lat(s)", "p99(s)")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %5d %10d %12.1f %10.2f %10.2f\n",
-			r.Protocol, r.N, r.Stragglers, r.TputKTPS, r.LatencyS, r.P99S)
-	}
+	Protocol   string  `json:"protocol"`
+	N          int     `json:"n"`
+	Stragglers int     `json:"stragglers"`
+	TputKTPS   float64 `json:"tput_ktps"`
+	LatencyS   float64 `json:"latency_s"`
+	P99S       float64 `json:"p99_s"`
 }
 
 func toRow(res *cluster.Result, stragglers int) Row {
@@ -113,77 +109,16 @@ func toRow(res *cluster.Result, stragglers int) Row {
 	}
 }
 
-// Sweep runs the Fig. 3 / Fig. 4 protocol-vs-replica-count grid for one
-// network profile and straggler count and returns the rows.
-func Sweep(net cluster.NetProfile, stragglers int, scale float64) []Row {
-	scale = clampScale(scale)
-	var rows []Row
-	for _, n := range replicaCounts(scale) {
-		for _, mode := range baseline.AllModes() {
-			cfg := baseConfig(mode, n, net, scale)
-			cfg.Stragglers = stragglers
-			rows = append(rows, toRow(cluster.Run(cfg), stragglers))
-		}
-	}
-	return rows
-}
-
-// Fig3 reproduces Fig. 3 (WAN): throughput and latency of all six
-// protocols over 8..128 replicas, with zero and one straggler.
-func Fig3(w io.Writer, scale float64) {
-	printRows(w, "Fig 3a/3b: WAN, no stragglers", Sweep(cluster.WAN, 0, scale))
-	printRows(w, "Fig 3c/3d: WAN, one straggler", Sweep(cluster.WAN, 1, scale))
-}
-
-// Fig4 reproduces Fig. 4 (LAN).
-func Fig4(w io.Writer, scale float64) {
-	printRows(w, "Fig 4a/4b: LAN, no stragglers", Sweep(cluster.LAN, 0, scale))
-	printRows(w, "Fig 4c/4d: LAN, one straggler", Sweep(cluster.LAN, 1, scale))
-}
-
-// PaymentSweep runs Orthrus at n = 16 (WAN) across payment proportions.
-func PaymentSweep(stragglers int, scale float64) []Row {
-	scale = clampScale(scale)
-	fractions := []float64{-1, 0.2, 0.4, 0.6, 0.8, 1.0} // -1 = explicit 0%
-	var rows []Row
-	for _, frac := range fractions {
-		cfg := baseConfig(core.OrthrusMode(), 16, cluster.WAN, scale)
-		cfg.Stragglers = stragglers
-		cfg.Workload.PaymentFraction = frac
-		res := cluster.Run(cfg)
-		row := toRow(res, stragglers)
-		if frac < 0 {
-			row.Protocol = "pay=0%"
-		} else {
-			row.Protocol = fmt.Sprintf("pay=%.0f%%", frac*100)
-		}
-		rows = append(rows, row)
-	}
-	return rows
-}
-
-// Fig5 reproduces Fig. 5: Orthrus under varying payment proportions, with
-// and without a straggler (16 replicas, WAN).
-func Fig5(w io.Writer, scale float64) {
-	printRows(w, "Fig 5: payment proportion sweep, no straggler", PaymentSweep(0, scale))
-	printRows(w, "Fig 5: payment proportion sweep, one straggler", PaymentSweep(1, scale))
-}
-
 // BreakdownResult carries a five-stage latency split for one protocol.
+// Stage durations marshal as nanoseconds.
 type BreakdownResult struct {
-	Protocol string
-	Stages   map[string]time.Duration
-	Total    time.Duration
+	Protocol string                   `json:"protocol"`
+	Stages   map[string]time.Duration `json:"stages_ns"`
+	Total    time.Duration            `json:"total_ns"`
 }
 
-// Breakdown runs the Fig. 6 configuration (16 replicas, WAN, one
-// straggler) for one protocol and returns its stage split.
-func Breakdown(mode core.Mode, scale float64) BreakdownResult {
-	scale = clampScale(scale)
-	cfg := baseConfig(mode, 16, cluster.WAN, scale)
-	cfg.Stragglers = 1
-	res := cluster.Run(cfg)
-	out := BreakdownResult{Protocol: mode.Name, Stages: map[string]time.Duration{}}
+func toBreakdown(res *cluster.Result) BreakdownResult {
+	out := BreakdownResult{Protocol: res.Protocol, Stages: map[string]time.Duration{}}
 	for _, s := range metrics.Stages() {
 		out.Stages[s.String()] = res.Breakdown.Mean(s)
 	}
@@ -191,39 +126,92 @@ func Breakdown(mode core.Mode, scale float64) BreakdownResult {
 	return out
 }
 
-func printBreakdown(w io.Writer, b BreakdownResult) {
-	fmt.Fprintf(w, "%-8s", b.Protocol)
-	for _, s := range metrics.Stages() {
-		fmt.Fprintf(w, "  %s=%6.2fs", s.String()[:4], b.Stages[s.String()].Seconds())
-	}
-	frac := 0.0
-	if b.Total > 0 {
-		frac = b.Stages[metrics.StageGlobal.String()].Seconds() / b.Total.Seconds() * 100
-	}
-	fmt.Fprintf(w, "  total=%6.2fs  global%%=%.1f\n", b.Total.Seconds(), frac)
-}
-
-// Fig6 reproduces Fig. 6: latency breakdown of Orthrus vs ISS with a
-// straggler. Fig. 1b is the ISS row of the same experiment.
-func Fig6(w io.Writer, scale float64) {
-	fmt.Fprintf(w, "\n== Fig 6 (and Fig 1b): latency breakdown, WAN n=16, one straggler ==\n")
-	printBreakdown(w, Breakdown(core.OrthrusMode(), scale))
-	printBreakdown(w, Breakdown(baseline.ISSMode(), scale))
-}
-
 // SeriesResult is a Fig. 7 time series for one fault count.
 type SeriesResult struct {
-	Faults     int
-	TimeS      []float64
-	TputKTPS   []float64
-	LatencyS   []float64
-	ViewChange int
+	Faults     int       `json:"faults"`
+	TimeS      []float64 `json:"time_s"`
+	TputKTPS   []float64 `json:"tput_ktps"`
+	LatencyS   []float64 `json:"latency_s"`
+	ViewChange int       `json:"view_changes"`
 }
 
-// FaultSeries runs the Fig. 7 configuration: Orthrus, 16 replicas, WAN,
+func toSeries(res *cluster.Result, faults int) SeriesResult {
+	out := SeriesResult{Faults: faults, ViewChange: res.ViewChanges}
+	for i := 0; i < res.Series.Bins(); i++ {
+		out.TimeS = append(out.TimeS, float64(i)*res.Series.Bin.Seconds())
+		out.TputKTPS = append(out.TputKTPS, res.Series.Throughput(i)/1000)
+		out.LatencyS = append(out.LatencyS, res.Series.MeanLatency(i).Seconds())
+	}
+	return out
+}
+
+// --- job-list builders: one declarative runner.Job per grid cell ---
+
+// sweepJobs is the Fig. 3 / Fig. 4 protocol-vs-replica-count grid for one
+// network profile and straggler count.
+func sweepJobs(net cluster.NetProfile, stragglers int, scale float64) []runner.Job {
+	scale = clampScale(scale)
+	var jobs []runner.Job
+	for _, n := range replicaCounts(scale) {
+		for _, mode := range baseline.AllModes() {
+			cfg := baseConfig(mode, n, net, scale)
+			cfg.Stragglers = stragglers
+			jobs = append(jobs, runner.NewJob(cfg))
+		}
+	}
+	return jobs
+}
+
+func sweepRows(res []*cluster.Result, stragglers int) []Row {
+	rows := make([]Row, len(res))
+	for i, r := range res {
+		rows[i] = toRow(r, stragglers)
+	}
+	return rows
+}
+
+// paymentFractions is the Fig. 5 x-axis; -1 means an explicit 0% payments.
+var paymentFractions = []float64{-1, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+// paymentJobs runs Orthrus at n = 16 (WAN) across payment proportions.
+func paymentJobs(stragglers int, scale float64) []runner.Job {
+	scale = clampScale(scale)
+	var jobs []runner.Job
+	for _, frac := range paymentFractions {
+		cfg := baseConfig(core.OrthrusMode(), 16, cluster.WAN, scale)
+		cfg.Stragglers = stragglers
+		cfg.Workload.PaymentFraction = frac
+		jobs = append(jobs, runner.NewJob(cfg))
+	}
+	return jobs
+}
+
+func paymentRows(res []*cluster.Result, stragglers int) []Row {
+	rows := make([]Row, len(res))
+	for i, r := range res {
+		row := toRow(r, stragglers)
+		if frac := paymentFractions[i]; frac < 0 {
+			row.Protocol = "pay=0%"
+		} else {
+			row.Protocol = fmt.Sprintf("pay=%.0f%%", frac*100)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// breakdownJob is the Fig. 6 configuration (16 replicas, WAN, one
+// straggler) for one protocol.
+func breakdownJob(mode core.Mode, scale float64) runner.Job {
+	cfg := baseConfig(mode, 16, cluster.WAN, clampScale(scale))
+	cfg.Stragglers = 1
+	return runner.NewJob(cfg)
+}
+
+// faultJob is the Fig. 7 configuration: Orthrus, 16 replicas, WAN,
 // crashing the given number of replicas at t = 9 s, view-change timeout
 // 10 s, measured in 0.5 s bins.
-func FaultSeries(faults int, scale float64) SeriesResult {
+func faultJob(faults int, scale float64) runner.Job {
 	scale = clampScale(scale)
 	cfg := baseConfig(core.OrthrusMode(), 16, cluster.WAN, 1)
 	cfg.AnalyticSB = false
@@ -234,75 +222,64 @@ func FaultSeries(faults int, scale float64) SeriesResult {
 	cfg.EpochLen = 64
 	cfg.DetectableFaults = faults
 	cfg.FaultAt = 9 * time.Second
-	res := cluster.Run(cfg)
-	out := SeriesResult{Faults: faults, ViewChange: res.ViewChanges}
-	for i := 0; i < res.Series.Bins(); i++ {
-		out.TimeS = append(out.TimeS, float64(i)*res.Series.Bin.Seconds())
-		out.TputKTPS = append(out.TputKTPS, res.Series.Throughput(i)/1000)
-		out.LatencyS = append(out.LatencyS, res.Series.MeanLatency(i).Seconds())
-	}
-	return out
+	return runner.NewJob(cfg)
 }
 
-// Fig7 reproduces Fig. 7: throughput and latency over time with 0, 1 and 5
-// crash faults injected at t = 9 s.
-func Fig7(w io.Writer, scale float64) {
-	fmt.Fprintf(w, "\n== Fig 7: Orthrus under detectable faults (crash at 9s, WAN n=16) ==\n")
-	for _, f := range []int{0, 1, 5} {
-		s := FaultSeries(f, scale)
-		fmt.Fprintf(w, "f=%d (view changes observed: %d)\n", s.Faults, s.ViewChange)
-		fmt.Fprintf(w, "  t(s):      ")
-		for i := 0; i < len(s.TimeS); i += 4 {
-			fmt.Fprintf(w, "%6.1f", s.TimeS[i])
-		}
-		fmt.Fprintf(w, "\n  tput(ktps):")
-		for i := 0; i < len(s.TputKTPS); i += 4 {
-			fmt.Fprintf(w, "%6.1f", s.TputKTPS[i])
-		}
-		fmt.Fprintf(w, "\n  lat(s):    ")
-		for i := 0; i < len(s.LatencyS); i += 4 {
-			fmt.Fprintf(w, "%6.1f", s.LatencyS[i])
-		}
-		fmt.Fprintln(w)
-	}
-}
+// faultCounts is the Fig. 7 fault axis.
+var faultCounts = []int{0, 1, 5}
 
-// UndetectableSweep runs Fig. 8: Orthrus with 0..5 Byzantine
-// selective-participation replicas (16 replicas, WAN).
-func UndetectableSweep(scale float64) []Row {
+// byzJobs runs Fig. 8: Orthrus with 0..5 Byzantine selective-participation
+// replicas (16 replicas, WAN).
+func byzJobs(scale float64) []runner.Job {
 	scale = clampScale(scale)
-	var rows []Row
+	var jobs []runner.Job
 	for faults := 0; faults <= 5; faults++ {
 		cfg := baseConfig(core.OrthrusMode(), 16, cluster.WAN, scale)
 		cfg.AnalyticSB = false
 		cfg.NIC = true
 		cfg.UndetectableFaults = faults
-		res := cluster.Run(cfg)
-		row := toRow(res, 0)
-		row.Protocol = fmt.Sprintf("byz=%d", faults)
-		rows = append(rows, row)
+		jobs = append(jobs, runner.NewJob(cfg))
+	}
+	return jobs
+}
+
+func byzRows(res []*cluster.Result) []Row {
+	rows := make([]Row, len(res))
+	for i, r := range res {
+		row := toRow(r, 0)
+		row.Protocol = fmt.Sprintf("byz=%d", i)
+		rows[i] = row
 	}
 	return rows
 }
 
-// Fig8 reproduces Fig. 8.
-func Fig8(w io.Writer, scale float64) {
-	printRows(w, "Fig 8: undetectable faults (WAN n=16)", UndetectableSweep(scale))
+// --- direct sweep APIs (kept for callers that want rows, not figures) ---
+
+// Sweep runs the Fig. 3 / Fig. 4 protocol-vs-replica-count grid for one
+// network profile and straggler count and returns the rows.
+func Sweep(net cluster.NetProfile, stragglers int, scale float64) []Row {
+	return sweepRows(runner.Run(sweepJobs(net, stragglers, scale), runner.Options{}), stragglers)
 }
 
-// Fig1b reproduces the motivating breakdown: ISS with a 10x straggler.
-func Fig1b(w io.Writer, scale float64) {
-	fmt.Fprintf(w, "\n== Fig 1b: ISS latency breakdown with one straggler (WAN n=16) ==\n")
-	printBreakdown(w, Breakdown(baseline.ISSMode(), scale))
+// PaymentSweep runs Orthrus at n = 16 (WAN) across payment proportions.
+func PaymentSweep(stragglers int, scale float64) []Row {
+	return paymentRows(runner.Run(paymentJobs(stragglers, scale), runner.Options{}), stragglers)
 }
 
-// All runs every figure at the given scale.
-func All(w io.Writer, scale float64) {
-	Fig1b(w, scale)
-	Fig3(w, scale)
-	Fig4(w, scale)
-	Fig5(w, scale)
-	Fig6(w, scale)
-	Fig7(w, scale)
-	Fig8(w, scale)
+// Breakdown runs the Fig. 6 configuration for one protocol and returns its
+// stage split.
+func Breakdown(mode core.Mode, scale float64) BreakdownResult {
+	res := runner.Run([]runner.Job{breakdownJob(mode, scale)}, runner.Options{})
+	return toBreakdown(res[0])
+}
+
+// FaultSeries runs one Fig. 7 fault count and returns its time series.
+func FaultSeries(faults int, scale float64) SeriesResult {
+	res := runner.Run([]runner.Job{faultJob(faults, scale)}, runner.Options{})
+	return toSeries(res[0], faults)
+}
+
+// UndetectableSweep runs Fig. 8 and returns the rows.
+func UndetectableSweep(scale float64) []Row {
+	return byzRows(runner.Run(byzJobs(scale), runner.Options{}))
 }

@@ -2,11 +2,15 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 // The figure functions are exercised end to end by cmd/orthrus-bench and
@@ -78,5 +82,71 @@ func TestFig1bOutput(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "ISS") || !strings.Contains(out, "global%") {
 		t.Fatalf("unexpected output: %s", out)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run([]string{"9"}, runner.Options{}, 0.1); err == nil {
+		t.Fatal("expected an error for an unknown figure id")
+	}
+}
+
+func TestFigureIDsMatchSpecs(t *testing.T) {
+	specs := figureSpecs(0.1)
+	ids := FigureIDs()
+	if len(specs) != len(ids) {
+		t.Fatalf("%d specs for %d ids", len(specs), len(ids))
+	}
+	for i, s := range specs {
+		if s.id != ids[i] {
+			t.Fatalf("spec %d has id %q, want %q", i, s.id, ids[i])
+		}
+		if len(s.jobs) == 0 {
+			t.Fatalf("figure %q has no jobs", s.id)
+		}
+	}
+}
+
+func TestFigureResultJSONRoundTrip(t *testing.T) {
+	in := FigureResult{
+		Figure: "3",
+		Title:  "demo",
+		Tables: []Table{{Title: "t", Rows: []Row{{Protocol: "Orthrus", N: 8, TputKTPS: 1.5, LatencyS: 0.25, P99S: 0.5}}}},
+		Breakdowns: []BreakdownResult{{Protocol: "ISS",
+			Stages: map[string]time.Duration{"Send": time.Second}, Total: time.Second}},
+		Series: []SeriesResult{{Faults: 1, TimeS: []float64{0, 0.5}, TputKTPS: []float64{1, 2},
+			LatencyS: []float64{0.1, 0.2}, ViewChange: 1}},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out FigureResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin  %+v\nout %+v", in, out)
+	}
+}
+
+func TestSuiteJobKeysUnique(t *testing.T) {
+	specs := figureSpecs(1)
+	jobs := suiteJobs(specs)
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.Key] {
+			t.Fatalf("duplicate suite job key %q", j.Key)
+		}
+		seen[j.Key] = true
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("%d unique keys for %d jobs", len(seen), len(jobs))
+	}
+}
+
+func TestRunRejectsDuplicateFigure(t *testing.T) {
+	if _, err := Run([]string{"6", "6"}, runner.Options{}, 0.1); err == nil {
+		t.Fatal("expected an error for a duplicate figure id")
 	}
 }

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Table is one titled block of sweep rows inside a figure.
+type Table struct {
+	Title string `json:"title"`
+	Rows  []Row  `json:"rows"`
+}
+
+// FigureResult is the structured, JSON-serializable outcome of one figure:
+// every number the figure plots, separated from its text rendering
+// (Render). cmd/orthrus-bench -json writes a list of these.
+type FigureResult struct {
+	Figure     string            `json:"figure"`
+	Title      string            `json:"title"`
+	Tables     []Table           `json:"tables,omitempty"`
+	Breakdowns []BreakdownResult `json:"breakdowns,omitempty"`
+	Series     []SeriesResult    `json:"series,omitempty"`
+}
+
+// figureSpec pairs a figure's declarative job list with the pure assembler
+// that shapes the measured results; results arrive indexed like jobs.
+type figureSpec struct {
+	id       string
+	title    string
+	jobs     []runner.Job
+	assemble func(res []*cluster.Result) FigureResult
+}
+
+func fig1bSpec(scale float64) figureSpec {
+	title := "Fig 1b: ISS latency breakdown with one straggler (WAN n=16)"
+	return figureSpec{
+		id: "1b", title: title,
+		jobs: []runner.Job{breakdownJob(baseline.ISSMode(), scale)},
+		assemble: func(res []*cluster.Result) FigureResult {
+			return FigureResult{Figure: "1b", Title: title,
+				Breakdowns: []BreakdownResult{toBreakdown(res[0])}}
+		},
+	}
+}
+
+func netSweepSpec(id, name string, net cluster.NetProfile, scale float64) figureSpec {
+	clean := sweepJobs(net, 0, scale)
+	straggled := sweepJobs(net, 1, scale)
+	title := fmt.Sprintf("Fig %s: %s throughput/latency vs replica count", id, name)
+	return figureSpec{
+		id: id, title: title,
+		jobs: append(append([]runner.Job{}, clean...), straggled...),
+		assemble: func(res []*cluster.Result) FigureResult {
+			return FigureResult{Figure: id, Title: title, Tables: []Table{
+				{Title: fmt.Sprintf("Fig %sa/%sb: %s, no stragglers", id, id, name), Rows: sweepRows(res[:len(clean)], 0)},
+				{Title: fmt.Sprintf("Fig %sc/%sd: %s, one straggler", id, id, name), Rows: sweepRows(res[len(clean):], 1)},
+			}}
+		},
+	}
+}
+
+func fig5Spec(scale float64) figureSpec {
+	clean := paymentJobs(0, scale)
+	straggled := paymentJobs(1, scale)
+	title := "Fig 5: Orthrus under varying payment proportions (WAN n=16)"
+	return figureSpec{
+		id: "5", title: title,
+		jobs: append(append([]runner.Job{}, clean...), straggled...),
+		assemble: func(res []*cluster.Result) FigureResult {
+			return FigureResult{Figure: "5", Title: title, Tables: []Table{
+				{Title: "Fig 5: payment proportion sweep, no straggler", Rows: paymentRows(res[:len(clean)], 0)},
+				{Title: "Fig 5: payment proportion sweep, one straggler", Rows: paymentRows(res[len(clean):], 1)},
+			}}
+		},
+	}
+}
+
+func fig6Spec(scale float64) figureSpec {
+	title := "Fig 6 (and Fig 1b): latency breakdown, WAN n=16, one straggler"
+	return figureSpec{
+		id: "6", title: title,
+		jobs: []runner.Job{
+			breakdownJob(core.OrthrusMode(), scale),
+			breakdownJob(baseline.ISSMode(), scale),
+		},
+		assemble: func(res []*cluster.Result) FigureResult {
+			return FigureResult{Figure: "6", Title: title,
+				Breakdowns: []BreakdownResult{toBreakdown(res[0]), toBreakdown(res[1])}}
+		},
+	}
+}
+
+func fig7Spec(scale float64) figureSpec {
+	title := "Fig 7: Orthrus under detectable faults (crash at 9s, WAN n=16)"
+	jobs := make([]runner.Job, len(faultCounts))
+	for i, f := range faultCounts {
+		jobs[i] = faultJob(f, scale)
+	}
+	return figureSpec{
+		id: "7", title: title, jobs: jobs,
+		assemble: func(res []*cluster.Result) FigureResult {
+			out := FigureResult{Figure: "7", Title: title}
+			for i, r := range res {
+				out.Series = append(out.Series, toSeries(r, faultCounts[i]))
+			}
+			return out
+		},
+	}
+}
+
+func fig8Spec(scale float64) figureSpec {
+	title := "Fig 8: undetectable faults (WAN n=16)"
+	return figureSpec{
+		id: "8", title: title,
+		jobs: byzJobs(scale),
+		assemble: func(res []*cluster.Result) FigureResult {
+			return FigureResult{Figure: "8", Title: title,
+				Tables: []Table{{Title: title, Rows: byzRows(res)}}}
+		},
+	}
+}
+
+func figureSpecs(scale float64) []figureSpec {
+	return []figureSpec{
+		fig1bSpec(scale),
+		netSweepSpec("3", "WAN", cluster.WAN, scale),
+		netSweepSpec("4", "LAN", cluster.LAN, scale),
+		fig5Spec(scale),
+		fig6Spec(scale),
+		fig7Spec(scale),
+		fig8Spec(scale),
+	}
+}
+
+// FigureIDs returns the supported figure identifiers in render order.
+func FigureIDs() []string { return []string{"1b", "3", "4", "5", "6", "7", "8"} }
+
+// Run executes the selected figures' job lists through one shared worker
+// pool and returns one FigureResult per id, in the order requested.
+// Results are independent of o.Workers: a parallel run reassembles in
+// deterministic job order, so its output equals a serial run's.
+func Run(ids []string, o runner.Options, scale float64) ([]FigureResult, error) {
+	scale = clampScale(scale)
+	byID := map[string]figureSpec{}
+	for _, s := range figureSpecs(scale) {
+		byID[s.id] = s
+	}
+	selected := make([]figureSpec, 0, len(ids))
+	requested := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		s, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown figure %q (want one of %v)", id, FigureIDs())
+		}
+		if requested[id] {
+			return nil, fmt.Errorf("experiments: figure %q requested twice", id)
+		}
+		requested[id] = true
+		selected = append(selected, s)
+	}
+	results := runner.Run(suiteJobs(selected), o)
+	out := make([]FigureResult, 0, len(selected))
+	off := 0
+	for _, s := range selected {
+		out = append(out, s.assemble(results[off:off+len(s.jobs)]))
+		off += len(s.jobs)
+	}
+	return out, nil
+}
+
+// suiteJobs concatenates the selected figures' job lists, namespacing each
+// key with its figure id: cluster.Config.Label alone is not unique across
+// figures (e.g. Fig 3's n=16 Orthrus cell, Fig 7's faults=0 run and
+// Fig 8's byz=0 run share a label), and pool-wide consumers of Job.Key
+// (OnDone progress, debugging) need distinct keys per run.
+func suiteJobs(selected []figureSpec) []runner.Job {
+	var jobs []runner.Job
+	for _, s := range selected {
+		for _, j := range s.jobs {
+			j.Key = "fig" + s.id + "/" + j.Key
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// mustRun is the compatibility path for the fixed-id figure helpers, where
+// an unknown-id error is impossible.
+func mustRun(w io.Writer, id string, scale float64) {
+	res, err := Run([]string{id}, runner.Options{}, scale)
+	if err != nil {
+		panic(err)
+	}
+	res[0].Render(w)
+}
+
+// Fig1b reproduces the motivating breakdown: ISS with a 10x straggler.
+func Fig1b(w io.Writer, scale float64) { mustRun(w, "1b", scale) }
+
+// Fig3 reproduces Fig. 3 (WAN): throughput and latency of all six
+// protocols over 8..128 replicas, with zero and one straggler.
+func Fig3(w io.Writer, scale float64) { mustRun(w, "3", scale) }
+
+// Fig4 reproduces Fig. 4 (LAN).
+func Fig4(w io.Writer, scale float64) { mustRun(w, "4", scale) }
+
+// Fig5 reproduces Fig. 5: Orthrus under varying payment proportions, with
+// and without a straggler (16 replicas, WAN).
+func Fig5(w io.Writer, scale float64) { mustRun(w, "5", scale) }
+
+// Fig6 reproduces Fig. 6: latency breakdown of Orthrus vs ISS with a
+// straggler. Fig. 1b is the ISS row of the same experiment.
+func Fig6(w io.Writer, scale float64) { mustRun(w, "6", scale) }
+
+// Fig7 reproduces Fig. 7: throughput and latency over time with 0, 1 and 5
+// crash faults injected at t = 9 s.
+func Fig7(w io.Writer, scale float64) { mustRun(w, "7", scale) }
+
+// Fig8 reproduces Fig. 8.
+func Fig8(w io.Writer, scale float64) { mustRun(w, "8", scale) }
+
+// All runs every figure at the given scale, sharing one worker pool across
+// the whole suite.
+func All(w io.Writer, scale float64) {
+	res, err := Run(FigureIDs(), runner.Options{}, scale)
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range res {
+		f.Render(w)
+	}
+}

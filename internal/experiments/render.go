@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// Text rendering of figure results. Renderers are pure: they read only the
+// FigureResult, so rendering a parallel run reproduces a serial run's
+// bytes exactly (the determinism regression test asserts this).
+
+func printRows(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	fmt.Fprintf(w, "%-8s %5s %10s %12s %10s %10s\n", "proto", "n", "straggler", "tput(ktps)", "lat(s)", "p99(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %5d %10d %12.1f %10.2f %10.2f\n",
+			r.Protocol, r.N, r.Stragglers, r.TputKTPS, r.LatencyS, r.P99S)
+	}
+}
+
+func printBreakdown(w io.Writer, b BreakdownResult) {
+	fmt.Fprintf(w, "%-8s", b.Protocol)
+	for _, s := range metrics.Stages() {
+		fmt.Fprintf(w, "  %s=%6.2fs", s.String()[:4], b.Stages[s.String()].Seconds())
+	}
+	frac := 0.0
+	if b.Total > 0 {
+		frac = b.Stages[metrics.StageGlobal.String()].Seconds() / b.Total.Seconds() * 100
+	}
+	fmt.Fprintf(w, "  total=%6.2fs  global%%=%.1f\n", b.Total.Seconds(), frac)
+}
+
+func printSeries(w io.Writer, s SeriesResult) {
+	fmt.Fprintf(w, "f=%d (view changes observed: %d)\n", s.Faults, s.ViewChange)
+	fmt.Fprintf(w, "  t(s):      ")
+	for i := 0; i < len(s.TimeS); i += 4 {
+		fmt.Fprintf(w, "%6.1f", s.TimeS[i])
+	}
+	fmt.Fprintf(w, "\n  tput(ktps):")
+	for i := 0; i < len(s.TputKTPS); i += 4 {
+		fmt.Fprintf(w, "%6.1f", s.TputKTPS[i])
+	}
+	fmt.Fprintf(w, "\n  lat(s):    ")
+	for i := 0; i < len(s.LatencyS); i += 4 {
+		fmt.Fprintf(w, "%6.1f", s.LatencyS[i])
+	}
+	fmt.Fprintln(w)
+}
+
+// Render writes the figure's text form: a figure-level header for
+// breakdown/series figures, then every breakdown line, series block and
+// sweep table the figure holds.
+func (f FigureResult) Render(w io.Writer) {
+	if len(f.Breakdowns) > 0 || len(f.Series) > 0 {
+		fmt.Fprintf(w, "\n== %s ==\n", f.Title)
+	}
+	for _, b := range f.Breakdowns {
+		printBreakdown(w, b)
+	}
+	for _, s := range f.Series {
+		printSeries(w, s)
+	}
+	for _, t := range f.Tables {
+		printRows(w, t.Title, t.Rows)
+	}
+}

@@ -1,0 +1,106 @@
+// Package runner executes independent cluster configurations across all
+// cores. Every cluster.Run owns its own deterministic simulation (seeded
+// RNGs, no shared mutable state), so fanning a job list over a worker pool
+// and reassembling the results in job order produces output byte-identical
+// to a serial sweep — the property the determinism regression tests pin
+// down. The experiment figures (internal/experiments) and the benchmark
+// harness both run through this pool.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+)
+
+// Job is one experiment to execute: a stable key (for artifacts, progress
+// reporting and debugging) plus the full cluster configuration.
+type Job struct {
+	Key    string
+	Config cluster.Config
+}
+
+// NewJob builds a job keyed by the configuration's label.
+func NewJob(cfg cluster.Config) Job {
+	return Job{Key: cfg.Label(), Config: cfg}
+}
+
+// Options tunes how a job list executes.
+type Options struct {
+	// Workers is the pool size: 0 (or negative) uses GOMAXPROCS, 1 runs
+	// serially on the calling goroutine.
+	Workers int
+	// Run overrides the per-job executor (default cluster.Run); tests use
+	// it to exercise pool behavior without full simulations.
+	Run func(cluster.Config) *cluster.Result
+	// OnDone, if set, is called after each job finishes with its index and
+	// result. Calls may arrive from multiple goroutines and out of job
+	// order; the callback must be safe for concurrent use.
+	OnDone func(i int, job Job, res *cluster.Result)
+}
+
+func (o Options) workers(jobs int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) run() func(cluster.Config) *cluster.Result {
+	if o.Run != nil {
+		return o.Run
+	}
+	return cluster.Run
+}
+
+// Run executes every job and returns the results indexed exactly like the
+// job slice, regardless of completion order. With Workers == 1 the jobs
+// run serially in order; otherwise a fixed pool of workers claims jobs by
+// atomically incrementing a shared cursor.
+func Run(jobs []Job, o Options) []*cluster.Result {
+	out := make([]*cluster.Result, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	exec := o.run()
+	workers := o.workers(len(jobs))
+	if workers == 1 {
+		for i, j := range jobs {
+			out[i] = exec(j.Config)
+			if o.OnDone != nil {
+				o.OnDone(i, j, out[i])
+			}
+		}
+		return out
+	}
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				out[i] = exec(jobs[i].Config)
+				if o.OnDone != nil {
+					o.OnDone(i, jobs[i], out[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
