@@ -21,6 +21,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/pbft"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/types"
 	"repro/internal/workload"
@@ -172,6 +173,32 @@ func BenchmarkFig8(b *testing.B) {
 				cfg := benchCfg(core.OrthrusMode(), 16, cluster.WAN)
 				cfg.UndetectableFaults = byz
 				reportCluster(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkFigS1 runs one scenario-suite cell per preset: Orthrus under
+// each dynamic fault/load timeline, reporting throughput, latency and the
+// view changes the scenario provoked.
+func BenchmarkFigS1(b *testing.B) {
+	for _, name := range scenario.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(core.OrthrusMode(), 10, cluster.WAN)
+				cfg.AnalyticSB = false
+				cfg.NIC = true
+				cfg.EpochLen = 64
+				cfg.ViewTimeout = cfg.Duration / 5
+				scn, err := scenario.Preset(name, cfg.N, cfg.Duration, cfg.Seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Scenario = scn
+				res := cluster.Run(cfg)
+				reportCluster(b, res)
+				b.ReportMetric(float64(res.ViewChanges), "view-changes")
 			}
 		})
 	}

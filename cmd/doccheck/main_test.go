@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCleanPackagesPass runs the checker over the packages CI gates on.
+func TestCleanPackagesPass(t *testing.T) {
+	var out bytes.Buffer
+	dirs := []string{
+		"../../internal/scenario",
+		"../../internal/partition",
+		"../../internal/order",
+		"../../internal/baseline",
+	}
+	if err := run(dirs, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+// TestUndocumentedSymbolFails feeds a synthetic package with one
+// documented and one undocumented export and expects only the latter
+// reported.
+func TestUndocumentedSymbolFails(t *testing.T) {
+	dir := t.TempDir()
+	src := `package x
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+type Missing struct{}
+
+// Grouped declarations are covered by the group comment.
+const (
+	A = 1
+	B = 2
+)
+`
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{dir}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("undocumented symbols passed")
+	}
+	msg := err.Error()
+	for _, want := range []string{"Undocumented", "Missing"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error does not name %s: %v", want, err)
+		}
+	}
+	for _, clean := range []string{"Documented", ": A", ": B"} {
+		if strings.Contains(msg, clean) {
+			t.Fatalf("error flags documented symbol %s: %v", clean, err)
+		}
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected usage error")
+	}
+}

@@ -8,6 +8,7 @@
 //	orthrus-bench -fig all -scale 0.25              # quick pass over every figure
 //	orthrus-bench -fig 3,4 -scale 1                 # full Fig. 3+4 sweeps (slow)
 //	orthrus-bench -fig 6                            # latency breakdown only
+//	orthrus-bench -fig S1 -scenario crash-recover   # one dynamic-fault scenario
 //	orthrus-bench -parallel 1                       # force a serial run
 //	orthrus-bench -json BENCH_results.json          # write the JSON artifact
 //
@@ -86,6 +87,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("orthrus-bench", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "comma-separated figures to regenerate: "+strings.Join(experiments.FigureIDs(), ", ")+", or all")
+	scn := fs.String("scenario", "", "comma-separated S1 scenarios to run: "+strings.Join(experiments.ScenarioNames(), ", ")+" (default all; only affects fig S1)")
 	scale := fs.Float64("scale", 0.25, "experiment scale in (0,1]; 1 = paper-sized")
 	parallel := fs.Int("parallel", 0, "worker pool size: 0 = all cores, 1 = serial")
 	jsonPath := fs.String("json", "", "write structured results to this path (e.g. BENCH_results.json)")
@@ -108,9 +110,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var scenarios []string
+	seenScn := map[string]bool{}
+	for _, name := range strings.Split(*scn, ",") {
+		if name = strings.TrimSpace(name); name != "" && !seenScn[name] {
+			seenScn[name] = true
+			scenarios = append(scenarios, name)
+		}
+	}
 
 	start := time.Now()
-	results, err := experiments.Run(ids, runner.Options{Workers: *parallel}, *scale)
+	results, err := experiments.RunScenarios(ids, scenarios, runner.Options{Workers: *parallel}, *scale)
 	if err != nil {
 		return err
 	}
@@ -122,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "ran %d figure(s) in %.1fs\n", len(results), time.Since(start).Seconds())
 
 	if *jsonPath != "" {
-		doc := artifact{Schema: "orthrus-bench/v1", Scale: *scale, Figures: results}
+		doc := artifact{Schema: "orthrus-bench/v2", Scale: *scale, Figures: results}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err

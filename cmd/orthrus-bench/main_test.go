@@ -24,6 +24,13 @@ func TestRunRejectsEmptySelection(t *testing.T) {
 	}
 }
 
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-fig", "S1", "-scenario", "no-such"}, &out, &errOut); err == nil {
+		t.Fatal("expected an error for an unknown scenario name")
+	}
+}
+
 func TestRunRejectsOutOfRangeScale(t *testing.T) {
 	for _, scale := range []string{"0", "-1", "1.5"} {
 		var out, errOut bytes.Buffer
@@ -55,7 +62,7 @@ func TestRunFig1bJSONArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
-	if doc.Schema != "orthrus-bench/v1" {
+	if doc.Schema != "orthrus-bench/v2" {
 		t.Fatalf("schema %q", doc.Schema)
 	}
 	if len(doc.Figures) != 1 || doc.Figures[0].Figure != "1b" {
@@ -71,10 +78,10 @@ func TestSelectFigures(t *testing.T) {
 		in   string
 		want []string
 	}{
-		{"all", []string{"1b", "3", "4", "5", "6", "7", "8"}},
+		{"all", []string{"1b", "3", "4", "5", "6", "7", "8", "S1"}},
 		{"3,3", []string{"3"}},
 		{"6, 1b ,6", []string{"6", "1b"}},
-		{"3,all", []string{"3", "1b", "4", "5", "6", "7", "8"}},
+		{"3,all", []string{"3", "1b", "4", "5", "6", "7", "8", "S1"}},
 	}
 	for _, c := range cases {
 		got, err := selectFigures(c.in)

@@ -8,6 +8,7 @@
 //	orthrus-sim -protocol Orthrus -n 16 -net wan -stragglers 1
 //	orthrus-sim -protocol ISS -n 8 -net lan -load 20000 -duration 10s
 //	orthrus-sim -protocol Orthrus -n 16 -faults 5 -fault-at 9s
+//	orthrus-sim -protocol Orthrus -n 10 -scenario partition-heal
 package main
 
 import (
@@ -18,9 +19,12 @@ import (
 	"os"
 	"time"
 
+	"strings"
+
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -46,6 +50,7 @@ func run(args []string, w, stderr io.Writer) error {
 	faults := fs.Int("faults", 0, "replicas to crash at -fault-at (detectable faults)")
 	faultAt := fs.Duration("fault-at", 9*time.Second, "crash injection time")
 	byzantine := fs.Int("byzantine", 0, "undetectable (selective-participation) faulty replicas")
+	scn := fs.String("scenario", "", "preset fault/load scenario: "+strings.Join(scenario.Names(), ", ")+" (requires message-level PBFT)")
 	load := fs.Float64("load", 10000, "client load in tx/s")
 	duration := fs.Duration("duration", 15*time.Second, "submission window")
 	payments := fs.Float64("payments", 0.46, "payment transaction fraction (0 uses the paper default)")
@@ -85,6 +90,16 @@ func run(args []string, w, stderr io.Writer) error {
 		NIC:                !*analytic,
 		Seed:               *seed,
 	}
+	if *scn != "" {
+		if *analytic {
+			return fmt.Errorf("-scenario requires message-level PBFT; drop -analytic")
+		}
+		s, err := scenario.Preset(*scn, *n, *duration, *seed)
+		if err != nil {
+			return err
+		}
+		cfg.Scenario = s
+	}
 	res := cluster.Run(cfg)
 
 	fmt.Fprintf(w, "protocol     %s\n", res.Protocol)
@@ -95,6 +110,13 @@ func run(args []string, w, stderr io.Writer) error {
 	fmt.Fprintf(w, "latency      %s\n", res.Latency.String())
 	fmt.Fprintf(w, "view changes %d\n", res.ViewChanges)
 	fmt.Fprintf(w, "sim events   %d\n", res.Events)
+	if len(res.Phases) > 0 {
+		fmt.Fprintf(w, "phases       (%s scenario windows)\n", *scn)
+		for _, p := range res.Phases {
+			fmt.Fprintf(w, "  %-20s [%5.1fs,%6.1fs)  %8.1f tps  lat=%5.2fs\n",
+				p.Label, p.Start.Seconds(), p.End.Seconds(), p.ThroughputTPS, p.MeanLatency.Seconds())
+		}
+	}
 	fmt.Fprintln(w, "breakdown    (observer replica stage means)")
 	for _, s := range metrics.Stages() {
 		fmt.Fprintf(w, "  %-16s %8.3fs\n", s.String(), res.Breakdown.Mean(s).Seconds())

@@ -7,16 +7,21 @@
 // (sb) implementing sequenced broadcast, the object/escrow ledger (ledger),
 // the bucket partitioner (partition), global-ordering algorithms (order),
 // the Orthrus replica framework (core), the five baseline protocols
-// (baseline), the Ethereum-like workload generator (workload), and the
-// experiment harness (cluster, experiments, metrics). Independent
-// experiment runs fan out across cores through the worker pool in
-// internal/runner; every simulation is seeded and self-contained, so
-// parallel sweeps reproduce serial results exactly.
+// (baseline), the Ethereum-like workload generator (workload), the
+// declarative fault/load timeline engine (scenario), and the experiment
+// harness (cluster, experiments, metrics). Independent experiment runs
+// fan out across cores through the worker pool in internal/runner; every
+// simulation is seeded and self-contained, so parallel sweeps reproduce
+// serial results exactly. ARCHITECTURE.md maps the packages, the data
+// flow, the determinism contract, and the seams where new protocols and
+// scenarios plug in.
 //
 // Entry points:
 //
 //   - examples/quickstart — minimal 4-replica cluster
-//   - cmd/orthrus-sim — run one configuration
+//   - examples/chaos — composite crash-recover + straggler scenario
+//   - cmd/orthrus-sim — run one configuration (-scenario applies a preset
+//     fault timeline)
 //   - cmd/orthrus-bench — regenerate every evaluation figure, in parallel,
 //     with -json emitting a structured results artifact (EXPERIMENTS.md)
 //   - bench_test.go — testing.B benchmarks, one per table/figure

@@ -1,0 +1,84 @@
+// Chaos: a composite dynamic-fault scenario — a 10x straggler window
+// overlapping a two-replica crash-recover cycle — on a 7-replica WAN
+// cluster, run for Orthrus and ISS side by side. The per-phase windows
+// show what the static figures cannot: how each protocol's throughput
+// collapses and recovers around every event. The runs fan out across
+// cores through internal/runner.
+//
+//	go run ./examples/chaos
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+func main() { run(os.Stdout, 1) }
+
+// run executes the example, writing its narrative to w. Scale in (0,1]
+// shrinks durations and load for quick smoke runs; 1 is the full example.
+func run(w io.Writer, scale float64) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	dur := time.Duration(float64(10*time.Second) * scale)
+	frac := func(p float64) time.Duration { return time.Duration(float64(dur) * p) }
+
+	// One straggler from 10% of the run, two crashed replicas between 30%
+	// and 60%, everything healthy again from 80%.
+	scn := scenario.New("straggle+crash-recover").
+		StraggleAt(frac(0.1), 10, 4).
+		CrashAt(frac(0.3), 5, 6).
+		RecoverAt(frac(0.6), 5, 6).
+		StraggleAt(frac(0.8), 1, 4).
+		Build()
+
+	cfg := func(mode core.Mode) cluster.Config {
+		return cluster.Config{
+			N:           7,
+			Protocol:    mode,
+			Net:         cluster.WAN,
+			Scenario:    scn,
+			Workload:    workload.Config{Accounts: 2000, Seed: 1},
+			LoadTPS:     1500 * scale,
+			Duration:    dur,
+			Drain:       2 * dur,
+			BatchSize:   512,
+			ViewTimeout: dur / 5, // recovery must fit the shrunk run
+			NIC:         true,
+			Seed:        1,
+		}
+	}
+
+	modes := []core.Mode{core.OrthrusMode(), baseline.ISSMode()}
+	jobs := []runner.Job{runner.NewJob(cfg(modes[0])), runner.NewJob(cfg(modes[1]))}
+	results := runner.Run(jobs, runner.Options{})
+
+	fmt.Fprintln(w, "WAN, 7 replicas — composite scenario:", scn.Name)
+	for _, e := range scn.Events {
+		fmt.Fprintln(w, "  ", e)
+	}
+	fmt.Fprintln(w)
+	for i, mode := range modes {
+		res := results[i]
+		fmt.Fprintf(w, "%s  (view changes: %d)\n", mode.Name, res.ViewChanges)
+		for _, p := range res.Phases {
+			fmt.Fprintf(w, "  %-20s [%5.1fs,%6.1fs)  %8.1f tps  lat=%5.2fs\n",
+				p.Label, p.Start.Seconds(), p.End.Seconds(), p.ThroughputTPS, p.MeanLatency.Seconds())
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Orthrus's dynamic ordering lets the healthy instances keep")
+	fmt.Fprintln(w, "confirming through the straggler and the crash window; ISS's")
+	fmt.Fprintln(w, "predetermined global positions serialize everything behind the")
+	fmt.Fprintln(w, "slowest instance until the replicas recover.")
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun executes the chaos walkthrough at reduced scale and checks both
+// protocols render their per-phase windows.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two 7-replica scenario clusters")
+	}
+	var out bytes.Buffer
+	run(&out, 0.3)
+	s := out.String()
+	for _, marker := range []string{
+		"straggle+crash-recover", "Orthrus", "ISS",
+		"baseline", "crash", "recover", "straggle",
+	} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, s)
+		}
+	}
+}

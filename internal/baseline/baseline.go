@@ -15,6 +15,10 @@
 //
 // All of them execute every transaction at its global-log position; none
 // has Orthrus's partial-order fast path or multi-payer splitting.
+//
+// To add a protocol, return its core.Mode from a constructor here and
+// list it in AllModes: every sweep, scenario suite, example and CLI flag
+// picks it up from there (see ARCHITECTURE.md's extension seams).
 package baseline
 
 import (
@@ -99,8 +103,12 @@ func ModeByName(name string) (core.Mode, bool) {
 // confirmed once it has been delivered locally and every earlier reference
 // has been confirmed.
 type RefOrderer struct {
-	have    map[types.BlockRef]*types.Block
+	// have holds locally delivered worker blocks not yet confirmed.
+	have map[types.BlockRef]*types.Block
+	// ordered dedups references across sequencer blocks.
 	ordered map[types.BlockRef]bool
+	// queue is the sequencer-decided confirmation order still waiting for
+	// local delivery of its head.
 	queue   []types.BlockRef
 	pending int
 }

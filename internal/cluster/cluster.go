@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sb"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/types"
 	"repro/internal/workload"
@@ -51,6 +52,16 @@ type Config struct {
 	// UndetectableFaults marks this many replicas Byzantine: they vote only
 	// in the instance they lead (Fig. 8).
 	UndetectableFaults int
+
+	// Scenario schedules mid-run fault and load events (crashes that
+	// recover, partitions that heal, moving stragglers, load surges) on top
+	// of the static configuration above; see package scenario. When set,
+	// Result.Phases reports per-phase metric windows delimited by the
+	// scenario's event times. Scenarios mutate the simulated network and
+	// replica lifecycles, so they require message-level PBFT (AnalyticSB
+	// must be false). The Scenario is shared read-only across parallel runs
+	// and must not be mutated after Build.
+	Scenario *scenario.Scenario
 
 	Workload workload.Config
 	// Source overrides the synthetic generator with a custom transaction
@@ -131,6 +142,9 @@ func (c Config) Label() string {
 	if c.UndetectableFaults > 0 {
 		s += fmt.Sprintf("/byz=%d", c.UndetectableFaults)
 	}
+	if c.Scenario != nil {
+		s += "/scn=" + c.Scenario.Name
+	}
 	if frac := c.Workload.PaymentFraction; frac < 0 {
 		s += "/pay=0.00"
 	} else if frac > 0 {
@@ -160,8 +174,35 @@ type Result struct {
 	// Breakdown is the observer replica's five-stage split (Fig. 6).
 	Breakdown *metrics.Breakdown
 
+	// Phases holds per-phase metric windows when a Scenario is configured:
+	// one window per scenario phase (see scenario.Scenario.Phases), nil
+	// otherwise.
+	Phases []PhaseWindow
+
 	ViewChanges int
 	Events      uint64 // simulator events processed (cost accounting)
+}
+
+// PhaseWindow is one scenario-delimited measurement window: raw
+// confirmation counts and rates between two consecutive event times (the
+// last window extends to the end of the run, submission plus drain).
+// Unlike the run-level ThroughputTPS, phases do not exclude warmup and
+// count every confirmation by its client-visible reply time — they measure
+// the scenario's dynamics, not steady state.
+type PhaseWindow struct {
+	// Label names the phase after the scenario events opening it
+	// ("baseline" for the first window).
+	Label string
+	// Start and End bound the window in virtual time since run start.
+	Start, End time.Duration
+	// Confirmed counts client-visible confirmations whose reply landed in
+	// the window.
+	Confirmed int
+	// ThroughputTPS is Confirmed divided by the window length.
+	ThroughputTPS float64
+	// MeanLatency averages the client-observed latency of the window's
+	// confirmations (0 if none).
+	MeanLatency time.Duration
 }
 
 // String renders a one-line summary.
@@ -183,6 +224,14 @@ func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	if cfg.AnalyticSB && (cfg.DetectableFaults > 0 || cfg.UndetectableFaults > 0) {
 		panic("cluster: analytic SB does not support fault injection; use message-level PBFT")
+	}
+	if cfg.Scenario != nil {
+		if cfg.AnalyticSB {
+			panic("cluster: scenarios require message-level PBFT; disable AnalyticSB")
+		}
+		if err := cfg.Scenario.Validate(cfg.N); err != nil {
+			panic("cluster: " + err.Error())
+		}
 	}
 	n := cfg.N
 	f := (n - 1) / 3
@@ -213,6 +262,36 @@ func Run(cfg Config) *Result {
 
 	meta := make(map[types.TxID]*txMeta)
 	confirmAt := make(map[types.TxID]simnet.Time) // client-visible reply time
+
+	// Scenario phase windows: confirmations are binned by reply time into
+	// windows delimited by the scenario's event times.
+	runEnd := cfg.Duration + cfg.Drain
+	var phases []PhaseWindow
+	var phaseLat []time.Duration
+	if cfg.Scenario != nil {
+		ps := cfg.Scenario.Phases()
+		for i, p := range ps {
+			end := runEnd
+			if i+1 < len(ps) && ps[i+1].Start < end {
+				end = ps[i+1].Start
+			}
+			start := p.Start
+			if start > end {
+				start = end
+			}
+			phases = append(phases, PhaseWindow{Label: p.Label, Start: start, End: end})
+		}
+		phaseLat = make([]time.Duration, len(phases))
+	}
+	phaseOf := func(at simnet.Time) int {
+		idx := 0
+		for i := 1; i < len(phases); i++ {
+			if simnet.Time(phases[i].Start) <= at {
+				idx = i
+			}
+		}
+		return idx
+	}
 
 	// Shared analytic SB instances, created lazily per instance index.
 	var analytic map[int]*sb.Instance
@@ -250,6 +329,11 @@ func Run(cfg Config) *Result {
 				lat := time.Duration(reply - m.submit)
 				res.Latency.Add(lat)
 				res.Series.Record(reply, lat)
+				if phases != nil {
+					pi := phaseOf(reply)
+					phases[pi].Confirmed++
+					phaseLat[pi] += lat
+				}
 				if !success {
 					res.Aborted++
 				}
@@ -306,9 +390,33 @@ func Run(cfg Config) *Result {
 		}
 	}
 
-	// Open-loop clients: one transaction every 1/LoadTPS seconds, submitted
-	// to the (current) leaders of its buckets plus the next f replicas each
-	// (censorship resistance, Sec. V-B) and to the observer.
+	// Scenario events: compiled onto the simulator's timeline, mutating the
+	// network, the replica lifecycles and the client load factor mid-run.
+	loadMult := 1.0
+	if cfg.Scenario != nil {
+		cfg.Scenario.Apply(sim, scenario.Hooks{
+			Crash: func(id int) {
+				replicas[id].Stop()
+				nw.SetDown(id, true)
+			},
+			Recover: func(id int) {
+				nw.SetDown(id, false)
+				replicas[id].Recover()
+			},
+			Straggle: func(id int, scale float64) {
+				nw.SetOutScale(id, scale)
+				replicas[id].SetPulseScale(scale)
+			},
+			Partition:  func(groups [][]int) { nw.Partition(groups...) },
+			Heal:       nw.Heal,
+			LoadFactor: func(mult float64) { loadMult = mult },
+		})
+	}
+
+	// Open-loop clients: one transaction every 1/(LoadTPS*loadMult)
+	// seconds, submitted to the (current) leaders of its buckets plus the
+	// next f replicas each (censorship resistance, Sec. V-B) and to the
+	// observer.
 	interval := time.Duration(float64(time.Second) / cfg.LoadTPS)
 	submitted := 0
 	var submitNext func(at simnet.Time)
@@ -329,7 +437,11 @@ func Run(cfg Config) *Result {
 			}
 			submitted++
 			res.Submitted = submitted
-			submitNext(at + simnet.Time(interval))
+			gap := time.Duration(float64(interval) / loadMult)
+			if gap <= 0 {
+				gap = 1 // virtual time must advance or the loop never ends
+			}
+			submitNext(at + simnet.Time(gap))
 		})
 	}
 	submitNext(simnet.Time(cfg.Warmup) / 2)
@@ -341,6 +453,15 @@ func Run(cfg Config) *Result {
 	if window > 0 {
 		res.ThroughputTPS = float64(res.Confirmed) / window
 	}
+	for i := range phases {
+		if winLen := (phases[i].End - phases[i].Start).Seconds(); winLen > 0 {
+			phases[i].ThroughputTPS = float64(phases[i].Confirmed) / winLen
+		}
+		if phases[i].Confirmed > 0 {
+			phases[i].MeanLatency = phaseLat[i] / time.Duration(phases[i].Confirmed)
+		}
+	}
+	res.Phases = phases
 
 	// Observer breakdown (Fig. 6): stage deltas from replica 0's trace plus
 	// the client-side reply time.

@@ -133,6 +133,9 @@ type Replica struct {
 	confirmedOK  uint64
 	confirmedBad uint64
 	stopped      bool
+	// pulseGen invalidates in-flight pulse loops across Stop/Recover cycles
+	// so a quick recovery does not leave two loops running per instance.
+	pulseGen uint64
 }
 
 // NewReplica builds a replica attached to a simulated network. Call Start
@@ -277,9 +280,41 @@ func (r *Replica) Start() {
 // Stop halts the replica (crash). Engines ignore further events.
 func (r *Replica) Stop() {
 	r.stopped = true
+	r.pulseGen++
 	for _, e := range r.sbs {
 		e.Stop()
 	}
+}
+
+// Recover restarts a stopped replica: SB engines resume handling messages
+// and the proposal pulse loops restart. The replica rejoins consensus
+// voting for new sequence numbers but does not replay blocks it missed
+// while down — no state transfer is modeled, so its local delivery log may
+// keep a gap until a view change fills it (the cluster's client-visible
+// metrics only need f+1 live replicas). Engines that do not support
+// resumption (the analytic SB) are left stopped.
+func (r *Replica) Recover() {
+	if !r.stopped {
+		return
+	}
+	r.stopped = false
+	r.pulseGen++
+	for i := range r.sbs {
+		if res, ok := r.sbs[i].(interface{ Resume() }); ok {
+			res.Resume()
+		}
+		r.schedulePulse(i)
+	}
+}
+
+// SetPulseScale changes the replica's proposal-pulse multiplier at runtime
+// (scenario straggler injection): the next scheduled pulse picks it up.
+// Scale 1 restores normal speed.
+func (r *Replica) SetPulseScale(scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	r.cfg.PulseScale = scale
 }
 
 // Store exposes the ledger for examples and invariant checks.
@@ -361,8 +396,9 @@ func (r *Replica) schedulePulse(instance int) {
 		// triggering a view change.
 		d = r.cfg.ViewTimeout * 4 / 5
 	}
+	gen := r.pulseGen
 	r.sim.After(d, func() {
-		if r.stopped {
+		if r.stopped || gen != r.pulseGen {
 			return
 		}
 		r.pulse(instance)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -145,6 +146,51 @@ func toSeries(res *cluster.Result, faults int) SeriesResult {
 	return out
 }
 
+// PhaseStat is one scenario-delimited measurement window of a
+// ScenarioResult: raw confirmation rate and latency between two scenario
+// event times (see cluster.PhaseWindow).
+type PhaseStat struct {
+	Label     string  `json:"label"`
+	StartS    float64 `json:"start_s"`
+	EndS      float64 `json:"end_s"`
+	Confirmed int     `json:"confirmed"`
+	TputKTPS  float64 `json:"tput_ktps"`
+	LatencyS  float64 `json:"latency_s"`
+}
+
+// ScenarioResult is one (scenario, protocol) cell of the S1 suite:
+// run-level throughput/latency plus the per-phase windows that show the
+// dynamics around each scenario event.
+type ScenarioResult struct {
+	Scenario    string      `json:"scenario"`
+	Protocol    string      `json:"protocol"`
+	TputKTPS    float64     `json:"tput_ktps"`
+	LatencyS    float64     `json:"latency_s"`
+	ViewChanges int         `json:"view_changes"`
+	Phases      []PhaseStat `json:"phases"`
+}
+
+func toScenario(res *cluster.Result, name string) ScenarioResult {
+	out := ScenarioResult{
+		Scenario:    name,
+		Protocol:    res.Protocol,
+		TputKTPS:    res.ThroughputTPS / 1000,
+		LatencyS:    res.Latency.Mean().Seconds(),
+		ViewChanges: res.ViewChanges,
+	}
+	for _, p := range res.Phases {
+		out.Phases = append(out.Phases, PhaseStat{
+			Label:     p.Label,
+			StartS:    p.Start.Seconds(),
+			EndS:      p.End.Seconds(),
+			Confirmed: p.Confirmed,
+			TputKTPS:  p.ThroughputTPS / 1000,
+			LatencyS:  p.MeanLatency.Seconds(),
+		})
+	}
+	return out
+}
+
 // --- job-list builders: one declarative runner.Job per grid cell ---
 
 // sweepJobs is the Fig. 3 / Fig. 4 protocol-vs-replica-count grid for one
@@ -241,6 +287,31 @@ func byzJobs(scale float64) []runner.Job {
 		jobs = append(jobs, runner.NewJob(cfg))
 	}
 	return jobs
+}
+
+// scenarioProtocols is the S1 protocol panel: Orthrus plus two baselines
+// with opposite global-ordering behavior (ISS predetermined, Ladon
+// dynamic).
+func scenarioProtocols() []core.Mode {
+	return []core.Mode{core.OrthrusMode(), baseline.ISSMode(), baseline.LadonMode()}
+}
+
+// scenarioJob is one S1 cell: the named preset scenario applied to a
+// 10-replica WAN cluster under message-level PBFT. The view-change timeout
+// scales with the submission window so crash recovery stays visible at
+// small scales.
+func scenarioJob(name string, mode core.Mode, scale float64) runner.Job {
+	cfg := baseConfig(mode, 10, cluster.WAN, clampScale(scale))
+	cfg.AnalyticSB = false
+	cfg.NIC = true
+	cfg.EpochLen = 64
+	cfg.ViewTimeout = cfg.Duration / 5
+	scn, err := scenario.Preset(name, cfg.N, cfg.Duration, cfg.Seed)
+	if err != nil {
+		panic("experiments: " + err.Error()) // names come from scenario.Names
+	}
+	cfg.Scenario = scn
+	return runner.NewJob(cfg)
 }
 
 func byzRows(res []*cluster.Result) []Row {

@@ -92,7 +92,7 @@ func TestRunUnknownFigure(t *testing.T) {
 }
 
 func TestFigureIDsMatchSpecs(t *testing.T) {
-	specs := figureSpecs(0.1)
+	specs := figureSpecs(0.1, ScenarioNames())
 	ids := FigureIDs()
 	if len(specs) != len(ids) {
 		t.Fatalf("%d specs for %d ids", len(specs), len(ids))
@@ -131,7 +131,7 @@ func TestFigureResultJSONRoundTrip(t *testing.T) {
 }
 
 func TestSuiteJobKeysUnique(t *testing.T) {
-	specs := figureSpecs(1)
+	specs := figureSpecs(1, ScenarioNames())
 	jobs := suiteJobs(specs)
 	seen := map[string]bool{}
 	for _, j := range jobs {

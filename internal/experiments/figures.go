@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // Table is one titled block of sweep rows inside a figure.
@@ -25,6 +26,7 @@ type FigureResult struct {
 	Tables     []Table           `json:"tables,omitempty"`
 	Breakdowns []BreakdownResult `json:"breakdowns,omitempty"`
 	Series     []SeriesResult    `json:"series,omitempty"`
+	Scenarios  []ScenarioResult  `json:"scenarios,omitempty"`
 }
 
 // figureSpec pairs a figure's declarative job list with the pure assembler
@@ -125,7 +127,33 @@ func fig8Spec(scale float64) figureSpec {
 	}
 }
 
-func figureSpecs(scale float64) []figureSpec {
+// s1Spec is the scenario suite: each selected preset scenario (see
+// scenario.Names) runs once per protocol in scenarioProtocols, and every
+// cell reports its per-phase windows alongside run-level numbers.
+func s1Spec(scale float64, names []string) figureSpec {
+	title := "Fig S1: scenario suite — dynamic faults, partitions and load (WAN n=10)"
+	var jobs []runner.Job
+	type cell struct{ name string }
+	var cells []cell
+	for _, name := range names {
+		for _, mode := range scenarioProtocols() {
+			jobs = append(jobs, scenarioJob(name, mode, scale))
+			cells = append(cells, cell{name: name})
+		}
+	}
+	return figureSpec{
+		id: "S1", title: title, jobs: jobs,
+		assemble: func(res []*cluster.Result) FigureResult {
+			out := FigureResult{Figure: "S1", Title: title}
+			for i, r := range res {
+				out.Scenarios = append(out.Scenarios, toScenario(r, cells[i].name))
+			}
+			return out
+		},
+	}
+}
+
+func figureSpecs(scale float64, scenarios []string) []figureSpec {
 	return []figureSpec{
 		fig1bSpec(scale),
 		netSweepSpec("3", "WAN", cluster.WAN, scale),
@@ -134,20 +162,44 @@ func figureSpecs(scale float64) []figureSpec {
 		fig6Spec(scale),
 		fig7Spec(scale),
 		fig8Spec(scale),
+		s1Spec(scale, scenarios),
 	}
 }
 
 // FigureIDs returns the supported figure identifiers in render order.
-func FigureIDs() []string { return []string{"1b", "3", "4", "5", "6", "7", "8"} }
+func FigureIDs() []string { return []string{"1b", "3", "4", "5", "6", "7", "8", "S1"} }
+
+// ScenarioNames returns the S1 scenario identifiers in figure order.
+func ScenarioNames() []string { return scenario.Names() }
 
 // Run executes the selected figures' job lists through one shared worker
 // pool and returns one FigureResult per id, in the order requested.
 // Results are independent of o.Workers: a parallel run reassembles in
 // deterministic job order, so its output equals a serial run's.
 func Run(ids []string, o runner.Options, scale float64) ([]FigureResult, error) {
+	return RunScenarios(ids, nil, o, scale)
+}
+
+// RunScenarios is Run with the S1 scenario suite restricted to the named
+// scenarios; nil or empty selects all of them (see ScenarioNames). The
+// restriction only affects the S1 figure.
+func RunScenarios(ids, scenarios []string, o runner.Options, scale float64) ([]FigureResult, error) {
 	scale = clampScale(scale)
+	if len(scenarios) == 0 {
+		scenarios = scenario.Names()
+	} else {
+		valid := map[string]bool{}
+		for _, name := range scenario.Names() {
+			valid[name] = true
+		}
+		for _, name := range scenarios {
+			if !valid[name] {
+				return nil, fmt.Errorf("experiments: unknown scenario %q (want one of %v)", name, scenario.Names())
+			}
+		}
+	}
 	byID := map[string]figureSpec{}
-	for _, s := range figureSpecs(scale) {
+	for _, s := range figureSpecs(scale, scenarios) {
 		byID[s.id] = s
 	}
 	selected := make([]figureSpec, 0, len(ids))
@@ -223,6 +275,11 @@ func Fig7(w io.Writer, scale float64) { mustRun(w, "7", scale) }
 
 // Fig8 reproduces Fig. 8.
 func Fig8(w io.Writer, scale float64) { mustRun(w, "8", scale) }
+
+// FigS1 runs the scenario suite (beyond the paper): every preset dynamic
+// fault/load scenario for Orthrus and two baselines, with per-phase
+// metric windows around each event.
+func FigS1(w io.Writer, scale float64) { mustRun(w, "S1", scale) }
 
 // All runs every figure at the given scale, sharing one worker pool across
 // the whole suite.

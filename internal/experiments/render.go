@@ -49,11 +49,20 @@ func printSeries(w io.Writer, s SeriesResult) {
 	fmt.Fprintln(w)
 }
 
+func printScenario(w io.Writer, s ScenarioResult) {
+	fmt.Fprintf(w, "%-20s %-8s  tput=%7.1f ktps  lat=%5.2fs  vc=%d\n",
+		s.Scenario, s.Protocol, s.TputKTPS, s.LatencyS, s.ViewChanges)
+	for _, p := range s.Phases {
+		fmt.Fprintf(w, "    %-20s [%5.1fs,%6.1fs)  %7.1f ktps  lat=%5.2fs\n",
+			p.Label, p.StartS, p.EndS, p.TputKTPS, p.LatencyS)
+	}
+}
+
 // Render writes the figure's text form: a figure-level header for
-// breakdown/series figures, then every breakdown line, series block and
-// sweep table the figure holds.
+// breakdown/series/scenario figures, then every breakdown line, series
+// block, scenario block and sweep table the figure holds.
 func (f FigureResult) Render(w io.Writer) {
-	if len(f.Breakdowns) > 0 || len(f.Series) > 0 {
+	if len(f.Breakdowns) > 0 || len(f.Series) > 0 || len(f.Scenarios) > 0 {
 		fmt.Fprintf(w, "\n== %s ==\n", f.Title)
 	}
 	for _, b := range f.Breakdowns {
@@ -61,6 +70,9 @@ func (f FigureResult) Render(w io.Writer) {
 	}
 	for _, s := range f.Series {
 		printSeries(w, s)
+	}
+	for _, s := range f.Scenarios {
+		printScenario(w, s)
 	}
 	for _, t := range f.Tables {
 		printRows(w, t.Title, t.Rows)

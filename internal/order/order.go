@@ -13,7 +13,9 @@
 //
 // All implementations are deterministic functions of the delivered-block
 // sequence, so every honest replica derives the same global log without
-// extra communication.
+// extra communication. A new ordering algorithm implements Orderer (or
+// core.GlobalOrdering directly for sequencer-style designs) and becomes a
+// protocol via a core.Mode — see ARCHITECTURE.md's extension seams.
 package order
 
 import (
@@ -22,10 +24,14 @@ import (
 	"repro/internal/types"
 )
 
-// Orderer merges delivered blocks into a global sequence. Deliver hands the
-// orderer one block delivered by an SB instance and returns the blocks that
-// became globally confirmed as a result, in global order.
+// Orderer merges delivered blocks into a global sequence. Implementations
+// must be pure functions of the delivery sequence (no clocks, no global
+// randomness) so that all honest replicas agree — the determinism
+// contract of ARCHITECTURE.md.
 type Orderer interface {
+	// Deliver hands the orderer one block delivered by an SB instance and
+	// returns the blocks that became globally confirmed as a result, in
+	// global order.
 	Deliver(b *types.Block) []*types.Block
 	// PendingCount returns blocks delivered but not yet globally confirmed.
 	PendingCount() int

@@ -5,6 +5,12 @@
 //
 // Buckets are append-only for backups; the instance leader additionally
 // pulls batches of the oldest transactions when assembling blocks.
+//
+// Buckets also age their contents in units of delivered blocks (Tick /
+// Oldest), which drives the censorship detector of Sec. V-B: a leader
+// that keeps delivering blocks while an old feasible transaction sits
+// queued is suspected of censoring it and voted out. ARCHITECTURE.md
+// places this package in the replica's data flow.
 package partition
 
 import (
@@ -103,7 +109,10 @@ func (b *Bucket) Push(tx *types.Transaction) bool {
 	return true
 }
 
-// Pull removes and returns up to max of the oldest transactions.
+// Pull removes and returns up to max of the oldest transactions, in
+// arrival order. The leader calls it when assembling a block; pulled
+// transactions that fail feasibility are Pushed back and keep their
+// original age (firstSeen survives re-queues).
 func (b *Bucket) Pull(max int) []*types.Transaction {
 	if max > len(b.queue) {
 		max = len(b.queue)
@@ -116,7 +125,8 @@ func (b *Bucket) Pull(max int) []*types.Transaction {
 	return out
 }
 
-// Peek returns the oldest queued transactions without removing them.
+// Peek returns up to max of the oldest queued transactions without
+// removing them (diagnostics and tests; leaders use Pull).
 func (b *Bucket) Peek(max int) []*types.Transaction {
 	if max > len(b.queue) {
 		max = len(b.queue)
@@ -152,7 +162,8 @@ func (b *Bucket) GC() {
 	}
 }
 
-// Set manages the m buckets of one replica.
+// Set manages the m buckets of one replica: one bucket per SB instance,
+// with transaction routing (Add) and cross-bucket bookkeeping.
 type Set struct {
 	buckets []*Bucket
 }
@@ -166,10 +177,10 @@ func NewSet(m int) *Set {
 	return s
 }
 
-// M returns the number of buckets.
+// M returns the number of buckets (= SB instances).
 func (s *Set) M() int { return len(s.buckets) }
 
-// Bucket returns bucket i.
+// Bucket returns bucket i, the queue feeding SB instance i.
 func (s *Set) Bucket(i int) *Bucket { return s.buckets[i] }
 
 // Add validates tx and pushes it into every bucket it belongs to

@@ -153,8 +153,27 @@ func (e *Engine) CanPropose() bool {
 	return !e.stopped && e.IsLeader() && !e.viewChanging && e.InFlight() < e.cfg.Window
 }
 
-// Stop halts the engine; all subsequent messages and timers are ignored.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop halts the engine: all subsequent messages are ignored and the
+// armed failure-detection timers are cancelled, so a crash followed by
+// Resume cannot replay a pre-crash timeout.
+func (e *Engine) Stop() {
+	e.stopped = true
+	if e.progressTimer != nil {
+		e.progressTimer.Stop()
+		e.progressTimer = nil
+	}
+	if e.vcTimer != nil {
+		e.vcTimer.Stop()
+		e.vcTimer = nil
+	}
+}
+
+// Resume undoes Stop: the engine handles messages and proposals again.
+// It deliberately does not rearm the failure detector — a recovered
+// replica votes on new sequence numbers immediately but does not complain
+// about deliveries it missed while down (no state transfer is modeled), so
+// its local log may keep a gap until a view change fills it with no-ops.
+func (e *Engine) Resume() { e.stopped = false }
 
 // Complain votes for a view change immediately — used by the censorship
 // detector when a leader keeps proposing blocks that omit an old pending

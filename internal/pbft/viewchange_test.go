@@ -178,3 +178,30 @@ func TestMuteReplicaComplaintStaysLocal(t *testing.T) {
 		}
 	}
 }
+
+// recordingTransport captures everything an engine broadcasts.
+type recordingTransport struct{ msgs []Message }
+
+func (t *recordingTransport) Broadcast(size int, msg Message) { t.msgs = append(t.msgs, msg) }
+func (t *recordingTransport) Send(to, size int, msg Message)  { t.msgs = append(t.msgs, msg) }
+
+// TestStopCancelsFailureDetector: a Stop/Resume cycle must not replay a
+// pre-crash progress timeout as a spurious view change — the recovered
+// engine stays quiet about deliveries it missed while down.
+func TestStopCancelsFailureDetector(t *testing.T) {
+	sim := simnet.New(1)
+	tr := &recordingTransport{}
+	e := New(Config{N: 4, F: 1, ID: 1, Instance: 0, Timeout: 500 * time.Millisecond}, tr, sim)
+	e.SetTarget(1) // arm the failure detector; nothing will ever deliver
+	sim.At(simnet.Time(300*time.Millisecond), func() { e.Stop() })
+	sim.At(simnet.Time(350*time.Millisecond), func() { e.Resume() })
+	sim.Run(simnet.Time(5 * time.Second))
+	for _, m := range tr.msgs {
+		if _, ok := m.(*ViewChange); ok {
+			t.Fatalf("recovered engine broadcast a spurious view change")
+		}
+	}
+	if e.View() != 0 {
+		t.Fatalf("view advanced to %d after Stop/Resume with no traffic", e.View())
+	}
+}

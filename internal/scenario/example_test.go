@@ -1,0 +1,54 @@
+package scenario_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// ExampleNew builds a composite timeline — a straggler window overlapping
+// a crash-recover cycle — and shows the compiled, time-sorted events and
+// the measurement phases they induce.
+func ExampleNew() {
+	s := scenario.New("demo").
+		CrashAt(3*time.Second, 5, 6).
+		StraggleAt(1*time.Second, 10, 4).
+		RecoverAt(6*time.Second, 5, 6).
+		StraggleAt(6*time.Second, 1, 4).
+		Build()
+
+	for _, e := range s.Events {
+		fmt.Println(e)
+	}
+	for _, p := range s.Phases() {
+		fmt.Printf("phase %q from %v\n", p.Label, p.Start)
+	}
+	// Output:
+	// 1s straggle nodes=[4] x10
+	// 3s crash nodes=[5 6]
+	// 6s recover nodes=[5 6]
+	// 6s straggle nodes=[4] x1
+	// phase "baseline" from 0s
+	// phase "straggle" from 1s
+	// phase "crash" from 3s
+	// phase "recover+straggle" from 6s
+}
+
+// ExamplePreset shows the seeded scenario generators behind the S1 figure
+// family: the same (name, n, duration, seed) always yields the same
+// timeline.
+func ExamplePreset() {
+	s, err := scenario.Preset(scenario.PartitionHeal, 7, 10*time.Second, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Name)
+	for _, e := range s.Events {
+		fmt.Println(e)
+	}
+	// Output:
+	// partition-heal
+	// 3s partition groups=[[1 6]]
+	// 6s heal
+}

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// The named presets of the S1 scenario suite, in figure order.
+const (
+	// CrashRecover crashes f replicas at 30% of the run and recovers them
+	// at 60%.
+	CrashRecover = "crash-recover"
+	// RollingStragglers walks one 10x straggler across three consecutive
+	// replicas, one per 20%-of-run window.
+	RollingStragglers = "rolling-stragglers"
+	// PartitionHeal isolates f replicas at 30% of the run and heals the cut
+	// at 60%. The majority side keeps exactly a 2f+1 quorum.
+	PartitionHeal = "partition-heal"
+	// FlashCrowd triples the client submission rate between 35% and 65% of
+	// the run.
+	FlashCrowd = "flash-crowd"
+)
+
+// Names returns the preset identifiers in S1 figure order.
+func Names() []string {
+	return []string{CrashRecover, RollingStragglers, PartitionHeal, FlashCrowd}
+}
+
+// Preset builds the named scenario for an n-replica cluster whose
+// submission window is dur long. Victim replicas are drawn from [1, n) —
+// replica 0 stays alive as the metrics observer — using an RNG seeded from
+// seed, so the same (name, n, dur, seed) always yields the same timeline.
+func Preset(name string, n int, dur time.Duration, seed int64) (*Scenario, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("scenario: preset %q needs n >= 4, got %d", name, n)
+	}
+	f := (n - 1) / 3
+	rng := rand.New(rand.NewSource(seed))
+	frac := func(p float64) time.Duration { return time.Duration(float64(dur) * p) }
+	switch name {
+	case CrashRecover:
+		victims := pickVictims(rng, n, f)
+		return New(name).
+			CrashAt(frac(0.3), victims...).
+			RecoverAt(frac(0.6), victims...).
+			Build(), nil
+	case RollingStragglers:
+		start := 1 + rng.Intn(n-1)
+		b := New(name)
+		for i := 0; i < 3; i++ {
+			v := 1 + (start-1+i)%(n-1) // walk within [1, n)
+			b.StraggleAt(frac(0.2+0.2*float64(i)), 10, v)
+			b.StraggleAt(frac(0.2+0.2*float64(i+1)), 1, v)
+		}
+		return b.Build(), nil
+	case PartitionHeal:
+		minority := pickVictims(rng, n, f)
+		return New(name).
+			PartitionAt(frac(0.3), minority). // the rest form the implicit majority
+			HealAt(frac(0.6)).
+			Build(), nil
+	case FlashCrowd:
+		return New(name).
+			LoadSurgeAt(frac(0.35), 3).
+			LoadSurgeAt(frac(0.65), 1).
+			Build(), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown preset %q (want one of %v)", name, Names())
+	}
+}
+
+// pickVictims draws k distinct replicas from [1, n), ascending.
+func pickVictims(rng *rand.Rand, n, k int) []int {
+	perm := rng.Perm(n - 1)
+	victims := make([]int, k)
+	for i := 0; i < k; i++ {
+		victims[i] = perm[i] + 1
+	}
+	// Insertion sort keeps the timeline readable and the order stable.
+	for i := 1; i < len(victims); i++ {
+		for j := i; j > 0 && victims[j] < victims[j-1]; j-- {
+			victims[j], victims[j-1] = victims[j-1], victims[j]
+		}
+	}
+	return victims
+}

@@ -164,6 +164,11 @@ type Network struct {
 	outScale []float64
 	// down marks crashed nodes: they neither send nor receive.
 	down []bool
+	// blocked, when non-nil, marks unidirectional link cuts: blocked[a][b]
+	// is checked both at send and at delivery time, so a message already in
+	// flight when a cut happens is lost unless the link is restored before
+	// its delivery time. Allocated lazily by the partition/link hooks.
+	blocked [][]bool
 	// dropRate is the probability a message is lost (0 by default; GST
 	// behavior is modeled as dropRate 0).
 	dropRate float64
@@ -228,6 +233,59 @@ func (nw *Network) Down(id int) bool { return nw.down[id] }
 // SetDropRate sets the uniform message-loss probability.
 func (nw *Network) SetDropRate(p float64) { nw.dropRate = p }
 
+// SetLinkBlocked cuts (true) or restores (false) the unidirectional link
+// from -> to. The cut is checked at send and again at delivery time, so a
+// message in flight when the cut happens is dropped unless the link is
+// restored before it would deliver. Self-links cannot be cut. This is the
+// low-level mutation hook behind Partition/Heal; scenarios may also use it
+// directly for asymmetric cuts.
+func (nw *Network) SetLinkBlocked(from, to int, blocked bool) {
+	if from == to {
+		return
+	}
+	if nw.blocked == nil {
+		if !blocked {
+			return
+		}
+		nw.blocked = make([][]bool, len(nw.handlers))
+		for i := range nw.blocked {
+			nw.blocked[i] = make([]bool, len(nw.handlers))
+		}
+	}
+	nw.blocked[from][to] = blocked
+}
+
+// LinkBlocked reports whether traffic from -> to is currently cut.
+func (nw *Network) LinkBlocked(from, to int) bool {
+	return nw.blocked != nil && nw.blocked[from][to]
+}
+
+// Partition splits the network into the given groups: every link between
+// nodes of different groups is cut in both directions, links within a group
+// are restored. Nodes listed in no group form one additional implicit
+// group. The cut replaces any previous Partition or SetLinkBlocked state;
+// Heal removes it.
+func (nw *Network) Partition(groups ...[]int) {
+	n := len(nw.handlers)
+	member := make([]int, n) // group id per node; len(groups) = implicit group
+	for i := range member {
+		member[i] = len(groups)
+	}
+	for g, nodes := range groups {
+		for _, id := range nodes {
+			member[id] = g
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			nw.SetLinkBlocked(a, b, member[a] != member[b])
+		}
+	}
+}
+
+// Heal restores every cut link (undoes Partition and SetLinkBlocked).
+func (nw *Network) Heal() { nw.blocked = nil }
+
 // Messages returns the count of messages delivered.
 func (nw *Network) Messages() uint64 { return nw.msgs }
 
@@ -271,7 +329,7 @@ func (nw *Network) serTime(size int) Time {
 // egress link, propagates, then queues on the receiver's ingress link.
 // Self-sends are delivered with the model's local delay.
 func (nw *Network) Send(from, to, size int, msg any) {
-	if nw.down[from] || nw.down[to] {
+	if nw.down[from] || nw.down[to] || nw.LinkBlocked(from, to) {
 		return
 	}
 	if nw.dropRate > 0 && nw.sim.rng.Float64() < nw.dropRate {
@@ -298,7 +356,7 @@ func (nw *Network) Send(from, to, size int, msg any) {
 		deliverAt = nw.sim.now + Time(prop)
 	}
 	nw.sim.At(deliverAt, func() {
-		if nw.down[to] || nw.handlers[to] == nil {
+		if nw.down[to] || nw.LinkBlocked(from, to) || nw.handlers[to] == nil {
 			return
 		}
 		nw.msgs++
