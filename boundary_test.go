@@ -1,0 +1,47 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIBoundary enforces the SDK boundary: nothing under cmd/ or
+// examples/ may import any repro/internal/... package — the public
+// packages orthrus and orthrus/scenariodsl are the only supported entry
+// points. This pins the api_redesign contract: the internal layers can be
+// refactored freely as long as the public surface holds.
+func TestPublicAPIBoundary(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			file, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range file.Imports {
+				target, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				if strings.HasPrefix(target, "repro/internal/") || target == "repro/internal" {
+					t.Errorf("%s imports %s: cmd/ and examples/ must build exclusively against the public orthrus packages", path, target)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

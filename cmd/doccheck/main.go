@@ -4,6 +4,13 @@
 // (see ARCHITECTURE.md); it exits nonzero listing any undocumented symbol.
 //
 //	go run ./cmd/doccheck ./internal/scenario ./internal/order
+//
+// With -surface it instead prints the directory's exported API as
+// deterministic text — the API-surface gate: CI diffs the public packages
+// against golden snapshots under docs/api/, so accidental breaking changes
+// fail the build.
+//
+//	go run ./cmd/doccheck -surface ./orthrus | diff -u docs/api/orthrus.txt -
 package main
 
 import (
@@ -17,7 +24,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-surface" {
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: doccheck -surface <package-dir>")
+			os.Exit(1)
+		}
+		if err := surface(args[1], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(args, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -8,10 +8,14 @@ import (
 	"testing"
 )
 
-// TestCleanPackagesPass runs the checker over the packages CI gates on.
+// TestCleanPackagesPass runs the checker over the packages CI gates on,
+// the public SDK packages included.
 func TestCleanPackagesPass(t *testing.T) {
 	var out bytes.Buffer
 	dirs := []string{
+		"../../orthrus",
+		"../../orthrus/scenariodsl",
+		"../../internal/registry",
 		"../../internal/scenario",
 		"../../internal/partition",
 		"../../internal/order",
@@ -22,6 +26,78 @@ func TestCleanPackagesPass(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "clean") {
 		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+// TestAPISurfaceGoldens is the API-surface gate: the public packages'
+// exported API must match the snapshots under docs/api/. An intentional
+// API change regenerates them with
+//
+//	go run ./cmd/doccheck -surface ./orthrus > docs/api/orthrus.txt
+//	go run ./cmd/doccheck -surface ./orthrus/scenariodsl > docs/api/orthrus_scenariodsl.txt
+func TestAPISurfaceGoldens(t *testing.T) {
+	cases := []struct{ dir, golden string }{
+		{"../../orthrus", "../../docs/api/orthrus.txt"},
+		{"../../orthrus/scenariodsl", "../../docs/api/orthrus_scenariodsl.txt"},
+	}
+	for _, c := range cases {
+		var got bytes.Buffer
+		if err := surface(c.dir, &got); err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(c.golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != string(want) {
+			t.Errorf("%s: API surface drifted from %s — if the change is intentional, regenerate the snapshot (see test doc)\n--- got ---\n%s",
+				c.dir, c.golden, got.String())
+		}
+	}
+}
+
+// TestSurfaceSkipsUnexported checks the surface renderer's filtering:
+// unexported symbols, methods on unexported types and unexported struct
+// fields stay out of the snapshot.
+func TestSurfaceSkipsUnexported(t *testing.T) {
+	dir := t.TempDir()
+	src := `package x
+
+type Public struct {
+	Visible int
+	hidden  int
+}
+
+type private struct{ X int }
+
+func (p private) Method() {}
+
+func (p Public) Method() {}
+
+func helper() {}
+
+const C = 1
+const d = 2
+
+var Exported, internalCache = 1, 2
+`
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := surface(dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"type Public struct", "Visible", "func (p Public) Method()", "const C = 1", "var Exported = 1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("surface missing %q:\n%s", want, s)
+		}
+	}
+	for _, banned := range []string{"hidden", "private", "helper", "d = 2", "internalCache"} {
+		if strings.Contains(s, banned) {
+			t.Fatalf("surface leaks %q:\n%s", banned, s)
+		}
 	}
 }
 

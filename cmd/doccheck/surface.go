@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// surface renders a package directory's exported API as deterministic
+// text: one entry per exported declaration (func bodies and doc comments
+// stripped, unexported struct fields elided), sorted lexically. CI diffs
+// this against a golden snapshot under docs/api/ so accidental breaking
+// changes to the public packages fail the build.
+func surface(dir string, w io.Writer) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "package %s\n", name)
+		var entries []string
+		for _, file := range pkgs[name].Files {
+			for _, decl := range file.Decls {
+				for _, rendered := range renderDecl(fset, decl) {
+					entries = append(entries, rendered)
+				}
+			}
+		}
+		sort.Strings(entries)
+		for _, e := range entries {
+			fmt.Fprintf(w, "\n%s\n", e)
+		}
+	}
+	return nil
+}
+
+// renderDecl returns the exported API entries of one top-level
+// declaration, already formatted.
+func renderDecl(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return nil
+		}
+		fn := *d
+		fn.Doc, fn.Body = nil, nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		if d.Tok == token.IMPORT {
+			return nil
+		}
+		var out []string
+		for _, spec := range d.Specs {
+			s := renderSpec(fset, d.Tok, spec)
+			if s != "" {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// renderSpec formats one exported spec of a const/var/type declaration,
+// or "" if the spec exports nothing.
+func renderSpec(fset *token.FileSet, tok token.Token, spec ast.Spec) string {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		if !s.Name.IsExported() {
+			return ""
+		}
+		ts := *s
+		ts.Doc, ts.Comment = nil, nil
+		if st, ok := ts.Type.(*ast.StructType); ok {
+			ts.Type = exportedFieldsOnly(st)
+		}
+		return render(fset, &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&ts}})
+	case *ast.ValueSpec:
+		vs := *s
+		vs.Doc, vs.Comment = nil, nil
+		// Keep only exported names; initializers stay only while they can
+		// be attributed name-by-name, otherwise (tuple assignment mixing
+		// exported and unexported names) they are elided with the names.
+		var names []*ast.Ident
+		var values []ast.Expr
+		for i, name := range s.Names {
+			if !name.IsExported() {
+				continue
+			}
+			names = append(names, name)
+			if len(s.Values) == len(s.Names) {
+				values = append(values, s.Values[i])
+			}
+		}
+		if len(names) == 0 {
+			return ""
+		}
+		vs.Names = names
+		vs.Values = values
+		return render(fset, &ast.GenDecl{Tok: tok, Specs: []ast.Spec{&vs}})
+	}
+	return ""
+}
+
+// exportedFieldsOnly copies a struct type keeping exported (and exported
+// embedded) fields: unexported fields are implementation detail, not API.
+func exportedFieldsOnly(st *ast.StructType) *ast.StructType {
+	out := &ast.StructType{Struct: st.Struct, Fields: &ast.FieldList{Opening: st.Fields.Opening, Closing: st.Fields.Closing}}
+	for _, f := range st.Fields.List {
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(f.Names) == 0 {
+			// Embedded field: keep if its type name is exported.
+			if id := embeddedName(f.Type); id != nil && id.IsExported() {
+				out.Fields.List = append(out.Fields.List, &ast.Field{Type: f.Type})
+			}
+			continue
+		}
+		if len(names) > 0 {
+			out.Fields.List = append(out.Fields.List, &ast.Field{Names: names, Type: f.Type, Tag: f.Tag})
+		}
+	}
+	return out
+}
+
+// embeddedName resolves the identifier of an embedded field type.
+func embeddedName(t ast.Expr) *ast.Ident {
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// render pretty-prints a node against an empty file set, discarding source
+// positions, so the formatting is a pure function of the AST — blank lines
+// and comments from the original source cannot leak into the snapshot.
+func render(_ *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, token.NewFileSet(), node); err != nil {
+		return fmt.Sprintf("render error: %v", err)
+	}
+	return buf.String()
+}

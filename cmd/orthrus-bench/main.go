@@ -1,10 +1,11 @@
 // Command orthrus-bench regenerates the paper's evaluation figures
-// (Sec. VII). Each figure prints the same series the paper plots, and
-// -json additionally writes the structured results as a machine-checkable
-// artifact.
+// (Sec. VII) through the public orthrus SDK. Each figure prints the same
+// series the paper plots, and -json additionally writes the structured
+// results as a machine-checkable artifact.
 //
 // Usage:
 //
+//	orthrus-bench -list                             # protocols, figures, scenarios
 //	orthrus-bench -fig all -scale 0.25              # quick pass over every figure
 //	orthrus-bench -fig 3,4 -scale 1                 # full Fig. 3+4 sweeps (slow)
 //	orthrus-bench -fig 6                            # latency breakdown only
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -28,23 +30,23 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/experiments"
-	"repro/internal/runner"
+	"repro/orthrus"
+	"repro/orthrus/scenariodsl"
 )
 
 // artifact is the document -json writes: schema identifier, the scale the
 // suite ran at, and one FigureResult per requested figure. It contains no
 // timing metadata, so serial and parallel runs write identical bytes.
 type artifact struct {
-	Schema  string                     `json:"schema"`
-	Scale   float64                    `json:"scale"`
-	Figures []experiments.FigureResult `json:"figures"`
+	Schema  string                 `json:"schema"`
+	Scale   float64                `json:"scale"`
+	Figures []orthrus.FigureResult `json:"figures"`
 }
 
 // selectFigures expands a -fig value into a deduplicated id list: "all"
 // (alone or inside a comma-separated list) selects every figure, repeated
 // ids run once, and order of first mention is preserved. Unknown ids are
-// caught later by experiments.Run.
+// caught later by orthrus.RunFigures.
 func selectFigures(fig string) ([]string, error) {
 	seen := map[string]bool{}
 	var ids []string
@@ -54,7 +56,7 @@ func selectFigures(fig string) ([]string, error) {
 			continue
 		}
 		if id == "all" {
-			for _, all := range experiments.FigureIDs() {
+			for _, all := range orthrus.FigureIDs() {
 				if !seen[all] {
 					seen[all] = true
 					ids = append(ids, all)
@@ -66,9 +68,26 @@ func selectFigures(fig string) ([]string, error) {
 		ids = append(ids, id)
 	}
 	if len(ids) == 0 {
-		return nil, fmt.Errorf("-fig selects no figures (want %s, or all)", strings.Join(experiments.FigureIDs(), ", "))
+		return nil, fmt.Errorf("-fig selects no figures (want %s, or all)", strings.Join(orthrus.FigureIDs(), ", "))
 	}
 	return ids, nil
+}
+
+// printList enumerates everything the registry-driven toolchain knows:
+// registered protocols, reproducible figures and preset scenarios.
+func printList(w io.Writer) {
+	fmt.Fprintln(w, "protocols (-protocol names are case-sensitive):")
+	for _, p := range orthrus.Protocols() {
+		fmt.Fprintf(w, "  %-8s %s\n", p.Name(), p.Description())
+	}
+	fmt.Fprintln(w, "\nfigures (-fig):")
+	for _, f := range orthrus.Figures() {
+		fmt.Fprintf(w, "  %-3s %s\n", f.ID, f.Title)
+	}
+	fmt.Fprintln(w, "\nscenarios (-scenario, figure S1 only):")
+	for _, name := range orthrus.ScenarioPresets() {
+		fmt.Fprintf(w, "  %-19s %s\n", name, scenariodsl.Describe(name))
+	}
 }
 
 // errAlreadyReported marks failures the FlagSet has already printed to
@@ -86,18 +105,24 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("orthrus-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "comma-separated figures to regenerate: "+strings.Join(experiments.FigureIDs(), ", ")+", or all")
-	scn := fs.String("scenario", "", "comma-separated S1 scenarios to run: "+strings.Join(experiments.ScenarioNames(), ", ")+" (default all; only affects fig S1)")
+	fig := fs.String("fig", "all", "comma-separated figures to regenerate: "+strings.Join(orthrus.FigureIDs(), ", ")+", or all")
+	scn := fs.String("scenario", "", "comma-separated S1 scenarios to run: "+strings.Join(orthrus.ScenarioPresets(), ", ")+" (default all; only affects fig S1)")
 	scale := fs.Float64("scale", 0.25, "experiment scale in (0,1]; 1 = paper-sized")
 	parallel := fs.Int("parallel", 0, "worker pool size: 0 = all cores, 1 = serial")
 	jsonPath := fs.String("json", "", "write structured results to this path (e.g. BENCH_results.json)")
 	quiet := fs.Bool("q", false, "suppress the text rendering (useful with -json)")
+	list := fs.Bool("list", false, "list registered protocols, figures and scenario presets, then exit")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return errAlreadyReported
+	}
+
+	if *list {
+		printList(stdout)
+		return nil
 	}
 
 	// Reject rather than clamp out-of-range scales: the artifact records
@@ -120,7 +145,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	start := time.Now()
-	results, err := experiments.RunScenarios(ids, scenarios, runner.Options{Workers: *parallel}, *scale)
+	results, err := orthrus.RunFigures(context.Background(), ids,
+		orthrus.FigureOptions{Scenarios: scenarios, Workers: *parallel, Scale: *scale})
 	if err != nil {
 		return err
 	}

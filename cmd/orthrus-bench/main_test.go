@@ -10,6 +10,28 @@ import (
 	"testing"
 )
 
+// TestRunList checks -list enumerates the registry-driven protocol panel,
+// figure ids and scenario presets — no hardcoded help text.
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, marker := range []string{
+		"protocols", "Orthrus", "ISS", "RCC", "Mir", "DQBFT", "Ladon",
+		"figures", "S1",
+		"scenarios", "crash-recover", "rolling-stragglers", "partition-heal", "flash-crowd",
+	} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("-list output missing %q:\n%s", marker, s)
+		}
+	}
+	if errOut.Len() != 0 {
+		t.Fatalf("-list wrote to stderr: %s", errOut.String())
+	}
+}
+
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-fig", "99"}, &out, &errOut); err == nil {

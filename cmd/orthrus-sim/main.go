@@ -1,7 +1,7 @@
-// Command orthrus-sim runs a single Multi-BFT cluster configuration and
-// prints a summary: throughput, client latency distribution, abort count
-// and view changes. Useful for exploring one scenario without the full
-// benchmark harness.
+// Command orthrus-sim runs a single Multi-BFT cluster configuration
+// through the public orthrus SDK and prints a summary: throughput, client
+// latency distribution, abort count and view changes. Useful for exploring
+// one scenario without the full benchmark harness.
 //
 // Examples:
 //
@@ -12,20 +12,17 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
-	"strings"
-
-	"repro/internal/baseline"
-	"repro/internal/cluster"
-	"repro/internal/metrics"
-	"repro/internal/scenario"
-	"repro/internal/workload"
+	"repro/orthrus"
+	"repro/orthrus/scenariodsl"
 )
 
 // errAlreadyReported marks failures the FlagSet has already printed, so
@@ -43,17 +40,17 @@ func main() {
 
 func run(args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("orthrus-sim", flag.ContinueOnError)
-	protocol := fs.String("protocol", "Orthrus", "protocol: Orthrus, ISS, RCC, Mir, DQBFT, Ladon")
+	protocol := fs.String("protocol", "Orthrus", "protocol: "+strings.Join(orthrus.ProtocolNames(), ", "))
 	n := fs.Int("n", 16, "number of replicas (m = n instances)")
 	netName := fs.String("net", "wan", "network profile: wan or lan")
 	stragglers := fs.Int("stragglers", 0, "number of 10x-slow instances")
 	faults := fs.Int("faults", 0, "replicas to crash at -fault-at (detectable faults)")
 	faultAt := fs.Duration("fault-at", 9*time.Second, "crash injection time")
 	byzantine := fs.Int("byzantine", 0, "undetectable (selective-participation) faulty replicas")
-	scn := fs.String("scenario", "", "preset fault/load scenario: "+strings.Join(scenario.Names(), ", ")+" (requires message-level PBFT)")
+	scn := fs.String("scenario", "", "preset fault/load scenario: "+strings.Join(scenariodsl.Presets(), ", ")+" (requires message-level PBFT)")
 	load := fs.Float64("load", 10000, "client load in tx/s")
 	duration := fs.Duration("duration", 15*time.Second, "submission window")
-	payments := fs.Float64("payments", 0.46, "payment transaction fraction (0 uses the paper default)")
+	payments := fs.Float64("payments", 0.46, "payment transaction fraction (0 uses the paper default; negative means all-contract)")
 	batch := fs.Int("batch", 4096, "batch size (txs per block)")
 	analytic := fs.Bool("analytic", false, "use the analytic quorum-time SB (fault-free only)")
 	seed := fs.Int64("seed", 42, "simulation seed")
@@ -65,51 +62,62 @@ func run(args []string, w, stderr io.Writer) error {
 		return errAlreadyReported
 	}
 
-	mode, ok := baseline.ModeByName(*protocol)
-	if !ok {
-		return fmt.Errorf("unknown protocol %q", *protocol)
+	// Pre-check the flags the SDK would reject, so errors speak in terms
+	// of what the user typed rather than Go options or internal packages.
+	if _, err := orthrus.LookupProtocol(*protocol); err != nil {
+		return fmt.Errorf("unknown protocol %q (want one of: %s)", *protocol, strings.Join(orthrus.ProtocolNames(), ", "))
 	}
-	net := cluster.WAN
+	if *scn != "" && *analytic {
+		return fmt.Errorf("-scenario requires message-level PBFT; drop -analytic")
+	}
+	net := orthrus.WAN
 	if *netName == "lan" {
-		net = cluster.LAN
+		net = orthrus.LAN
 	}
-
-	cfg := cluster.Config{
-		N:                  *n,
-		Protocol:           mode,
-		Net:                net,
-		Stragglers:         *stragglers,
-		DetectableFaults:   *faults,
-		FaultAt:            *faultAt,
-		UndetectableFaults: *byzantine,
-		Workload:           workload.Config{Seed: *seed, PaymentFraction: *payments},
-		LoadTPS:            *load,
-		Duration:           *duration,
-		BatchSize:          *batch,
-		AnalyticSB:         *analytic,
-		NIC:                !*analytic,
-		Seed:               *seed,
+	opts := []orthrus.Option{
+		orthrus.WithProtocol(*protocol),
+		orthrus.WithReplicas(*n),
+		orthrus.WithNet(net),
+		orthrus.WithStragglers(*stragglers, 0),
+		orthrus.WithFaults(*faults, *faultAt),
+		orthrus.WithByzantine(*byzantine),
+		orthrus.WithLoad(*load),
+		orthrus.WithDuration(*duration),
+		orthrus.WithBatching(*batch, 0),
+		orthrus.WithSeed(*seed),
+	}
+	// The flag keeps its historical semantics: 0 means "paper default"
+	// (the SDK's unset state) and a negative value means an explicit
+	// all-contract workload (the SDK's WithPayments(0)).
+	switch {
+	case *payments < 0:
+		opts = append(opts, orthrus.WithPayments(0))
+	case *payments != 0:
+		opts = append(opts, orthrus.WithPayments(*payments))
+	}
+	if *analytic {
+		opts = append(opts, orthrus.WithAnalyticSB())
 	}
 	if *scn != "" {
-		if *analytic {
-			return fmt.Errorf("-scenario requires message-level PBFT; drop -analytic")
-		}
-		s, err := scenario.Preset(*scn, *n, *duration, *seed)
+		s, err := scenariodsl.Preset(*scn, *n, *duration, *seed)
 		if err != nil {
 			return err
 		}
-		cfg.Scenario = s
+		opts = append(opts, orthrus.WithScenario(s))
 	}
-	res := cluster.Run(cfg)
+	res, err := orthrus.Run(context.Background(), opts...)
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(w, "protocol     %s\n", res.Protocol)
-	fmt.Fprintf(w, "network      %s, n=%d (m=n instances), f=%d\n", res.Net, res.N, (res.N-1)/3)
+	fmt.Fprintf(w, "network      %s, n=%d (m=n instances), f=%d\n", res.Net, res.Replicas, (res.Replicas-1)/3)
 	fmt.Fprintf(w, "submitted    %d txs @ %.0f tps\n", res.Submitted, *load)
 	fmt.Fprintf(w, "confirmed    %d in window (throughput %.1f ktps)\n", res.Confirmed, res.ThroughputTPS/1000)
 	fmt.Fprintf(w, "aborted      %d\n", res.Aborted)
 	fmt.Fprintf(w, "latency      %s\n", res.Latency.String())
 	fmt.Fprintf(w, "view changes %d\n", res.ViewChanges)
-	fmt.Fprintf(w, "sim events   %d\n", res.Events)
+	fmt.Fprintf(w, "sim events   %d\n", res.SimEvents)
 	if len(res.Phases) > 0 {
 		fmt.Fprintf(w, "phases       (%s scenario windows)\n", *scn)
 		for _, p := range res.Phases {
@@ -118,8 +126,8 @@ func run(args []string, w, stderr io.Writer) error {
 		}
 	}
 	fmt.Fprintln(w, "breakdown    (observer replica stage means)")
-	for _, s := range metrics.Stages() {
-		fmt.Fprintf(w, "  %-16s %8.3fs\n", s.String(), res.Breakdown.Mean(s).Seconds())
+	for _, s := range res.Breakdown {
+		fmt.Fprintf(w, "  %-16s %8.3fs\n", s.Stage, s.Mean.Seconds())
 	}
 	return nil
 }

@@ -1,25 +1,22 @@
 // Chaos: a composite dynamic-fault scenario — a 10x straggler window
 // overlapping a two-replica crash-recover cycle — on a 7-replica WAN
-// cluster, run for Orthrus and ISS side by side. The per-phase windows
-// show what the static figures cannot: how each protocol's throughput
-// collapses and recovers around every event. The runs fan out across
-// cores through internal/runner.
+// cluster, run for Orthrus and ISS side by side through the public SDK.
+// The per-phase windows show what the static figures cannot: how each
+// protocol's throughput collapses and recovers around every event. The
+// runs fan out across cores through orthrus.RunMany.
 //
 //	go run ./examples/chaos
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
-	"repro/internal/baseline"
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/runner"
-	"repro/internal/scenario"
-	"repro/internal/workload"
+	"repro/orthrus"
+	"repro/orthrus/scenariodsl"
 )
 
 func main() { run(os.Stdout, 1) }
@@ -35,42 +32,44 @@ func run(w io.Writer, scale float64) {
 
 	// One straggler from 10% of the run, two crashed replicas between 30%
 	// and 60%, everything healthy again from 80%.
-	scn := scenario.New("straggle+crash-recover").
+	scn := scenariodsl.New("straggle+crash-recover").
 		StraggleAt(frac(0.1), 10, 4).
 		CrashAt(frac(0.3), 5, 6).
 		RecoverAt(frac(0.6), 5, 6).
 		StraggleAt(frac(0.8), 1, 4).
 		Build()
 
-	cfg := func(mode core.Mode) cluster.Config {
-		return cluster.Config{
-			N:           7,
-			Protocol:    mode,
-			Net:         cluster.WAN,
-			Scenario:    scn,
-			Workload:    workload.Config{Accounts: 2000, Seed: 1},
-			LoadTPS:     1500 * scale,
-			Duration:    dur,
-			Drain:       2 * dur,
-			BatchSize:   512,
-			ViewTimeout: dur / 5, // recovery must fit the shrunk run
-			NIC:         true,
-			Seed:        1,
-		}
+	cfg := func(protocol string) orthrus.Config {
+		return orthrus.NewConfig(
+			orthrus.WithProtocol(protocol),
+			orthrus.WithReplicas(7),
+			orthrus.WithNet(orthrus.WAN),
+			orthrus.WithScenario(scn),
+			orthrus.WithAccounts(2000),
+			orthrus.WithLoad(1500*scale),
+			orthrus.WithDuration(dur),
+			orthrus.WithDrain(2*dur),
+			orthrus.WithBatching(512, 0),
+			orthrus.WithViewTimeout(dur/5), // recovery must fit the shrunk run
+			orthrus.WithSeed(1),
+		)
 	}
 
-	modes := []core.Mode{core.OrthrusMode(), baseline.ISSMode()}
-	jobs := []runner.Job{runner.NewJob(cfg(modes[0])), runner.NewJob(cfg(modes[1]))}
-	results := runner.Run(jobs, runner.Options{})
+	protocols := []string{"Orthrus", "ISS"}
+	results, err := orthrus.RunMany(context.Background(),
+		[]orthrus.Config{cfg(protocols[0]), cfg(protocols[1])}, 0)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Fprintln(w, "WAN, 7 replicas — composite scenario:", scn.Name)
 	for _, e := range scn.Events {
 		fmt.Fprintln(w, "  ", e)
 	}
 	fmt.Fprintln(w)
-	for i, mode := range modes {
+	for i, protocol := range protocols {
 		res := results[i]
-		fmt.Fprintf(w, "%s  (view changes: %d)\n", mode.Name, res.ViewChanges)
+		fmt.Fprintf(w, "%s  (view changes: %d)\n", protocol, res.ViewChanges)
 		for _, p := range res.Phases {
 			fmt.Fprintf(w, "  %-20s [%5.1fs,%6.1fs)  %8.1f tps  lat=%5.2fs\n",
 				p.Label, p.Start.Seconds(), p.End.Seconds(), p.ThroughputTPS, p.MeanLatency.Seconds())

@@ -7,59 +7,57 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/workload"
+	"repro/orthrus"
 )
 
 func main() { run(os.Stdout) }
 
 // run executes the example, writing its narrative to w.
 func run(w io.Writer) {
-	res := cluster.Run(cluster.Config{
-		N:                7,
-		Protocol:         core.OrthrusMode(),
-		Net:              cluster.WAN,
-		DetectableFaults: 1,
-		FaultAt:          5 * time.Second,
-		ViewTimeout:      3 * time.Second,
-		Workload:         workload.Config{Accounts: 2000, Seed: 3},
-		LoadTPS:          1500,
-		Duration:         16 * time.Second,
-		Drain:            10 * time.Second,
-		BatchSize:        256,
-		BatchTimeout:     100 * time.Millisecond,
-		EpochLen:         32,
-		NIC:              true,
-		Seed:             3,
-	})
+	res, err := orthrus.Run(context.Background(),
+		orthrus.WithReplicas(7),
+		orthrus.WithNet(orthrus.WAN),
+		orthrus.WithFaults(1, 5*time.Second),
+		orthrus.WithViewTimeout(3*time.Second),
+		orthrus.WithAccounts(2000),
+		orthrus.WithLoad(1500),
+		orthrus.WithDuration(16*time.Second),
+		orthrus.WithDrain(10*time.Second),
+		orthrus.WithBatching(256, 100*time.Millisecond),
+		orthrus.WithEpochLen(32),
+		orthrus.WithSeed(3),
+	)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Fprintln(w, "Orthrus, WAN, 7 replicas; replica 6 crashes at t=5s, view-change")
 	fmt.Fprintf(w, "timeout 3s. View changes observed: %d\n\n", res.ViewChanges)
 	fmt.Fprintln(w, "  t(s)   tput(tps)  bar")
 	max := 0.0
-	for i := 0; i < res.Series.Bins(); i++ {
-		if tp := res.Series.Throughput(i); tp > max {
-			max = tp
+	for _, win := range res.Windows {
+		if win.ThroughputTPS > max {
+			max = win.ThroughputTPS
 		}
 	}
-	for i := 0; i < res.Series.Bins(); i += 2 {
-		tp := res.Series.Throughput(i)
+	for i := 0; i < len(res.Windows); i += 2 {
+		win := res.Windows[i]
 		barLen := 0
 		if max > 0 {
-			barLen = int(tp / max * 50)
+			barLen = int(win.ThroughputTPS / max * 50)
 		}
 		fmt.Fprintf(w, "  %4.1f  %9.0f  %s\n",
-			float64(i)*res.Series.Bin.Seconds(), tp, strings.Repeat("#", barLen))
+			win.Start.Seconds(), win.ThroughputTPS, strings.Repeat("#", barLen))
 	}
 	fmt.Fprintf(w, "\nconfirmed %d, aborted %d, mean latency %.2fs\n",
-		res.Confirmed, res.Aborted, res.Latency.Mean().Seconds())
+		res.Confirmed, res.Aborted, res.Latency.Mean.Seconds())
 	fmt.Fprintln(w, "\nThe dip after t=5s is the crashed leader's instance stalling; after")
 	fmt.Fprintln(w, "the view change the next replica takes over and fills the gap with")
 	fmt.Fprintln(w, "no-op blocks, releasing the blocked global-log positions.")

@@ -1,116 +1,86 @@
-// Payments: the paper's Appendix B running example. Two instances' worth of
-// clients (Alice, Bob, Carol), a single-payer payment, a multi-payer
-// payment that must commit atomically across instances via the escrow
-// mechanism, and a contract call that escrows both callers' fees.
+// Payments: the paper's Appendix B running example through the public
+// SDK. Clients from two instances (Alice, Bob, Carol), a single-payer
+// payment, a multi-payer payment that must commit atomically across
+// instances via the escrow mechanism, a contract call that escrows both
+// callers' fees — plus an underfunded multi-payer payment that must not
+// commit.
 //
 //	go run ./examples/payments
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ledger"
-	"repro/internal/simnet"
-	"repro/internal/types"
+	"repro/orthrus"
 )
 
 func main() { run(os.Stdout) }
 
 // run executes the example, writing its narrative to w.
 func run(w io.Writer) {
-	const n = 4
-	sim := simnet.New(7)
-	nw := simnet.NewNetwork(sim, n, simnet.NewLAN())
-
-	// Initial balances from Appendix B: Alice $4, Bob $0, Carol $0.
-	genesis := func(st *ledger.Store) {
-		st.Credit("alice", 4)
-	}
-
-	confirmed := map[string]bool{}
-	replicas := make([]*core.Replica, n)
-	for i := 0; i < n; i++ {
-		cfg := core.Config{
-			N: n, F: 1, ID: i, M: n,
-			Mode:         core.OrthrusMode(),
-			BatchSize:    8,
-			BatchTimeout: 20 * time.Millisecond,
-			Genesis:      genesis,
-		}
-		if i == 0 {
-			cfg.OnConfirm = func(tx *types.Transaction, success bool, at simnet.Time) {
-				fmt.Fprintf(w, "[%8s] confirmed %s success=%v payers=%v\n",
-					at, tx.ID(), success, tx.Payers())
-				confirmed[tx.ID().String()] = success
-			}
-		}
-		replicas[i] = core.NewReplica(cfg, sim, nw)
-	}
-	for _, r := range replicas {
-		r.Start()
-	}
-
-	submit := func(tx *types.Transaction) {
-		tx.SubmitNS = int64(sim.Now())
-		for _, r := range replicas {
-			if err := r.SubmitTx(tx); err != nil {
-				panic(err)
-			}
-		}
-	}
-
 	// tx0: Alice -> Bob $2 (single payer, executed from the partial log).
-	tx0 := types.NewPayment("alice", "bob", 2, 0)
-	submit(tx0)
-	sim.Run(simnet.Time(1 * time.Second))
-
+	tx0 := orthrus.Payment("alice", "bob", 2, 0)
 	// tx1: Alice and Bob each pay Carol $1 — two payers, two instances,
-	// atomic via escrow. Bob can only afford it because tx0 landed.
-	tx1 := types.NewMultiPayment("alice", []types.Transfer{
+	// atomic via escrow. Bob can only afford it because tx0 landed first.
+	tx1 := orthrus.MultiPayment("alice", []orthrus.Transfer{
 		{From: "alice", To: "carol", Amount: 1},
 		{From: "bob", To: "carol", Amount: 1},
 	}, 1)
-	submit(tx1)
-	sim.Run(simnet.Time(2 * time.Second))
-
 	// tx2: Alice and Bob invoke a contract together, $1 each. The fees are
 	// escrowed from the partial logs; the shared op executes in the glog.
-	tx2 := types.NewContractCall("alice", []types.Key{"alice", "bob"}, 1,
-		[]types.Op{types.NewSharedAssign("contract-state", 99)}, 2)
-	submit(tx2)
-	sim.Run(simnet.Time(4 * time.Second))
-
+	tx2 := orthrus.ContractCall("alice", []string{"alice", "bob"}, 1, 2,
+		orthrus.SharedAssign("contract-state", 99))
 	// tx3: a multi-payer payment that MUST abort: Carol has $2, tries to
 	// pay $3 alongside Alice. Alice's escrowed leg is refunded.
-	tx3 := types.NewMultiPayment("carol", []types.Transfer{
+	tx3 := orthrus.MultiPayment("carol", []orthrus.Transfer{
 		{From: "carol", To: "bob", Amount: 3},
 		{From: "alice", To: "bob", Amount: 1},
 	}, 3)
-	// Disable the feasibility pre-check path by submitting to backups too;
-	// the leader re-queues infeasible legs, so this tx never confirms —
-	// demonstrating that underfunded multi-payer payments cannot commit.
-	submit(tx3)
-	sim.Run(simnet.Time(6 * time.Second))
 
-	st := replicas[0].Store()
+	confirmed := map[string]bool{}
+	res, err := orthrus.Run(context.Background(),
+		orthrus.WithReplicas(4),
+		orthrus.WithNet(orthrus.LAN),
+		orthrus.WithLoad(1), // one scripted transaction per second, in order
+		orthrus.WithDuration(6*time.Second),
+		orthrus.WithDrain(6*time.Second),
+		orthrus.WithBatching(8, 20*time.Millisecond),
+		orthrus.WithSeed(7),
+		// Initial balances from Appendix B: Alice $4, Bob $0, Carol $0.
+		orthrus.WithGenesis(map[string]int64{"alice": 4}),
+		orthrus.WithTransactions(tx0, tx1, tx2, tx3),
+		orthrus.WithFinalState(),
+		orthrus.WithObserver(orthrus.ObserverFuncs{
+			Confirm: func(tx orthrus.TxInfo, success bool, at time.Duration) {
+				fmt.Fprintf(w, "[%8s] confirmed %s success=%v payers=%v\n",
+					at, tx.ID, success, tx.Payers)
+				if success {
+					confirmed[tx.ID] = true
+				}
+			},
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+
 	fmt.Fprintf(w, "\nfinal balances: alice=%d bob=%d carol=%d  contract-state=%d\n",
-		st.Balance("alice"), st.Balance("bob"), st.Balance("carol"),
-		st.SharedValue("contract-state"))
-	fmt.Fprintf(w, "escrows outstanding: %d (must be 0: no funds stuck)\n", st.EscrowCount())
-	if _, ok := confirmed[tx3.ID().String()]; ok {
+		res.Balance("alice"), res.Balance("bob"), res.Balance("carol"),
+		res.SharedValue("contract-state"))
+	fmt.Fprintf(w, "escrows outstanding: %d (must be 0: no funds stuck)\n", res.EscrowsOutstanding())
+	if confirmed[tx3.ID()] {
 		fmt.Fprintln(w, "tx3 confirmed (unexpected)")
 	} else {
 		fmt.Fprintln(w, "tx3 (underfunded multi-payer) correctly never committed ✔")
 	}
 
-	for i := 1; i < n; i++ {
-		if !replicas[i].Store().Snapshot().Equal(st.Snapshot()) {
-			panic(fmt.Sprintf("replica %d diverged", i))
-		}
+	// Every replica reached the same state (safety, Theorem 1).
+	if !res.Converged {
+		panic("replicas diverged")
 	}
 	fmt.Fprintln(w, "all replicas agree ✔")
 }

@@ -1,84 +1,61 @@
-// Quickstart: a 4-replica Orthrus cluster on a simulated LAN. Submits a
-// payment and a contract call, then prints confirmations and final state.
+// Quickstart: the canonical SDK snippet. A 4-replica Orthrus cluster on a
+// simulated LAN executes a scripted payment and contract call through
+// orthrus.Run, streaming each confirmation and reading the final state
+// back from the observer replica.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ledger"
-	"repro/internal/simnet"
-	"repro/internal/types"
+	"repro/orthrus"
 )
 
 func main() { run(os.Stdout) }
 
 // run executes the example, writing its narrative to w.
 func run(w io.Writer) {
-	const n = 4
-	sim := simnet.New(1)
-	nw := simnet.NewNetwork(sim, n, simnet.NewLAN())
-
-	genesis := func(st *ledger.Store) {
-		st.Credit("alice", 100)
-		st.Credit("bob", 50)
-	}
-
-	// Build n replicas; replica 0 reports confirmations.
-	replicas := make([]*core.Replica, n)
-	for i := 0; i < n; i++ {
-		cfg := core.Config{
-			N: n, F: 1, ID: i, M: n,
-			Mode:         core.OrthrusMode(),
-			BatchSize:    16,
-			BatchTimeout: 20 * time.Millisecond,
-			Genesis:      genesis,
-		}
-		if i == 0 {
-			cfg.OnConfirm = func(tx *types.Transaction, success bool, at simnet.Time) {
-				fmt.Fprintf(w, "[%8s] %-8s tx %s confirmed success=%v\n",
-					at, tx.Kind(), tx.ID(), success)
-			}
-		}
-		replicas[i] = core.NewReplica(cfg, sim, nw)
-	}
-	for _, r := range replicas {
-		r.Start()
-	}
-
 	// A simple payment (fast path: confirmed from the partial log) and a
 	// contract call (confirmed through the global log).
-	pay := types.NewPayment("alice", "bob", 30, 1)
-	contract := types.NewContractCall("bob", []types.Key{"bob"}, 5,
-		[]types.Op{types.NewSharedAssign("counter", 7)}, 2)
-	for _, tx := range []*types.Transaction{pay, contract} {
-		tx.SubmitNS = int64(sim.Now())
-		for _, r := range replicas {
-			if err := r.SubmitTx(tx); err != nil {
-				panic(err)
-			}
-		}
+	pay := orthrus.Payment("alice", "bob", 30, 1)
+	contract := orthrus.ContractCall("bob", []string{"bob"}, 5, 2,
+		orthrus.SharedAssign("counter", 7))
+
+	res, err := orthrus.Run(context.Background(),
+		orthrus.WithReplicas(4),
+		orthrus.WithNet(orthrus.LAN),
+		orthrus.WithLoad(1), // one scripted transaction per second
+		orthrus.WithDuration(3*time.Second),
+		orthrus.WithDrain(3*time.Second),
+		orthrus.WithBatching(16, 20*time.Millisecond),
+		orthrus.WithSeed(1),
+		orthrus.WithGenesis(map[string]int64{"alice": 100, "bob": 50}),
+		orthrus.WithTransactions(pay, contract),
+		orthrus.WithFinalState(),
+		orthrus.WithObserver(orthrus.ObserverFuncs{
+			Confirm: func(tx orthrus.TxInfo, success bool, at time.Duration) {
+				fmt.Fprintf(w, "[%8s] %-8s tx %s confirmed success=%v\n",
+					at, tx.Kind, tx.ID, success)
+			},
+		}),
+	)
+	if err != nil {
+		panic(err)
 	}
 
-	// Advance virtual time until everything confirms.
-	sim.Run(simnet.Time(3 * time.Second))
-
-	st := replicas[0].Store()
 	fmt.Fprintf(w, "\nfinal state at replica 0:\n")
-	fmt.Fprintf(w, "  alice   = %d (paid 30)\n", st.Balance("alice"))
-	fmt.Fprintf(w, "  bob     = %d (received 30, paid 5 fee)\n", st.Balance("bob"))
-	fmt.Fprintf(w, "  counter = %d (assigned by the contract)\n", st.SharedValue("counter"))
+	fmt.Fprintf(w, "  alice   = %d (paid 30)\n", res.Balance("alice"))
+	fmt.Fprintf(w, "  bob     = %d (received 30, paid 5 fee)\n", res.Balance("bob"))
+	fmt.Fprintf(w, "  counter = %d (assigned by the contract)\n", res.SharedValue("counter"))
 
 	// Every replica reached the same state (safety, Theorem 1).
-	for i := 1; i < n; i++ {
-		if !replicas[i].Store().Snapshot().Equal(st.Snapshot()) {
-			panic(fmt.Sprintf("replica %d diverged", i))
-		}
+	if !res.Converged {
+		panic("replicas diverged")
 	}
 	fmt.Fprintln(w, "all replicas agree ✔")
 }

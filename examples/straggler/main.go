@@ -1,22 +1,19 @@
 // Straggler: the paper's headline scenario. Runs Orthrus and ISS side by
 // side on a simulated WAN with one 10x-slow instance and prints the latency
 // gap (Fig. 3d's message in miniature). The six independent runs fan out
-// across cores through internal/runner.
+// across cores through orthrus.RunMany.
 //
 //	go run ./examples/straggler
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
-	"repro/internal/baseline"
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/runner"
-	"repro/internal/workload"
+	"repro/orthrus"
 )
 
 func main() { run(os.Stdout, 1) }
@@ -27,37 +24,38 @@ func run(w io.Writer, scale float64) {
 	if scale <= 0 || scale > 1 {
 		scale = 1
 	}
-	cfg := func(mode core.Mode, stragglers int) cluster.Config {
-		return cluster.Config{
-			N:            8,
-			Protocol:     mode,
-			Net:          cluster.WAN,
-			Stragglers:   stragglers,
-			Workload:     workload.Config{Accounts: 2000, Seed: 1},
-			LoadTPS:      2000 * scale,
-			Duration:     time.Duration(float64(8*time.Second) * scale),
-			Drain:        time.Duration(float64(40*time.Second) * scale),
-			BatchSize:    512,
-			BatchTimeout: 100 * time.Millisecond,
-			NIC:          true,
-			Seed:         1,
-		}
+	cfg := func(protocol string, stragglers int) orthrus.Config {
+		return orthrus.NewConfig(
+			orthrus.WithProtocol(protocol),
+			orthrus.WithReplicas(8),
+			orthrus.WithNet(orthrus.WAN),
+			orthrus.WithStragglers(stragglers, 10),
+			orthrus.WithAccounts(2000),
+			orthrus.WithLoad(2000*scale),
+			orthrus.WithDuration(time.Duration(float64(8*time.Second)*scale)),
+			orthrus.WithDrain(time.Duration(float64(40*time.Second)*scale)),
+			orthrus.WithBatching(512, 100*time.Millisecond),
+			orthrus.WithSeed(1),
+		)
 	}
 
-	modes := []core.Mode{core.OrthrusMode(), baseline.ISSMode(), baseline.LadonMode()}
-	var jobs []runner.Job
-	for _, mode := range modes {
-		jobs = append(jobs, runner.NewJob(cfg(mode, 0)), runner.NewJob(cfg(mode, 1)))
+	protocols := []string{"Orthrus", "ISS", "Ladon"}
+	var cfgs []orthrus.Config
+	for _, p := range protocols {
+		cfgs = append(cfgs, cfg(p, 0), cfg(p, 1))
 	}
-	results := runner.Run(jobs, runner.Options{})
+	results, err := orthrus.RunMany(context.Background(), cfgs, 0)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Fprintln(w, "WAN, 8 replicas, 46% payments — mean client latency")
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-10s %16s %16s\n", "protocol", "no straggler", "one straggler")
-	for i, mode := range modes {
+	for i, p := range protocols {
 		clean, slow := results[2*i], results[2*i+1]
-		fmt.Fprintf(w, "%-10s %15.2fs %15.2fs\n", mode.Name,
-			clean.Latency.Mean().Seconds(), slow.Latency.Mean().Seconds())
+		fmt.Fprintf(w, "%-10s %15.2fs %15.2fs\n", p,
+			clean.Latency.Mean.Seconds(), slow.Latency.Mean.Seconds())
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Orthrus's payments bypass the global log, so the straggler only")

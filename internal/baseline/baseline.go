@@ -16,16 +16,35 @@
 // All of them execute every transaction at its global-log position; none
 // has Orthrus's partial-order fast path or multi-payer splitting.
 //
-// To add a protocol, return its core.Mode from a constructor here and
-// list it in AllModes: every sweep, scenario suite, example and CLI flag
-// picks it up from there (see ARCHITECTURE.md's extension seams).
+// To add a protocol, return its core.Mode from a constructor and register
+// it in internal/registry (as this package's init does): every sweep,
+// scenario suite, example and CLI flag resolves protocols through the
+// registry, so a registered protocol plugs in without touching cluster or
+// experiments code (see ARCHITECTURE.md's extension seams). The public
+// entry point for the same seam is orthrus.Register.
 package baseline
 
 import (
 	"repro/internal/core"
 	"repro/internal/order"
+	"repro/internal/registry"
 	"repro/internal/types"
 )
+
+// The baselines register at init time. The registry already holds Orthrus
+// (it registers itself first), so the resulting order is the paper's
+// figure order: Orthrus, ISS, RCC, Mir, DQBFT, Ladon.
+func init() {
+	for _, p := range []registry.Protocol{
+		{Name: "ISS", Description: "pre-determined global order; a faulty instance's gap is filled with no-op blocks", New: ISSMode},
+		{Name: "RCC", Description: "pre-determined global order with concurrent recovery; tracks ISS in this model", New: RCCMode},
+		{Name: "Mir", Description: "pre-determined global order; any leader failure stalls every instance (epoch change)", New: MirMode},
+		{Name: "DQBFT", Description: "a dedicated sequencer instance globally orders the worker instances' blocks", New: DQBFTMode},
+		{Name: "Ladon", Description: "dynamic rank-based global ordering for all transactions (no payment fast path)", New: LadonMode},
+	} {
+		registry.MustRegister(p)
+	}
+}
 
 // ISSMode returns ISS: predetermined ordering with no-op gap filling.
 func ISSMode() core.Mode {
@@ -75,27 +94,27 @@ func DQBFTMode() core.Mode {
 	}
 }
 
-// AllModes returns every protocol, Orthrus first — the order used in the
-// paper's figures.
+// AllModes returns a fresh mode for every registered protocol in
+// registration order (Orthrus first — the order used in the paper's
+// figures). It reads the shared registry, so protocols registered by other
+// packages appear here too.
 func AllModes() []core.Mode {
-	return []core.Mode{
-		core.OrthrusMode(),
-		ISSMode(),
-		RCCMode(),
-		MirMode(),
-		DQBFTMode(),
-		LadonMode(),
+	ps := registry.All()
+	modes := make([]core.Mode, len(ps))
+	for i, p := range ps {
+		modes[i] = p.New()
 	}
+	return modes
 }
 
-// ModeByName resolves a protocol name (case-sensitive, as printed).
+// ModeByName resolves a protocol name (case-sensitive, as printed) through
+// the shared registry.
 func ModeByName(name string) (core.Mode, bool) {
-	for _, m := range AllModes() {
-		if m.Name == name {
-			return m, true
-		}
+	p, err := registry.Lookup(name)
+	if err != nil {
+		return core.Mode{}, false
 	}
-	return core.Mode{}, false
+	return p.New(), true
 }
 
 // RefOrderer implements DQBFT's global ordering: the sequencer instance

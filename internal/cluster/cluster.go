@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/sb"
 	"repro/internal/scenario"
@@ -88,6 +89,34 @@ type Config struct {
 	NIC bool
 
 	Seed int64
+
+	// Observation hooks stream measurements out of a running simulation
+	// (the public orthrus SDK's Observer rides on these). All are optional
+	// and fire on the simulation goroutine in deterministic virtual-time
+	// order; they must only read, never mutate the cluster. OnWindow and
+	// Halt schedule one bookkeeping event per 0.5 s of virtual time, so
+	// Result.Events grows slightly when either is set; measured results are
+	// unaffected.
+
+	// OnConfirm fires at every client-visible confirmation (the (f+1)-th
+	// reply), with the reply's virtual arrival time.
+	OnConfirm func(tx *types.Transaction, success bool, reply simnet.Time)
+	// OnWindow fires once per closed 0.5 s series bin, in order, including
+	// empty bins.
+	OnWindow func(w WindowStat)
+	// OnPhase fires once per scenario phase as soon as its measurement
+	// window is final — mid-run for phases that close before the run ends,
+	// at finalization for the rest. Requires a Scenario.
+	OnPhase func(p PhaseWindow)
+	// Halt is polled at every 0.5 s window boundary; returning true stops
+	// the simulation immediately (Result.Halted) with whatever has been
+	// measured so far. The public SDK wires context cancellation here.
+	Halt func() bool
+	// CaptureState retains the observer replica's ledger store on the
+	// Result and checks that all replicas' final snapshots agree. Only
+	// meaningful for fault-free runs: crashed or partitioned replicas miss
+	// blocks (no state transfer is modeled) and will report divergence.
+	CaptureState bool
 }
 
 func (c Config) withDefaults() Config {
@@ -126,11 +155,15 @@ func (c Config) withDefaults() Config {
 
 // Label returns a stable, human-readable key for this configuration; the
 // runner's job lists use it to identify runs. It names the measured cell
-// (protocol, network, size, fault axis), not every knob, so it is unique
-// within one figure's grid but not across figures — suite-level callers
-// namespace it (see internal/experiments suiteJobs). A negative
-// PaymentFraction is the workload's explicit-0% sentinel and labels as
-// pay=0.00.
+// (protocol, network, size, fault axis, scenario, transaction source), not
+// every knob, so it is unique within one figure's grid but not across
+// figures — suite-level callers namespace it (see internal/experiments
+// suiteJobs). A negative PaymentFraction is the workload's explicit-0%
+// sentinel and labels as pay=0.00. A custom Source measures a different
+// cell than the synthetic generator even under otherwise identical knobs,
+// so it labels as /replay (a workload.Trace) or /src (any other source);
+// two configs differing only in the contents of a custom source still
+// share a label.
 func (c Config) Label() string {
 	s := fmt.Sprintf("%s/%s/n=%d", c.Protocol.Name, c.Net, c.N)
 	if c.Stragglers > 0 {
@@ -144,6 +177,13 @@ func (c Config) Label() string {
 	}
 	if c.Scenario != nil {
 		s += "/scn=" + c.Scenario.Name
+	}
+	if c.Source != nil {
+		if _, ok := c.Source.(*workload.Trace); ok {
+			s += "/replay"
+		} else {
+			s += "/src"
+		}
 	}
 	if frac := c.Workload.PaymentFraction; frac < 0 {
 		s += "/pay=0.00"
@@ -181,6 +221,26 @@ type Result struct {
 
 	ViewChanges int
 	Events      uint64 // simulator events processed (cost accounting)
+
+	// Halted reports the run was stopped early by Config.Halt; the
+	// measurements cover only the virtual time before the stop.
+	Halted bool
+	// State is the observer replica's final ledger store and Converged
+	// whether every replica's final snapshot equals it. Both are only set
+	// when Config.CaptureState is true.
+	State     *ledger.Store
+	Converged bool
+}
+
+// WindowStat is one closed 0.5 s series bin, streamed to Config.OnWindow:
+// confirmations whose client-visible reply landed in [Start, End), the
+// resulting rate, and their mean latency.
+type WindowStat struct {
+	Index         int
+	Start, End    time.Duration
+	Confirmed     int
+	ThroughputTPS float64
+	MeanLatency   time.Duration
 }
 
 // PhaseWindow is one scenario-delimited measurement window: raw
@@ -292,6 +352,34 @@ func Run(cfg Config) *Result {
 		}
 		return idx
 	}
+	// phaseStat reads phase i's accumulators into a finished window. A
+	// window is final once virtual time reaches its End: replies are
+	// recorded before they land, so nothing can join a closed window.
+	phaseStat := func(i int) PhaseWindow {
+		p := phases[i]
+		if winLen := (p.End - p.Start).Seconds(); winLen > 0 {
+			p.ThroughputTPS = float64(p.Confirmed) / winLen
+		}
+		if p.Confirmed > 0 {
+			p.MeanLatency = phaseLat[i] / time.Duration(p.Confirmed)
+		}
+		return p
+	}
+	// Phases that close mid-run stream out the moment they are final; the
+	// rest (at minimum the last phase) are emitted at finalization below.
+	phaseEmitted := make([]bool, len(phases))
+	if cfg.OnPhase != nil {
+		for i := range phases {
+			if phases[i].End >= runEnd {
+				continue
+			}
+			i := i
+			sim.At(simnet.Time(phases[i].End), func() {
+				phaseEmitted[i] = true
+				cfg.OnPhase(phaseStat(i))
+			})
+		}
+	}
 
 	// Shared analytic SB instances, created lazily per instance index.
 	var analytic map[int]*sb.Instance
@@ -339,6 +427,9 @@ func Run(cfg Config) *Result {
 				}
 				if reply >= simnet.Time(cfg.Warmup) && reply <= windowEnd {
 					res.Confirmed++
+				}
+				if cfg.OnConfirm != nil {
+					cfg.OnConfirm(tx, success, reply)
 				}
 			},
 			OnViewChange: func(instance int, view uint64, at simnet.Time) {
@@ -446,19 +537,88 @@ func Run(cfg Config) *Result {
 	}
 	submitNext(simnet.Time(cfg.Warmup) / 2)
 
+	// Streaming windows and cancellation: one bookkeeping event per 0.5 s
+	// of virtual time polls Halt and reports the just-closed series bin
+	// (final by the same argument as phaseStat's). Bins still open when the
+	// ticks end — a trailing partial bin, or bins reached only by replies
+	// landing after runEnd — are flushed after the simulation below.
+	windowsEmitted := 0
+	if cfg.OnWindow != nil || cfg.Halt != nil {
+		win := res.Series.Bin
+		var tick func(k int)
+		tick = func(k int) {
+			sim.At(simnet.Time(win)*simnet.Time(k), func() {
+				if cfg.Halt != nil && cfg.Halt() {
+					res.Halted = true
+					sim.Halt()
+					return
+				}
+				if cfg.OnWindow != nil {
+					i := k - 1
+					cfg.OnWindow(WindowStat{
+						Index:         i,
+						Start:         time.Duration(i) * win,
+						End:           time.Duration(k) * win,
+						Confirmed:     res.Series.Count(i),
+						ThroughputTPS: res.Series.Throughput(i),
+						MeanLatency:   res.Series.MeanLatency(i),
+					})
+					windowsEmitted = k
+				}
+				if simnet.Time(win)*simnet.Time(k+1) <= simnet.Time(runEnd) {
+					tick(k + 1)
+				}
+			})
+		}
+		tick(1)
+	}
+
 	sim.Run(windowEnd + simnet.Time(cfg.Drain))
 	res.Events = sim.EventsProcessed()
 
+	// A halted run measures only the elapsed virtual time: divide the
+	// confirmations by the window that actually ran, not the configured
+	// one, so partial throughput is a rate and not a fraction of one.
 	window := (cfg.Duration - cfg.Warmup).Seconds()
+	if res.Halted {
+		if end := time.Duration(sim.Now()); end < cfg.Duration {
+			window = (end - cfg.Warmup).Seconds()
+		}
+	}
 	if window > 0 {
 		res.ThroughputTPS = float64(res.Confirmed) / window
 	}
-	for i := range phases {
-		if winLen := (phases[i].End - phases[i].Start).Seconds(); winLen > 0 {
-			phases[i].ThroughputTPS = float64(phases[i].Confirmed) / winLen
+	// Bins the ticker has not streamed yet — the partial bin past the last
+	// 0.5 s multiple, or bins opened by replies landing after runEnd — are
+	// closed now that the simulation stopped; emit them in order.
+	if cfg.OnWindow != nil {
+		for i := windowsEmitted; i < res.Series.Bins(); i++ {
+			cfg.OnWindow(WindowStat{
+				Index:         i,
+				Start:         time.Duration(i) * res.Series.Bin,
+				End:           time.Duration(i+1) * res.Series.Bin,
+				Confirmed:     res.Series.Count(i),
+				ThroughputTPS: res.Series.Throughput(i),
+				MeanLatency:   res.Series.MeanLatency(i),
+			})
 		}
-		if phases[i].Confirmed > 0 {
-			phases[i].MeanLatency = phaseLat[i] / time.Duration(phases[i].Confirmed)
+	}
+	// On a halted run, clamp phase windows to the elapsed virtual time so
+	// their rates, like the run-level throughput above, measure what
+	// actually ran; phases the halt preempted entirely are never emitted.
+	elapsed := time.Duration(sim.Now())
+	for i := range phases {
+		if res.Halted {
+			if phases[i].Start > elapsed {
+				phases[i].Start = elapsed
+			}
+			if phases[i].End > elapsed {
+				phases[i].End = elapsed
+			}
+		}
+		phases[i] = phaseStat(i)
+		if cfg.OnPhase != nil && !phaseEmitted[i] && !(res.Halted && phases[i].Start >= elapsed) {
+			cfg.OnPhase(phases[i])
 		}
 	}
 	res.Phases = phases
@@ -479,6 +639,18 @@ func Run(cfg Config) *Result {
 			res.Breakdown.Add(metrics.StageReply, time.Duration(reply-st.Confirmed))
 		} else {
 			res.Breakdown.Add(metrics.StageReply, time.Duration(nw.BaseDelay(0, m.home, 256)))
+		}
+	}
+
+	if cfg.CaptureState {
+		res.State = replicas[0].Store()
+		snap := res.State.Snapshot()
+		res.Converged = true
+		for i := 1; i < n; i++ {
+			if !replicas[i].Store().Snapshot().Equal(snap) {
+				res.Converged = false
+				break
+			}
 		}
 	}
 	return res

@@ -38,8 +38,32 @@ type figureSpec struct {
 	assemble func(res []*cluster.Result) FigureResult
 }
 
+// figureTitle is the single source of figure titles: spec constructors and
+// the jobless Figures listing both read it.
+func figureTitle(id string) string {
+	switch id {
+	case "1b":
+		return "Fig 1b: ISS latency breakdown with one straggler (WAN n=16)"
+	case "3":
+		return "Fig 3: WAN throughput/latency vs replica count"
+	case "4":
+		return "Fig 4: LAN throughput/latency vs replica count"
+	case "5":
+		return "Fig 5: Orthrus under varying payment proportions (WAN n=16)"
+	case "6":
+		return "Fig 6 (and Fig 1b): latency breakdown, WAN n=16, one straggler"
+	case "7":
+		return "Fig 7: Orthrus under detectable faults (crash at 9s, WAN n=16)"
+	case "8":
+		return "Fig 8: undetectable faults (WAN n=16)"
+	case "S1":
+		return "Fig S1: scenario suite — dynamic faults, partitions and load (WAN n=10)"
+	}
+	return ""
+}
+
 func fig1bSpec(scale float64) figureSpec {
-	title := "Fig 1b: ISS latency breakdown with one straggler (WAN n=16)"
+	title := figureTitle("1b")
 	return figureSpec{
 		id: "1b", title: title,
 		jobs: []runner.Job{breakdownJob(baseline.ISSMode(), scale)},
@@ -53,7 +77,7 @@ func fig1bSpec(scale float64) figureSpec {
 func netSweepSpec(id, name string, net cluster.NetProfile, scale float64) figureSpec {
 	clean := sweepJobs(net, 0, scale)
 	straggled := sweepJobs(net, 1, scale)
-	title := fmt.Sprintf("Fig %s: %s throughput/latency vs replica count", id, name)
+	title := figureTitle(id)
 	return figureSpec{
 		id: id, title: title,
 		jobs: append(append([]runner.Job{}, clean...), straggled...),
@@ -69,7 +93,7 @@ func netSweepSpec(id, name string, net cluster.NetProfile, scale float64) figure
 func fig5Spec(scale float64) figureSpec {
 	clean := paymentJobs(0, scale)
 	straggled := paymentJobs(1, scale)
-	title := "Fig 5: Orthrus under varying payment proportions (WAN n=16)"
+	title := figureTitle("5")
 	return figureSpec{
 		id: "5", title: title,
 		jobs: append(append([]runner.Job{}, clean...), straggled...),
@@ -83,7 +107,7 @@ func fig5Spec(scale float64) figureSpec {
 }
 
 func fig6Spec(scale float64) figureSpec {
-	title := "Fig 6 (and Fig 1b): latency breakdown, WAN n=16, one straggler"
+	title := figureTitle("6")
 	return figureSpec{
 		id: "6", title: title,
 		jobs: []runner.Job{
@@ -98,7 +122,7 @@ func fig6Spec(scale float64) figureSpec {
 }
 
 func fig7Spec(scale float64) figureSpec {
-	title := "Fig 7: Orthrus under detectable faults (crash at 9s, WAN n=16)"
+	title := figureTitle("7")
 	jobs := make([]runner.Job, len(faultCounts))
 	for i, f := range faultCounts {
 		jobs[i] = faultJob(f, scale)
@@ -116,7 +140,7 @@ func fig7Spec(scale float64) figureSpec {
 }
 
 func fig8Spec(scale float64) figureSpec {
-	title := "Fig 8: undetectable faults (WAN n=16)"
+	title := figureTitle("8")
 	return figureSpec{
 		id: "8", title: title,
 		jobs: byzJobs(scale),
@@ -131,7 +155,7 @@ func fig8Spec(scale float64) figureSpec {
 // scenario.Names) runs once per protocol in scenarioProtocols, and every
 // cell reports its per-phase windows alongside run-level numbers.
 func s1Spec(scale float64, names []string) figureSpec {
-	title := "Fig S1: scenario suite — dynamic faults, partitions and load (WAN n=10)"
+	title := figureTitle("S1")
 	var jobs []runner.Job
 	type cell struct{ name string }
 	var cells []cell
@@ -168,6 +192,23 @@ func figureSpecs(scale float64, scenarios []string) []figureSpec {
 
 // FigureIDs returns the supported figure identifiers in render order.
 func FigureIDs() []string { return []string{"1b", "3", "4", "5", "6", "7", "8", "S1"} }
+
+// FigureInfo names one supported figure for listings (orthrus-bench -list).
+type FigureInfo struct {
+	ID    string
+	Title string
+}
+
+// Figures returns every supported figure's id and title in render order,
+// without materializing any job lists.
+func Figures() []FigureInfo {
+	ids := FigureIDs()
+	out := make([]FigureInfo, len(ids))
+	for i, id := range ids {
+		out[i] = FigureInfo{ID: id, Title: figureTitle(id)}
+	}
+	return out
+}
 
 // ScenarioNames returns the S1 scenario identifiers in figure order.
 func ScenarioNames() []string { return scenario.Names() }

@@ -113,6 +113,14 @@ func (ts *TimeSeries) Record(at simnet.Time, latency time.Duration) {
 // Bins returns the number of bins.
 func (ts *TimeSeries) Bins() int { return len(ts.counts) }
 
+// Count returns bin i's raw confirmation count (0 out of range).
+func (ts *TimeSeries) Count(i int) int {
+	if i < 0 || i >= len(ts.counts) {
+		return 0
+	}
+	return ts.counts[i]
+}
+
 // Throughput returns bin i's rate in transactions per second.
 func (ts *TimeSeries) Throughput(i int) float64 {
 	if i < 0 || i >= len(ts.counts) {

@@ -27,6 +27,22 @@ func Names() []string {
 	return []string{CrashRecover, RollingStragglers, PartitionHeal, FlashCrowd}
 }
 
+// Describe returns a one-line description of a preset timeline for CLI
+// listings; unknown names describe as the empty string.
+func Describe(name string) string {
+	switch name {
+	case CrashRecover:
+		return "crash f replicas at 30% of the run, recover them at 60%"
+	case RollingStragglers:
+		return "walk one 10x straggler across three replicas, one per 20% window"
+	case PartitionHeal:
+		return "isolate f replicas at 30% of the run, heal the cut at 60%"
+	case FlashCrowd:
+		return "triple the client submission rate between 35% and 65% of the run"
+	}
+	return ""
+}
+
 // Preset builds the named scenario for an n-replica cluster whose
 // submission window is dur long. Victim replicas are drawn from [1, n) —
 // replica 0 stays alive as the metrics observer — using an RNG seeded from

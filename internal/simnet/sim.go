@@ -63,6 +63,7 @@ type Sim struct {
 	queue  eventQueue
 	rng    *rand.Rand
 	events uint64 // total events processed, for accounting
+	halted bool
 }
 
 // New creates a simulator with a seeded deterministic RNG.
@@ -128,21 +129,32 @@ func (s *Sim) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains or virtual time exceeds until.
+// Halt stops the engine: Run and RunAll return after the event that called
+// Halt, leaving queued events unprocessed and the clock where it stopped.
+// Cluster runs poll a cancellation hook from a scheduled event and call
+// Halt to abandon a simulation early.
+func (s *Sim) Halt() { s.halted = true }
+
+// Halted reports whether Halt has been called.
+func (s *Sim) Halted() bool { return s.halted }
+
+// Run executes events until the queue drains, virtual time exceeds until,
+// or Halt is called from an event.
 func (s *Sim) Run(until Time) {
-	for len(s.queue) > 0 && s.queue[0].at <= until {
+	for !s.halted && len(s.queue) > 0 && s.queue[0].at <= until {
 		s.Step()
 	}
-	if s.now < until {
+	if s.now < until && !s.halted {
 		s.now = until
 	}
 }
 
-// RunAll executes events until the queue drains or maxEvents is reached;
-// maxEvents <= 0 means no limit. It returns the number of events executed.
+// RunAll executes events until the queue drains, maxEvents is reached, or
+// Halt is called; maxEvents <= 0 means no limit. It returns the number of
+// events executed.
 func (s *Sim) RunAll(maxEvents uint64) uint64 {
 	start := s.events
-	for len(s.queue) > 0 {
+	for !s.halted && len(s.queue) > 0 {
 		if maxEvents > 0 && s.events-start >= maxEvents {
 			break
 		}

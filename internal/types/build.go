@@ -79,6 +79,17 @@ func NewSharedAssign(record Key, value Amount) Op {
 	return Op{Key: record, Type: Shared, Kind: OpAssign, Amount: value}
 }
 
+// Clone returns an independent copy of the transaction with its own Ops
+// slice (Payload stays shared read-only). The harness stamps per-run
+// fields on submitted transactions — SubmitNS, the lazily cached digest —
+// so a transaction reused across runs (especially concurrent ones) must be
+// cloned per run.
+func (tx *Transaction) Clone() *Transaction {
+	cp := *tx
+	cp.Ops = append([]Op(nil), tx.Ops...)
+	return &cp
+}
+
 // NewSharedRead is a helper for contract workloads: a read of a shared
 // record.
 func NewSharedRead(record Key) Op {

@@ -52,6 +52,19 @@ func NewTrace(txs []*types.Transaction, balance types.Amount) *Trace {
 // Len returns the number of recorded transactions.
 func (t *Trace) Len() int { return len(t.txs) }
 
+// Clone returns an independent replay of the same recorded sequence: a
+// fresh cursor and per-run copies of the transactions, so one parsed trace
+// can seed many runs — including concurrent ones — without sharing the
+// read position or the per-run fields the harness stamps on submitted
+// transactions.
+func (t *Trace) Clone() *Trace {
+	txs := make([]*types.Transaction, len(t.txs))
+	for i, tx := range t.txs {
+		txs[i] = tx.Clone()
+	}
+	return &Trace{txs: txs, balance: t.balance}
+}
+
 // Next implements Source. Wrapped-around laps get distinct nonces so the
 // replayed transactions are new to the dedup layer.
 func (t *Trace) Next() *types.Transaction {

@@ -1,0 +1,482 @@
+package orthrus
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/registry"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/workload"
+	"repro/orthrus/scenariodsl"
+)
+
+// Net selects the simulated network environment of a run.
+type Net int
+
+// The two environments the paper evaluates (Sec. VII-A).
+const (
+	// WAN spreads replicas over 4 regions: France, US, Australia, Tokyo.
+	WAN Net = iota
+	// LAN co-locates replicas at one site with 1 Gbps links.
+	LAN
+)
+
+// String implements fmt.Stringer.
+func (n Net) String() string {
+	if n == LAN {
+		return "LAN"
+	}
+	return "WAN"
+}
+
+// Config describes one run. Build it with NewConfig and functional
+// options, or fill the fields directly; zero tuning knobs (durations,
+// batch sizes, timeouts) take the engine defaults documented on each
+// field. Validate reports every problem as a typed error before anything
+// executes — the SDK never panics on a bad configuration.
+type Config struct {
+	// Replicas is the cluster size n (the system runs m = n instances).
+	// Default 16.
+	Replicas int
+	// Protocol names a registered protocol (see Protocols). Default
+	// "Orthrus".
+	Protocol string
+	// Net picks the WAN or LAN environment. Default WAN.
+	Net Net
+
+	// Stragglers slows this many instances by StragglerFactor (default
+	// 10x), chosen from the high replica indices.
+	Stragglers int
+	// StragglerFactor is the slowdown multiplier; 0 means 10.
+	StragglerFactor float64
+
+	// CrashFaults crashes this many replicas at CrashAt (detectable
+	// faults, Fig. 7); they do not recover. For crashes that recover, use
+	// a Scenario.
+	CrashFaults int
+	// CrashAt is the crash injection time; 0 crashes at run start.
+	CrashAt time.Duration
+	// ByzantineFaults marks this many replicas Byzantine: they vote only
+	// in the instance they lead (undetectable faults, Fig. 8).
+	ByzantineFaults int
+
+	// Scenario schedules mid-run fault and load events (crashes that
+	// recover, partitions that heal, moving stragglers, load surges); see
+	// package scenariodsl. Scenarios require message-level PBFT
+	// (AnalyticSB false) and report per-phase windows on the Result.
+	Scenario *scenariodsl.Scenario
+
+	// LoadTPS is the open-loop client submission rate. Default 1000.
+	LoadTPS float64
+	// TotalTxs caps submitted transactions; 0 means no cap (scripted runs
+	// cap at the transaction list length automatically).
+	TotalTxs int
+	// Duration is the submission window. Default 20s.
+	Duration time.Duration
+	// Warmup is excluded from throughput accounting. Default 2s.
+	Warmup time.Duration
+	// Drain is the extra time for in-flight txs to confirm. Default
+	// 2*Duration.
+	Drain time.Duration
+
+	// Accounts sizes the synthetic workload's account population; 0 takes
+	// the workload default. PaymentFraction sets the payment share of the
+	// synthetic workload: 0 (the zero value) means the paper's 46%, a
+	// value in (0, 1] the exact share, and any negative value an explicit
+	// all-contract workload (WithPayments(0) sets that sentinel for you).
+	Accounts        int
+	PaymentFraction float64
+
+	// BatchSize (default 4096), BatchTimeout (default 100ms), Window
+	// (pipeline depth), EpochLen (default 32), ViewTimeout (default 10s)
+	// and TxSize (default 500 bytes) tune the consensus engine; zeros take
+	// those defaults.
+	BatchSize    int
+	BatchTimeout time.Duration
+	Window       int
+	EpochLen     uint64
+	ViewTimeout  time.Duration
+	TxSize       int
+
+	// AnalyticSB swaps message-level PBFT for the closed-form quorum-time
+	// model (fault-free runs only; stragglers are supported).
+	AnalyticSB bool
+	// DisableNIC turns off the shared 1 Gbps per-node bandwidth model,
+	// which is otherwise active on every message-level run.
+	DisableNIC bool
+
+	// Seed drives every random choice (network jitter, workload, preset
+	// victim selection); equal seeds reproduce runs exactly. NewConfig
+	// defaults it to 42; zero is itself a valid seed.
+	Seed int64
+
+	// Observer streams per-confirmation, per-window and per-phase metrics
+	// during the run; see Observer. Optional.
+	Observer Observer
+	// CaptureState retains the observer replica's final ledger on the
+	// Result (Balance, SharedValue, Converged). Only meaningful for
+	// fault-free runs: crashed or partitioned replicas miss blocks and
+	// report divergence.
+	CaptureState bool
+
+	txs     []*Tx            // scripted transactions (WithTransactions)
+	credits map[string]int64 // initial balances for scripted runs
+	trace   *workload.Trace  // replayed trace (WithTrace)
+	optErr  error            // first option failure, surfaced by Validate
+}
+
+// Option mutates a Config under construction; later options override
+// earlier ones.
+type Option func(*Config)
+
+// NewConfig returns the default configuration with the given options
+// applied in order. Every zero field of a directly-filled Config means
+// the same thing it does here (engine default), so struct literals and
+// option-built configurations behave identically — NewConfig only adds
+// the starting Replicas/Protocol/Net/Seed values.
+func NewConfig(opts ...Option) Config {
+	c := Config{
+		Replicas: 16,
+		Protocol: "Orthrus",
+		Net:      WAN,
+		Seed:     42,
+	}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
+
+// WithReplicas sets the cluster size n.
+func WithReplicas(n int) Option { return func(c *Config) { c.Replicas = n } }
+
+// WithProtocol selects a registered protocol by name (see Protocols).
+func WithProtocol(name string) Option { return func(c *Config) { c.Protocol = name } }
+
+// WithNet selects the WAN or LAN environment.
+func WithNet(net Net) Option { return func(c *Config) { c.Net = net } }
+
+// WithLoad sets the open-loop client submission rate in tx/s.
+func WithLoad(tps float64) Option { return func(c *Config) { c.LoadTPS = tps } }
+
+// WithDuration sets the submission window.
+func WithDuration(d time.Duration) Option { return func(c *Config) { c.Duration = d } }
+
+// WithWarmup sets the warmup slice excluded from throughput accounting.
+func WithWarmup(d time.Duration) Option { return func(c *Config) { c.Warmup = d } }
+
+// WithDrain sets the post-window drain time for in-flight confirmations.
+func WithDrain(d time.Duration) Option { return func(c *Config) { c.Drain = d } }
+
+// WithTotalTxs caps the number of submitted transactions.
+func WithTotalTxs(n int) Option { return func(c *Config) { c.TotalTxs = n } }
+
+// WithStragglers makes count instances stragglers, slowed by factor
+// (factor 0 means the paper's 10x).
+func WithStragglers(count int, factor float64) Option {
+	return func(c *Config) { c.Stragglers, c.StragglerFactor = count, factor }
+}
+
+// WithFaults crashes count replicas at the given time (detectable faults);
+// they do not recover. For crashes that recover, use a scenario.
+func WithFaults(count int, at time.Duration) Option {
+	return func(c *Config) { c.CrashFaults, c.CrashAt = count, at }
+}
+
+// WithByzantine marks count replicas Byzantine (selective participation:
+// they vote only in the instance they lead).
+func WithByzantine(count int) Option { return func(c *Config) { c.ByzantineFaults = count } }
+
+// WithScenario schedules a declarative fault/load timeline on the run; see
+// package scenariodsl.
+func WithScenario(s *scenariodsl.Scenario) Option { return func(c *Config) { c.Scenario = s } }
+
+// WithBatching sets the consensus batch size and batch timeout (zeros keep
+// the engine defaults).
+func WithBatching(size int, timeout time.Duration) Option {
+	return func(c *Config) { c.BatchSize, c.BatchTimeout = size, timeout }
+}
+
+// WithEpochLen sets the epoch length in blocks.
+func WithEpochLen(l uint64) Option { return func(c *Config) { c.EpochLen = l } }
+
+// WithViewTimeout sets the failure detector's view-change timeout.
+func WithViewTimeout(d time.Duration) Option { return func(c *Config) { c.ViewTimeout = d } }
+
+// WithTxSize sets the modeled transaction size in bytes.
+func WithTxSize(bytes int) Option { return func(c *Config) { c.TxSize = bytes } }
+
+// WithAccounts sizes the synthetic workload's account population.
+func WithAccounts(n int) Option { return func(c *Config) { c.Accounts = n } }
+
+// WithPayments sets the payment fraction of the synthetic workload in
+// [0, 1], where 0 means literally no payments (all-contract). To get the
+// paper's default 46% mix, leave this option off entirely. A negative
+// fraction is rejected by Validate — the negative sentinel belongs to the
+// Config field, not this option.
+func WithPayments(fraction float64) Option {
+	return func(c *Config) {
+		if fraction < 0 {
+			if c.optErr == nil {
+				c.optErr = &ValidationError{Field: "PaymentFraction",
+					Reason: fmt.Sprintf("WithPayments wants a fraction in [0,1], got %g", fraction)}
+			}
+			return
+		}
+		if fraction == 0 {
+			c.PaymentFraction = -1 // the field's explicit all-contract sentinel
+			return
+		}
+		c.PaymentFraction = fraction
+	}
+}
+
+// WithAnalyticSB swaps message-level PBFT for the closed-form quorum-time
+// model (fault-free runs only).
+func WithAnalyticSB() Option { return func(c *Config) { c.AnalyticSB = true } }
+
+// WithNIC toggles the shared per-node bandwidth model (message-level runs
+// only; on by default).
+func WithNIC(enabled bool) Option { return func(c *Config) { c.DisableNIC = !enabled } }
+
+// WithSeed sets the simulation seed; equal seeds reproduce runs exactly.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithObserver streams metrics to o during the run.
+func WithObserver(o Observer) Option { return func(c *Config) { c.Observer = o } }
+
+// WithFinalState retains the observer replica's final ledger on the Result
+// (Balance, SharedValue, Converged).
+func WithFinalState() Option { return func(c *Config) { c.CaptureState = true } }
+
+// WithGenesis credits the given accounts at genesis on every replica; used
+// with WithTransactions, whose scripted transactions spend from these
+// balances.
+func WithGenesis(credits map[string]int64) Option { return func(c *Config) { c.credits = credits } }
+
+// WithTransactions replaces the synthetic workload with an explicit
+// transaction list, submitted in order at the configured load rate and
+// capped at the list length. Combine with WithGenesis for initial balances
+// and a low WithLoad (e.g. 1 tx/s) when later transactions depend on
+// earlier ones committing.
+func WithTransactions(txs ...*Tx) Option {
+	return func(c *Config) { c.txs = append([]*Tx(nil), txs...) }
+}
+
+// WithTrace replaces the synthetic workload with a replayed CSV trace (see
+// WriteSyntheticTrace), crediting every referenced account with balance at
+// genesis — the paper's reset-and-replay methodology. The reader is
+// consumed by this call itself, so the returned Option is reusable: apply
+// it to as many configurations as needed (each run replays its own copy).
+// A malformed trace surfaces as an error from Validate (and therefore
+// Run). The run is capped at the trace length unless TotalTxs sets a
+// smaller cap.
+func WithTrace(r io.Reader, balance int64) Option {
+	trace, err := workload.ReadTrace(r, types.Amount(balance))
+	return func(c *Config) {
+		if err != nil {
+			if c.optErr == nil {
+				c.optErr = fmt.Errorf("orthrus: WithTrace: %w", err)
+			}
+			return
+		}
+		c.trace = trace
+	}
+}
+
+// ErrInvalidConfig is the sentinel every Validate failure wraps; match
+// with errors.Is. Individual problems are *ValidationError values
+// (errors.As) and protocol lookup failures additionally wrap
+// ErrUnknownProtocol.
+var ErrInvalidConfig = errors.New("orthrus: invalid configuration")
+
+// ValidationError pinpoints one invalid Config field.
+type ValidationError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string { return "orthrus: invalid " + e.Field + ": " + e.Reason }
+
+// Validate checks the configuration and returns nil or an error wrapping
+// ErrInvalidConfig and one *ValidationError per problem. Run validates
+// automatically; call Validate directly to check a configuration without
+// executing it.
+func (c Config) Validate() error {
+	var errs []error
+	bad := func(field, format string, args ...any) {
+		errs = append(errs, &ValidationError{Field: field, Reason: fmt.Sprintf(format, args...)})
+	}
+	if c.optErr != nil {
+		errs = append(errs, c.optErr)
+	}
+	if c.Replicas < 1 {
+		bad("Replicas", "need at least 1 replica, got %d", c.Replicas)
+	}
+	if c.Protocol == "" {
+		bad("Protocol", "must name a registered protocol (one of %v)", ProtocolNames())
+	} else if _, err := registry.Lookup(c.Protocol); err != nil {
+		errs = append(errs, err)
+	}
+	if c.Net != WAN && c.Net != LAN {
+		bad("Net", "must be WAN or LAN, got Net(%d)", int(c.Net))
+	}
+	if c.Stragglers < 0 {
+		bad("Stragglers", "must be non-negative, got %d", c.Stragglers)
+	} else if c.Replicas >= 1 && c.Stragglers > c.Replicas {
+		bad("Stragglers", "%d stragglers exceed %d replicas", c.Stragglers, c.Replicas)
+	}
+	if c.StragglerFactor < 0 {
+		bad("StragglerFactor", "must be non-negative (0 means the default 10x), got %g", c.StragglerFactor)
+	}
+	if c.CrashFaults < 0 {
+		bad("CrashFaults", "must be non-negative, got %d", c.CrashFaults)
+	} else if c.Replicas >= 1 && c.CrashFaults >= c.Replicas {
+		bad("CrashFaults", "crashing %d of %d replicas leaves no observer", c.CrashFaults, c.Replicas)
+	}
+	if c.CrashAt < 0 {
+		bad("CrashAt", "must be non-negative, got %v", c.CrashAt)
+	}
+	if c.ByzantineFaults < 0 {
+		bad("ByzantineFaults", "must be non-negative, got %d", c.ByzantineFaults)
+	} else if c.Replicas >= 1 && c.ByzantineFaults >= c.Replicas {
+		bad("ByzantineFaults", "%d Byzantine replicas exceed %d-replica cluster", c.ByzantineFaults, c.Replicas)
+	}
+	for _, f := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"Duration", c.Duration}, {"Warmup", c.Warmup}, {"Drain", c.Drain},
+		{"BatchTimeout", c.BatchTimeout}, {"ViewTimeout", c.ViewTimeout},
+	} {
+		if f.d < 0 {
+			bad(f.name, "must be non-negative, got %v", f.d)
+		}
+	}
+	if c.LoadTPS < 0 {
+		bad("LoadTPS", "must be non-negative, got %g", c.LoadTPS)
+	}
+	if c.TotalTxs < 0 {
+		bad("TotalTxs", "must be non-negative, got %d", c.TotalTxs)
+	}
+	if c.Accounts < 0 {
+		bad("Accounts", "must be non-negative, got %d", c.Accounts)
+	}
+	if c.PaymentFraction > 1 {
+		bad("PaymentFraction", "must be at most 1, got %g", c.PaymentFraction)
+	}
+	if c.BatchSize < 0 {
+		bad("BatchSize", "must be non-negative, got %d", c.BatchSize)
+	}
+	if c.Window < 0 {
+		bad("Window", "must be non-negative, got %d", c.Window)
+	}
+	if c.TxSize < 0 {
+		bad("TxSize", "must be non-negative, got %d", c.TxSize)
+	}
+	if c.AnalyticSB && (c.CrashFaults > 0 || c.ByzantineFaults > 0) {
+		bad("AnalyticSB", "the analytic model does not support fault injection; use message-level PBFT")
+	}
+	if c.AnalyticSB && c.Scenario != nil {
+		bad("Scenario", "scenarios require message-level PBFT; drop WithAnalyticSB")
+	}
+	if c.Scenario != nil && c.Replicas >= 1 {
+		if err := c.Scenario.Validate(c.Replicas); err != nil {
+			bad("Scenario", "%v", err)
+		}
+	}
+	for i, t := range c.txs {
+		if t == nil || t.tx == nil {
+			bad("Transactions", "scripted transaction %d is nil", i)
+		}
+	}
+	if len(c.txs) > 0 && c.trace != nil {
+		bad("Workload", "WithTransactions and WithTrace are mutually exclusive")
+	}
+	if len(c.credits) > 0 && len(c.txs) == 0 {
+		bad("Genesis", "WithGenesis requires WithTransactions")
+	}
+	if len(c.txs) > 0 && c.TotalTxs > len(c.txs) {
+		bad("TotalTxs", "cap %d exceeds the %d scripted transactions", c.TotalTxs, len(c.txs))
+	}
+	if c.trace != nil && c.TotalTxs > c.trace.Len() {
+		bad("TotalTxs", "cap %d exceeds the %d-transaction trace", c.TotalTxs, c.trace.Len())
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrInvalidConfig, errors.Join(errs...))
+}
+
+// clusterConfig lowers a validated public Config onto the internal
+// experiment harness.
+func (c Config) clusterConfig() cluster.Config {
+	p, err := registry.Lookup(c.Protocol)
+	if err != nil {
+		// Unreachable after Validate; keep the panic message actionable.
+		panic("orthrus: clusterConfig on unvalidated Config: " + err.Error())
+	}
+	ccfg := cluster.Config{
+		N:                  c.Replicas,
+		Protocol:           p.New(),
+		Net:                cluster.NetProfile(c.Net),
+		Stragglers:         c.Stragglers,
+		StragglerFactor:    c.StragglerFactor,
+		DetectableFaults:   c.CrashFaults,
+		FaultAt:            c.CrashAt,
+		UndetectableFaults: c.ByzantineFaults,
+		Scenario:           c.Scenario,
+		// The field shares the workload generator's convention directly:
+		// 0 = paper default, negative = all-contract.
+		Workload:     workload.Config{Seed: c.Seed, Accounts: c.Accounts, PaymentFraction: c.PaymentFraction},
+		LoadTPS:      c.LoadTPS,
+		TotalTxs:     c.TotalTxs,
+		Duration:     c.Duration,
+		Warmup:       c.Warmup,
+		Drain:        c.Drain,
+		BatchSize:    c.BatchSize,
+		BatchTimeout: c.BatchTimeout,
+		Window:       c.Window,
+		EpochLen:     c.EpochLen,
+		ViewTimeout:  c.ViewTimeout,
+		TxSize:       c.TxSize,
+		AnalyticSB:   c.AnalyticSB,
+		NIC:          !c.DisableNIC && !c.AnalyticSB,
+		Seed:         c.Seed,
+		CaptureState: c.CaptureState,
+	}
+	// Each run gets its own copies of scripted or replayed transactions:
+	// the harness stamps per-run fields (submit time, cached digest) on
+	// submitted transactions, and a Trace carries a read cursor — sharing
+	// either across runs would break reproducibility and race under
+	// RunMany.
+	switch {
+	case len(c.txs) > 0:
+		src := &fixedSource{credits: c.credits}
+		for _, t := range c.txs {
+			src.txs = append(src.txs, t.tx.Clone())
+		}
+		ccfg.Source = src
+		if ccfg.TotalTxs == 0 {
+			ccfg.TotalTxs = len(src.txs)
+		}
+	case c.trace != nil:
+		ccfg.Source = c.trace.Clone()
+		if ccfg.TotalTxs == 0 {
+			ccfg.TotalTxs = c.trace.Len()
+		}
+	}
+	if obs := c.Observer; obs != nil {
+		ccfg.OnConfirm = func(tx *types.Transaction, success bool, reply simnet.Time) {
+			obs.OnConfirm(txInfo(tx), success, time.Duration(reply))
+		}
+		ccfg.OnWindow = func(w cluster.WindowStat) { obs.OnWindow(Window(w)) }
+		ccfg.OnPhase = func(p cluster.PhaseWindow) { obs.OnPhase(Phase(p)) }
+	}
+	return ccfg
+}

@@ -1,0 +1,230 @@
+package orthrus
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/orthrus/scenariodsl"
+)
+
+// validTrace freezes a small synthetic trace for option tests.
+func validTrace(t *testing.T) io.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSyntheticTrace(&buf, 10, 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestNewConfigDefaults(t *testing.T) {
+	c := NewConfig()
+	if c.Replicas != 16 || c.Protocol != "Orthrus" || c.Net != WAN || c.Seed != 42 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	if c.DisableNIC || c.AnalyticSB {
+		t.Fatalf("NIC should default on, AnalyticSB off: %+v", c)
+	}
+	if c.PaymentFraction != 0 {
+		t.Fatalf("PaymentFraction should default 0 (paper default), got %g", c.PaymentFraction)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+}
+
+// TestZeroValueConfig pins the struct-literal contract: a directly-filled
+// Config means the same thing as an option-built one — zero knobs are
+// engine defaults, so the zero workload is the paper's 46% payments and
+// the NIC model is active.
+func TestZeroValueConfig(t *testing.T) {
+	c := Config{Replicas: 4, Protocol: "Orthrus"}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ccfg := c.clusterConfig()
+	if ccfg.Workload.PaymentFraction != 0 {
+		t.Fatalf("zero PaymentFraction must reach the workload as its own default, got %g", ccfg.Workload.PaymentFraction)
+	}
+	if !ccfg.NIC {
+		t.Fatal("zero-value Config must keep the NIC model on")
+	}
+	// WithPayments(0) is the explicit all-contract request.
+	if got := NewConfig(WithPayments(0)).clusterConfig().Workload.PaymentFraction; got >= 0 {
+		t.Fatalf("WithPayments(0) must map to the all-contract sentinel, got %g", got)
+	}
+	if got := NewConfig(WithNIC(false)).clusterConfig(); got.NIC {
+		t.Fatal("WithNIC(false) must disable the NIC model")
+	}
+}
+
+func TestOptionsApplyInOrder(t *testing.T) {
+	c := NewConfig(WithLoad(100), WithReplicas(4), WithLoad(250))
+	if c.LoadTPS != 250 {
+		t.Fatalf("later option must override earlier: LoadTPS = %g", c.LoadTPS)
+	}
+	if c.Replicas != 4 {
+		t.Fatalf("Replicas = %d", c.Replicas)
+	}
+}
+
+func TestOptionsSetFields(t *testing.T) {
+	scn := scenariodsl.New("opt-test").CrashAt(time.Second, 1).Build()
+	obs := ObserverFuncs{}
+	c := NewConfig(
+		WithReplicas(7),
+		WithProtocol("ISS"),
+		WithNet(LAN),
+		WithLoad(123),
+		WithDuration(9*time.Second),
+		WithWarmup(time.Second),
+		WithDrain(4*time.Second),
+		WithTotalTxs(50),
+		WithStragglers(2, 5),
+		WithByzantine(1),
+		WithScenario(scn),
+		WithBatching(256, 50*time.Millisecond),
+		WithEpochLen(64),
+		WithViewTimeout(3*time.Second),
+		WithTxSize(200),
+		WithAccounts(1000),
+		WithPayments(0.5),
+		WithNIC(false),
+		WithSeed(7),
+		WithObserver(obs),
+		WithFinalState(),
+	)
+	if c.Replicas != 7 || c.Protocol != "ISS" || c.Net != LAN || c.LoadTPS != 123 ||
+		c.Duration != 9*time.Second || c.Warmup != time.Second || c.Drain != 4*time.Second ||
+		c.TotalTxs != 50 || c.Stragglers != 2 || c.StragglerFactor != 5 || c.ByzantineFaults != 1 ||
+		c.Scenario != scn || c.BatchSize != 256 || c.BatchTimeout != 50*time.Millisecond ||
+		c.EpochLen != 64 || c.ViewTimeout != 3*time.Second || c.TxSize != 200 ||
+		c.Accounts != 1000 || c.PaymentFraction != 0.5 || !c.DisableNIC || c.Seed != 7 ||
+		c.Observer == nil || !c.CaptureState {
+		t.Fatalf("options not applied: %+v", c)
+	}
+	// WithFaults and WithAnalyticSB conflict with the scenario above; check
+	// them separately.
+	c2 := NewConfig(WithFaults(2, 3*time.Second), WithAnalyticSB())
+	if c2.CrashFaults != 2 || c2.CrashAt != 3*time.Second || !c2.AnalyticSB {
+		t.Fatalf("fault options not applied: %+v", c2)
+	}
+}
+
+func TestValidateTable(t *testing.T) {
+	scn := scenariodsl.New("v").CrashAt(time.Second, 5).Build()
+	cases := []struct {
+		name string
+		opts []Option
+		want string // substring of the error
+	}{
+		{"replicas", []Option{WithReplicas(0)}, "Replicas"},
+		{"negative replicas", []Option{WithReplicas(-3)}, "Replicas"},
+		{"unknown protocol", []Option{WithProtocol("NoSuch")}, "unknown protocol"},
+		{"empty protocol", []Option{WithProtocol("")}, "Protocol"},
+		{"bad net", []Option{WithNet(Net(9))}, "Net"},
+		{"negative stragglers", []Option{WithStragglers(-1, 0)}, "Stragglers"},
+		{"too many stragglers", []Option{WithReplicas(4), WithStragglers(5, 0)}, "Stragglers"},
+		{"negative straggler factor", []Option{WithStragglers(1, -2)}, "StragglerFactor"},
+		{"negative crash faults", []Option{WithFaults(-1, 0)}, "CrashFaults"},
+		{"crash everyone", []Option{WithReplicas(4), WithFaults(4, 0)}, "CrashFaults"},
+		{"negative crash time", []Option{WithFaults(1, -time.Second)}, "CrashAt"},
+		{"negative byzantine", []Option{WithByzantine(-1)}, "ByzantineFaults"},
+		{"byzantine everyone", []Option{WithReplicas(4), WithByzantine(4)}, "ByzantineFaults"},
+		{"negative load", []Option{WithLoad(-1)}, "LoadTPS"},
+		{"negative duration", []Option{WithDuration(-time.Second)}, "Duration"},
+		{"negative warmup", []Option{WithWarmup(-time.Second)}, "Warmup"},
+		{"negative drain", []Option{WithDrain(-time.Second)}, "Drain"},
+		{"negative total txs", []Option{WithTotalTxs(-1)}, "TotalTxs"},
+		{"negative accounts", []Option{WithAccounts(-1)}, "Accounts"},
+		{"payments over 1", []Option{WithPayments(1.5)}, "PaymentFraction"},
+		{"negative payments", []Option{WithPayments(-0.5)}, "PaymentFraction"},
+		{"negative batch", []Option{WithBatching(-1, 0)}, "BatchSize"},
+		{"negative batch timeout", []Option{WithBatching(0, -time.Second)}, "BatchTimeout"},
+		{"negative view timeout", []Option{WithViewTimeout(-time.Second)}, "ViewTimeout"},
+		{"negative tx size", []Option{WithTxSize(-1)}, "TxSize"},
+		{"analytic with faults", []Option{WithAnalyticSB(), WithFaults(1, time.Second)}, "AnalyticSB"},
+		{"analytic with byzantine", []Option{WithAnalyticSB(), WithByzantine(1)}, "AnalyticSB"},
+		{"analytic with scenario", []Option{WithAnalyticSB(), WithScenario(scn)}, "Scenario"},
+		{"scenario out of range", []Option{WithReplicas(4), WithScenario(scn)}, "Scenario"},
+		{"genesis without transactions", []Option{WithGenesis(map[string]int64{"a": 1})}, "Genesis"},
+		{"trace and transactions", []Option{
+			WithTrace(validTrace(t), 100),
+			WithTransactions(Payment("a", "b", 1, 1)),
+		}, "mutually exclusive"},
+		{"total txs over script", []Option{
+			WithTransactions(Payment("a", "b", 1, 1)), WithTotalTxs(5),
+		}, "TotalTxs"},
+		{"nil scripted transaction", []Option{
+			WithTransactions(Payment("a", "b", 1, 1), nil),
+		}, "Transactions"},
+		{"zero-value scripted transaction", []Option{
+			WithTransactions(&Tx{}),
+		}, "Transactions"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := NewConfig(c.opts...).Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid configuration")
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("error does not wrap ErrInvalidConfig: %v", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateUnknownProtocolTyped(t *testing.T) {
+	err := NewConfig(WithProtocol("NoSuch")).Validate()
+	if !errors.Is(err, ErrUnknownProtocol) {
+		t.Fatalf("want ErrUnknownProtocol, got %v", err)
+	}
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("want ErrInvalidConfig too, got %v", err)
+	}
+}
+
+func TestValidateReportsEveryProblem(t *testing.T) {
+	err := NewConfig(WithReplicas(-1), WithLoad(-5), WithProtocol("NoSuch")).Validate()
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error does not carry a *ValidationError: %v", err)
+	}
+	for _, frag := range []string{"Replicas", "LoadTPS", "unknown protocol"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("joined error %q misses %q", err, frag)
+		}
+	}
+}
+
+func TestValidateAcceptsPresetScenario(t *testing.T) {
+	scn, err := scenariodsl.Preset("crash-recover", 10, 10*time.Second, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(WithReplicas(10), WithScenario(scn))
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithTraceMalformedSurfacesFromValidate(t *testing.T) {
+	err := NewConfig(WithTrace(strings.NewReader("not,a,valid,trace,line\n"), 100)).Validate()
+	if err == nil {
+		t.Fatal("malformed trace must fail Validate")
+	}
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("want ErrInvalidConfig, got %v", err)
+	}
+}

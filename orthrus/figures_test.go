@@ -1,0 +1,80 @@
+package orthrus
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestFiguresMatchFigureIDs(t *testing.T) {
+	figs := Figures()
+	ids := FigureIDs()
+	if len(figs) != len(ids) {
+		t.Fatalf("Figures() has %d entries, FigureIDs() %d", len(figs), len(ids))
+	}
+	for i, f := range figs {
+		if f.ID != ids[i] {
+			t.Fatalf("Figures()[%d].ID = %q, FigureIDs()[%d] = %q", i, f.ID, i, ids[i])
+		}
+		if f.Title == "" {
+			t.Fatalf("figure %q has no title", f.ID)
+		}
+	}
+}
+
+func TestScenarioPresetsNonEmpty(t *testing.T) {
+	if len(ScenarioPresets()) == 0 {
+		t.Fatal("no scenario presets")
+	}
+}
+
+func TestRunFiguresRejectsUnknown(t *testing.T) {
+	if _, err := RunFigures(context.Background(), []string{"nope"}, FigureOptions{}); err == nil {
+		t.Fatal("unknown figure id accepted")
+	}
+	if _, err := RunFigures(context.Background(), []string{"S1"}, FigureOptions{Scenarios: []string{"nope"}}); err == nil {
+		t.Fatal("unknown scenario name accepted")
+	}
+}
+
+func TestRunFiguresRejectsBadScale(t *testing.T) {
+	for _, scale := range []float64{-0.5, 1.5} {
+		_, err := RunFigures(context.Background(), []string{"1b"}, FigureOptions{Scale: scale})
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("scale %g: want ErrInvalidConfig, got %v", scale, err)
+		}
+	}
+}
+
+func TestRunFiguresCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunFigures(ctx, []string{"1b"}, FigureOptions{}); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+// TestRunFiguresSerialMatchesParallel pins the acceptance property on the
+// public path: serial and parallel figure artifacts are byte-identical.
+func TestRunFiguresSerialMatchesParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs miniature clusters")
+	}
+	run := func(workers int) []byte {
+		res, err := RunFigures(context.Background(), []string{"6"}, FigureOptions{Workers: workers, Scale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial, parallel := run(1), run(0)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial and parallel artifacts differ:\n%s\n%s", serial, parallel)
+	}
+}

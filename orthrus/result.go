@@ -1,0 +1,155 @@
+package orthrus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/types"
+)
+
+// Latency summarizes the client-observed latency distribution of a run:
+// submission to the (f+1)-th replica reply, including the reply's network
+// delay.
+type Latency struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// String renders the summary compactly.
+func (l Latency) String() string {
+	return fmt.Sprintf("mean=%.2fs p50=%.2fs p99=%.2fs max=%.2fs n=%d",
+		l.Mean.Seconds(), l.P50.Seconds(), l.P99.Seconds(), l.Max.Seconds(), l.Count)
+}
+
+// StageLatency is one stage of the five-stage latency breakdown (Fig. 6),
+// measured at the observer replica.
+type StageLatency struct {
+	Stage string
+	Mean  time.Duration
+}
+
+// Result aggregates one run's measurements. Runs are deterministic: the
+// same Config (including Seed) always produces the same Result.
+type Result struct {
+	// Protocol, Net and Replicas echo the configuration that ran.
+	Protocol string
+	Net      string
+	Replicas int
+
+	// Submitted counts submissions; Confirmed counts client-visible
+	// confirmations inside the measured window (warmup excluded); Aborted
+	// counts transactions confirmed unsuccessfully.
+	Submitted int
+	Confirmed int
+	Aborted   int
+
+	// ThroughputTPS is Confirmed over the measured window length.
+	ThroughputTPS float64
+	// Latency is the client-observed latency distribution.
+	Latency Latency
+	// Windows bins confirmations over 0.5 s intervals (Fig. 7's series).
+	Windows []Window
+	// Breakdown is the observer replica's five-stage latency split, in
+	// stage order (Fig. 6).
+	Breakdown []StageLatency
+	// Phases holds the scenario-delimited measurement windows when the run
+	// had a Scenario, nil otherwise.
+	Phases []Phase
+
+	// ViewChanges counts view changes seen by the observer replica, and
+	// SimEvents the discrete-event simulator's processed events (a cost
+	// measure; observers and cancellable contexts add bookkeeping events).
+	ViewChanges int
+	SimEvents   uint64
+
+	// Halted reports the run was stopped early by context cancellation;
+	// the measurements cover only the virtual time before the stop.
+	Halted bool
+	// Converged reports whether every replica's final ledger snapshot
+	// agreed (only computed under WithFinalState).
+	Converged bool
+
+	state *ledger.Store
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%-8s %s n=%-3d tput=%8.1f tps  lat(%s)  confirmed=%d aborted=%d vc=%d",
+		r.Protocol, r.Net, r.Replicas, r.ThroughputTPS, r.Latency.String(), r.Confirmed, r.Aborted, r.ViewChanges)
+}
+
+// Balance returns an account's final balance at the observer replica.
+// It requires WithFinalState; without it every account reads as 0.
+func (r *Result) Balance(account string) int64 {
+	if r.state == nil {
+		return 0
+	}
+	return int64(r.state.Balance(types.Key(account)))
+}
+
+// SharedValue returns a shared record's final value at the observer
+// replica. It requires WithFinalState; without it every record reads as 0.
+func (r *Result) SharedValue(key string) int64 {
+	if r.state == nil {
+		return 0
+	}
+	return int64(r.state.SharedValue(types.Key(key)))
+}
+
+// EscrowsOutstanding returns the number of escrow entries still open at
+// the observer replica when the run ended — 0 means no funds were left
+// stuck by aborted multi-payer transactions. It requires WithFinalState.
+func (r *Result) EscrowsOutstanding() int {
+	if r.state == nil {
+		return 0
+	}
+	return r.state.EscrowCount()
+}
+
+// fromCluster projects an internal run result onto the public surface.
+func fromCluster(res *cluster.Result) *Result {
+	out := &Result{
+		Protocol:      res.Protocol,
+		Net:           res.Net,
+		Replicas:      res.N,
+		Submitted:     res.Submitted,
+		Confirmed:     res.Confirmed,
+		Aborted:       res.Aborted,
+		ThroughputTPS: res.ThroughputTPS,
+		Latency: Latency{
+			Count: res.Latency.Count(),
+			Mean:  res.Latency.Mean(),
+			P50:   res.Latency.Percentile(50),
+			P99:   res.Latency.Percentile(99),
+			Max:   res.Latency.Max(),
+		},
+		ViewChanges: res.ViewChanges,
+		SimEvents:   res.Events,
+		Halted:      res.Halted,
+		Converged:   res.Converged,
+		state:       res.State,
+	}
+	for i := 0; i < res.Series.Bins(); i++ {
+		out.Windows = append(out.Windows, Window{
+			Index:         i,
+			Start:         time.Duration(i) * res.Series.Bin,
+			End:           time.Duration(i+1) * res.Series.Bin,
+			Confirmed:     res.Series.Count(i),
+			ThroughputTPS: res.Series.Throughput(i),
+			MeanLatency:   res.Series.MeanLatency(i),
+		})
+	}
+	for _, s := range metrics.Stages() {
+		out.Breakdown = append(out.Breakdown, StageLatency{Stage: s.String(), Mean: res.Breakdown.Mean(s)})
+	}
+	for _, p := range res.Phases {
+		out.Phases = append(out.Phases, Phase(p))
+	}
+	return out
+}

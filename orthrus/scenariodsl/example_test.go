@@ -1,0 +1,55 @@
+package scenariodsl_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/orthrus/scenariodsl"
+)
+
+// ExampleNew builds a composite timeline fluently; Build sorts events by
+// time and the result is immutable.
+func ExampleNew() {
+	scn := scenariodsl.New("demo").
+		CrashAt(3*time.Second, 5, 6).
+		StraggleAt(1*time.Second, 10, 4).
+		RecoverAt(6*time.Second, 5, 6).
+		Build()
+	fmt.Println(scn.Name)
+	for _, e := range scn.Events {
+		fmt.Println(e)
+	}
+	// Output:
+	// demo
+	// 1s straggle nodes=[4] x10
+	// 3s crash nodes=[5 6]
+	// 6s recover nodes=[5 6]
+}
+
+// ExamplePreset builds a named preset; equal arguments always yield the
+// same timeline.
+func ExamplePreset() {
+	scn, err := scenariodsl.Preset("flash-crowd", 10, 10*time.Second, 42)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, e := range scn.Events {
+		fmt.Println(e)
+	}
+	// Output:
+	// 3.5s load-surge x3
+	// 6.5s load-surge x1
+}
+
+// ExamplePresets lists the preset names with their descriptions.
+func ExamplePresets() {
+	for _, name := range scenariodsl.Presets() {
+		fmt.Printf("%s: %s\n", name, scenariodsl.Describe(name))
+	}
+	// Output:
+	// crash-recover: crash f replicas at 30% of the run, recover them at 60%
+	// rolling-stragglers: walk one 10x straggler across three replicas, one per 20% window
+	// partition-heal: isolate f replicas at 30% of the run, heal the cut at 60%
+	// flash-crowd: triple the client submission rate between 35% and 65% of the run
+}
