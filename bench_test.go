@@ -229,6 +229,76 @@ func BenchmarkFigureSuite(b *testing.B) {
 	}
 }
 
+// --- F-scale: hot-path scale benchmarks (allocs/op gated in CI) ---
+
+// scaleBenchCfg is the fixed configuration of the BenchmarkScale cells and
+// the orthrus-bench -bench harness: message-level PBFT under NIC for n < 32
+// (the regime the allocation pass targets), analytic SB above. It is
+// deliberately identical across both harnesses so the BENCH_scale.json
+// artifact and the go-test numbers measure the same work.
+func scaleBenchCfg(mode core.Mode, n int) cluster.Config {
+	return cluster.Config{
+		N:            n,
+		Protocol:     mode,
+		Net:          cluster.WAN,
+		Workload:     workload.Config{Accounts: 4000, Seed: 42},
+		LoadTPS:      2000,
+		Duration:     4 * time.Second,
+		Warmup:       1 * time.Second,
+		Drain:        8 * time.Second,
+		BatchSize:    1024,
+		BatchTimeout: 100 * time.Millisecond,
+		EpochLen:     128,
+		ViewTimeout:  10 * time.Second,
+		AnalyticSB:   n >= 32,
+		NIC:          n < 32,
+		Seed:         42,
+	}
+}
+
+// BenchmarkScale is the benchmark-gate on the simulator hot path: one run
+// per (protocol, n) cell with allocation accounting. The reported
+// sim-events/sec metric is the simulator's raw event rate — the quantity
+// the allocation-reduction pass optimizes — and allocs/op is the number CI
+// compares against BENCH_scale.json regressions.
+func BenchmarkScale(b *testing.B) {
+	type cell struct {
+		mode core.Mode
+		n    int
+	}
+	var cells []cell
+	ns := []int{4, 10, 25}
+	if testing.Short() {
+		ns = []int{4, 10}
+	}
+	for _, mode := range []core.Mode{core.OrthrusMode(), baseline.ISSMode(), baseline.LadonMode()} {
+		for _, n := range ns {
+			cells = append(cells, cell{mode, n})
+		}
+	}
+	if !testing.Short() {
+		// The analytic large-n cells, completing the orthrus-bench -bench
+		// grid (BENCH_scale.json cells and these sub-benchmarks match
+		// one-to-one).
+		for _, n := range []int{50, 100} {
+			cells = append(cells, cell{core.OrthrusMode(), n})
+		}
+	}
+	for _, c := range cells {
+		c := c
+		b.Run(c.mode.Name+"/n="+itoa(c.n), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res := cluster.Run(scaleBenchCfg(c.mode, c.n))
+				events += res.Events
+				reportCluster(b, res)
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "sim-events/s")
+		})
+	}
+}
+
 // --- ablations (DESIGN.md Sec. 4) ---
 
 // BenchmarkAblationOrdering swaps Orthrus's dynamic glog for the

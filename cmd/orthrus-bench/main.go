@@ -12,6 +12,7 @@
 //	orthrus-bench -fig S1 -scenario crash-recover   # one dynamic-fault scenario
 //	orthrus-bench -parallel 1                       # force a serial run
 //	orthrus-bench -json BENCH_results.json          # write the JSON artifact
+//	orthrus-bench -bench -q                         # hot-path perf harness -> BENCH_scale.json
 //
 // Scale in (0,1] shrinks run durations, loads and the replica-count axis
 // proportionally; 1 is the paper-sized configuration. Runs fan out across
@@ -109,9 +110,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scn := fs.String("scenario", "", "comma-separated S1 scenarios to run: "+strings.Join(orthrus.ScenarioPresets(), ", ")+" (default all; only affects fig S1)")
 	scale := fs.Float64("scale", 0.25, "experiment scale in (0,1]; 1 = paper-sized")
 	parallel := fs.Int("parallel", 0, "worker pool size: 0 = all cores, 1 = serial")
-	jsonPath := fs.String("json", "", "write structured results to this path (e.g. BENCH_results.json)")
+	jsonPath := fs.String("json", "", "write structured results to this path (e.g. BENCH_results.json; with -bench, defaults to BENCH_scale.json)")
 	quiet := fs.Bool("q", false, "suppress the text rendering (useful with -json)")
 	list := fs.Bool("list", false, "list registered protocols, figures and scenario presets, then exit")
+	bench := fs.Bool("bench", false, "run the hot-path perf harness instead of figures and write the orthrus-bench-perf/v1 artifact")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -123,6 +125,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *list {
 		printList(stdout)
 		return nil
+	}
+
+	if *bench {
+		// The perf harness has a fixed grid: figure-mode flags would be
+		// silently ignored, so an explicit one is a usage error rather
+		// than a surprise artifact.
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "fig", "scenario", "parallel", "scale":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("orthrus-bench: %s only apply to figure runs; drop with -bench", strings.Join(conflicts, ", "))
+		}
+		return runPerfBench(stdout, stderr, *jsonPath, *quiet, func(cfg orthrus.Config) (*orthrus.Result, error) {
+			return cfg.Run(context.Background())
+		})
 	}
 
 	// Reject rather than clamp out-of-range scales: the artifact records

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/orthrus"
+)
+
+// The -bench perf harness: instead of regenerating figures, it measures
+// the simulator hot path itself — wall time, allocations and simulated
+// events per second for a fixed (protocol, n) grid — and writes the
+// BENCH_scale.json artifact (schema orthrus-bench-perf/v1) that CI runs
+// in smoke mode and uploads. The grid matches the repository's
+// BenchmarkScale sub-benchmarks one-to-one (bench_test.go; -short trims
+// its large cells) so go-test numbers and the artifact measure identical
+// work: message-level PBFT under the NIC model for n < 32, the analytic
+// SB above.
+
+// perfSchema identifies the artifact format. v1 fields per cell: ns/op,
+// allocs/op, bytes/op, sim-events and sim-events/sec, plus the measured
+// throughput for context. Timing fields vary with the host; allocs/op
+// and sim_events are deterministic.
+const perfSchema = "orthrus-bench-perf/v1"
+
+// perfCell is one measured (protocol, n) point.
+type perfCell struct {
+	Protocol        string  `json:"protocol"`
+	N               int     `json:"n"`
+	AnalyticSB      bool    `json:"analytic_sb"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	AllocsPerOp     uint64  `json:"allocs_per_op"`
+	BytesPerOp      uint64  `json:"bytes_per_op"`
+	SimEvents       uint64  `json:"sim_events"`
+	SimEventsPerSec float64 `json:"sim_events_per_sec"`
+	TputKTPS        float64 `json:"tput_ktps"`
+}
+
+// perfArtifact is the document -bench writes.
+type perfArtifact struct {
+	Schema string     `json:"schema"`
+	Cells  []perfCell `json:"cells"`
+}
+
+// perfPoint names one grid cell.
+type perfPoint struct {
+	protocol string
+	n        int
+}
+
+// perfGrid is the measured grid: every protocol panel cell at
+// message-level sizes, plus the analytic large-n cells for Orthrus.
+func perfGrid() []perfPoint {
+	var cells []perfPoint
+	for _, p := range []string{"Orthrus", "ISS", "Ladon"} {
+		for _, n := range []int{4, 10, 25} {
+			cells = append(cells, perfPoint{p, n})
+		}
+	}
+	for _, n := range []int{50, 100} {
+		cells = append(cells, perfPoint{"Orthrus", n})
+	}
+	return cells
+}
+
+// perfConfig builds the cell's run configuration — the SDK mirror of
+// bench_test.go's scaleBenchCfg.
+func perfConfig(protocol string, n int) orthrus.Config {
+	opts := []orthrus.Option{
+		orthrus.WithProtocol(protocol),
+		orthrus.WithClusterSize(n),
+		orthrus.WithNet(orthrus.WAN),
+		orthrus.WithAccounts(4000),
+		orthrus.WithLoad(2000),
+		orthrus.WithDuration(4 * time.Second),
+		orthrus.WithWarmup(1 * time.Second),
+		orthrus.WithDrain(8 * time.Second),
+		orthrus.WithBatching(1024, 100*time.Millisecond),
+		orthrus.WithEpochLen(128),
+		orthrus.WithSeed(42),
+	}
+	if n >= 32 {
+		opts = append(opts, orthrus.WithAnalyticSB())
+	}
+	return orthrus.NewConfig(opts...)
+}
+
+// measureCell runs one cell once (runs are deterministic, so a single
+// iteration measures the cell exactly) and reads the allocation counters
+// around it. runner is injected for tests.
+func measureCell(protocol string, n int, runner func(orthrus.Config) (*orthrus.Result, error)) (perfCell, error) {
+	cfg := perfConfig(protocol, n)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := runner(cfg)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return perfCell{}, err
+	}
+	cell := perfCell{
+		Protocol:    protocol,
+		N:           n,
+		AnalyticSB:  cfg.AnalyticSB,
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+		SimEvents:   res.SimEvents,
+		TputKTPS:    res.ThroughputTPS / 1000,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		cell.SimEventsPerSec = float64(res.SimEvents) / s
+	}
+	return cell, nil
+}
+
+// runPerfBench measures the whole grid and writes the artifact to
+// jsonPath. The table rendering goes to stdout unless quiet.
+func runPerfBench(stdout, stderr io.Writer, jsonPath string, quiet bool, runner func(orthrus.Config) (*orthrus.Result, error)) error {
+	if jsonPath == "" {
+		jsonPath = "BENCH_scale.json"
+	}
+	doc := perfArtifact{Schema: perfSchema}
+	if !quiet {
+		fmt.Fprintf(stdout, "%-8s %5s %10s %14s %14s %16s %10s\n",
+			"proto", "n", "ms/op", "allocs/op", "bytes/op", "sim-events/s", "ktps")
+	}
+	for _, c := range perfGrid() {
+		cell, err := measureCell(c.protocol, c.n, runner)
+		if err != nil {
+			return fmt.Errorf("orthrus-bench: cell %s/n=%d: %w", c.protocol, c.n, err)
+		}
+		doc.Cells = append(doc.Cells, cell)
+		if !quiet {
+			fmt.Fprintf(stdout, "%-8s %5d %10.0f %14d %14d %16.0f %10.1f\n",
+				cell.Protocol, cell.N, float64(cell.NsPerOp)/1e6,
+				cell.AllocsPerOp, cell.BytesPerOp, cell.SimEventsPerSec, cell.TputKTPS)
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %s (%d cells, schema %s)\n", jsonPath, len(doc.Cells), perfSchema)
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/orthrus"
+)
+
+// stubRunner returns a canned result instantly so the harness logic is
+// testable without multi-second simulations.
+func stubRunner(cfg orthrus.Config) (*orthrus.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &orthrus.Result{
+		Protocol:      cfg.Protocol,
+		Replicas:      cfg.Replicas,
+		ThroughputTPS: 1500,
+		SimEvents:     100000,
+	}, nil
+}
+
+func TestPerfBenchArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	var out, errOut bytes.Buffer
+	if err := runPerfBench(&out, &errOut, path, false, stubRunner); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc perfArtifact
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "orthrus-bench-perf/v1" {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if len(doc.Cells) != len(perfGrid()) {
+		t.Fatalf("cells = %d, want %d", len(doc.Cells), len(perfGrid()))
+	}
+	seen := map[string]bool{}
+	for _, c := range doc.Cells {
+		seen[c.Protocol+"/"+itoa(c.N)] = true
+		if c.SimEvents != 100000 || c.NsPerOp <= 0 || c.SimEventsPerSec <= 0 {
+			t.Fatalf("cell %s/n=%d not measured: %+v", c.Protocol, c.N, c)
+		}
+		if (c.N >= 32) != c.AnalyticSB {
+			t.Fatalf("cell %s/n=%d analytic flag wrong", c.Protocol, c.N)
+		}
+	}
+	for _, want := range []string{"Orthrus/10", "ISS/25", "Ladon/4", "Orthrus/100"} {
+		if !seen[want] {
+			t.Fatalf("grid missing cell %s (have %v)", want, seen)
+		}
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Fatalf("table header missing:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "wrote "+path) {
+		t.Fatalf("stderr missing artifact note: %q", errOut.String())
+	}
+}
+
+func TestPerfBenchQuietAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	t.Chdir(dir)
+	var out, errOut bytes.Buffer
+	// Quiet mode renders nothing to stdout.
+	if err := runPerfBench(&out, &errOut, "", true, stubRunner); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("quiet mode wrote to stdout: %q", out.String())
+	}
+	// The default artifact path is BENCH_scale.json in the working dir.
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_scale.json")); err != nil {
+		t.Fatalf("default artifact missing: %v", err)
+	}
+	// A failing cell surfaces with its coordinates.
+	boom := errors.New("boom")
+	err := runPerfBench(&out, &errOut, filepath.Join(dir, "x.json"), true,
+		func(orthrus.Config) (*orthrus.Result, error) { return nil, boom })
+	if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), "cell Orthrus/n=4") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -9,6 +9,10 @@
 //	orthrus-sim -protocol ISS -n 8 -net lan -load 20000 -duration 10s
 //	orthrus-sim -protocol Orthrus -n 16 -faults 5 -fault-at 9s
 //	orthrus-sim -protocol Orthrus -n 10 -scenario partition-heal
+//	orthrus-sim -protocol Orthrus -n 7 -scenario-file chaos.scn
+//
+// A -scenario-file holds the scenario DSL parsed by scenariodsl.Parse:
+// one "<time> <kind> <operands>" event per line, e.g. "3s crash 5 6".
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -48,6 +53,7 @@ func run(args []string, w, stderr io.Writer) error {
 	faultAt := fs.Duration("fault-at", 9*time.Second, "crash injection time")
 	byzantine := fs.Int("byzantine", 0, "undetectable (selective-participation) faulty replicas")
 	scn := fs.String("scenario", "", "preset fault/load scenario: "+strings.Join(scenariodsl.Presets(), ", ")+" (requires message-level PBFT)")
+	scnFile := fs.String("scenario-file", "", "path to a scenario-DSL file (see scenariodsl.Parse; exclusive with -scenario)")
 	load := fs.Float64("load", 10000, "client load in tx/s")
 	duration := fs.Duration("duration", 15*time.Second, "submission window")
 	payments := fs.Float64("payments", 0.46, "payment transaction fraction (0 uses the paper default; negative means all-contract)")
@@ -67,8 +73,11 @@ func run(args []string, w, stderr io.Writer) error {
 	if _, err := orthrus.LookupProtocol(*protocol); err != nil {
 		return fmt.Errorf("unknown protocol %q (want one of: %s)", *protocol, strings.Join(orthrus.ProtocolNames(), ", "))
 	}
-	if *scn != "" && *analytic {
-		return fmt.Errorf("-scenario requires message-level PBFT; drop -analytic")
+	if *scn != "" && *scnFile != "" {
+		return fmt.Errorf("-scenario and -scenario-file are mutually exclusive")
+	}
+	if (*scn != "" || *scnFile != "") && *analytic {
+		return fmt.Errorf("scenarios require message-level PBFT; drop -analytic")
 	}
 	net := orthrus.WAN
 	if *netName == "lan" {
@@ -98,11 +107,24 @@ func run(args []string, w, stderr io.Writer) error {
 	if *analytic {
 		opts = append(opts, orthrus.WithAnalyticSB())
 	}
+	scnLabel := *scn
 	if *scn != "" {
 		s, err := scenariodsl.Preset(*scn, *n, *duration, *seed)
 		if err != nil {
 			return err
 		}
+		opts = append(opts, orthrus.WithScenario(s))
+	}
+	if *scnFile != "" {
+		src, err := os.ReadFile(*scnFile)
+		if err != nil {
+			return err
+		}
+		s, err := scenariodsl.Parse(strings.TrimSuffix(filepath.Base(*scnFile), filepath.Ext(*scnFile)), string(src))
+		if err != nil {
+			return err
+		}
+		scnLabel = s.Name
 		opts = append(opts, orthrus.WithScenario(s))
 	}
 	res, err := orthrus.Run(context.Background(), opts...)
@@ -119,7 +141,7 @@ func run(args []string, w, stderr io.Writer) error {
 	fmt.Fprintf(w, "view changes %d\n", res.ViewChanges)
 	fmt.Fprintf(w, "sim events   %d\n", res.SimEvents)
 	if len(res.Phases) > 0 {
-		fmt.Fprintf(w, "phases       (%s scenario windows)\n", *scn)
+		fmt.Fprintf(w, "phases       (%s scenario windows)\n", scnLabel)
 		for _, p := range res.Phases {
 			fmt.Fprintf(w, "  %-20s [%5.1fs,%6.1fs)  %8.1f tps  lat=%5.2fs\n",
 				p.Label, p.Start.Seconds(), p.End.Seconds(), p.ThroughputTPS, p.MeanLatency.Seconds())

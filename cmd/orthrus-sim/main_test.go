@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,5 +42,34 @@ func TestRunTinyCluster(t *testing.T) {
 		if !strings.Contains(s, marker) {
 			t.Fatalf("output missing %q:\n%s", marker, s)
 		}
+	}
+}
+
+// TestRunScenarioFile drives a run from a scenario-DSL file and checks the
+// per-phase windows show up under the file's base name.
+func TestRunScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mini-chaos.scn")
+	src := "500ms straggle x5 3\n1s crash 3\n1500ms recover 3\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	args := []string{"-protocol", "Orthrus", "-n", "4", "-net", "lan",
+		"-load", "300", "-duration", "2s", "-batch", "64", "-scenario-file", path}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, marker := range []string{"phases       (mini-chaos scenario windows)", "baseline", "straggle", "crash", "recover"} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, s)
+		}
+	}
+	var both bytes.Buffer
+	if err := run(append(args, "-scenario", "crash-recover"), &both, &both); err == nil {
+		t.Fatal("expected -scenario + -scenario-file to be rejected")
+	}
+	if err := run([]string{"-scenario-file", filepath.Join(t.TempDir(), "missing.scn")}, &out, &errOut); err == nil {
+		t.Fatal("expected missing scenario file to error")
 	}
 }

@@ -221,6 +221,12 @@ type Result struct {
 
 	ViewChanges int
 	Events      uint64 // simulator events processed (cost accounting)
+	// Messages counts protocol messages delivered over the simulated
+	// network. Analytic-SB runs fold in the closed-form model's
+	// pre-prepare/prepare/commit traffic (simnet.Network.AddModeled), so
+	// the count stays comparable across SB implementations; the F-scale
+	// figure divides it by Confirmed for messages-per-commit.
+	Messages uint64
 
 	// Halted reports the run was stopped early by Config.Halt; the
 	// measurements cover only the virtual time before the stop.
@@ -271,11 +277,14 @@ func (r *Result) String() string {
 		r.Protocol, r.Net, r.N, r.ThroughputTPS, r.Latency.String(), r.Confirmed, r.Aborted, r.ViewChanges)
 }
 
-// txMeta tracks client-side accounting for one transaction.
+// txMeta tracks client-side accounting for one transaction. It is stored
+// by value — one map, no per-transaction pointer allocations — and carries
+// the client-visible reply time once the (f+1)-th reply lands.
 type txMeta struct {
 	submit  simnet.Time
-	home    int // replica co-located with the submitting client
-	replies int
+	reply   simnet.Time // client-visible reply time; set when done
+	home    int32       // replica co-located with the submitting client
+	replies int32
 	done    bool
 }
 
@@ -320,63 +329,29 @@ func Run(cfg Config) *Result {
 	}
 	genesis := gen.Genesis()
 
-	meta := make(map[types.TxID]*txMeta)
-	confirmAt := make(map[types.TxID]simnet.Time) // client-visible reply time
+	meta := make(map[types.TxID]txMeta, 1024)
 
 	// Scenario phase windows: confirmations are binned by reply time into
-	// windows delimited by the scenario's event times.
+	// half-open windows delimited by the scenario's event times (see
+	// phaseTracker). The series buffers are sized for the whole run up
+	// front so the measurement path never reallocates them.
 	runEnd := cfg.Duration + cfg.Drain
-	var phases []PhaseWindow
-	var phaseLat []time.Duration
+	res.Series.Reserve(int(runEnd/res.Series.Bin) + 2)
+	var pt *phaseTracker
 	if cfg.Scenario != nil {
-		ps := cfg.Scenario.Phases()
-		for i, p := range ps {
-			end := runEnd
-			if i+1 < len(ps) && ps[i+1].Start < end {
-				end = ps[i+1].Start
-			}
-			start := p.Start
-			if start > end {
-				start = end
-			}
-			phases = append(phases, PhaseWindow{Label: p.Label, Start: start, End: end})
-		}
-		phaseLat = make([]time.Duration, len(phases))
-	}
-	phaseOf := func(at simnet.Time) int {
-		idx := 0
-		for i := 1; i < len(phases); i++ {
-			if simnet.Time(phases[i].Start) <= at {
-				idx = i
-			}
-		}
-		return idx
-	}
-	// phaseStat reads phase i's accumulators into a finished window. A
-	// window is final once virtual time reaches its End: replies are
-	// recorded before they land, so nothing can join a closed window.
-	phaseStat := func(i int) PhaseWindow {
-		p := phases[i]
-		if winLen := (p.End - p.Start).Seconds(); winLen > 0 {
-			p.ThroughputTPS = float64(p.Confirmed) / winLen
-		}
-		if p.Confirmed > 0 {
-			p.MeanLatency = phaseLat[i] / time.Duration(p.Confirmed)
-		}
-		return p
+		pt = newPhaseTracker(cfg.Scenario, runEnd)
 	}
 	// Phases that close mid-run stream out the moment they are final; the
 	// rest (at minimum the last phase) are emitted at finalization below.
-	phaseEmitted := make([]bool, len(phases))
-	if cfg.OnPhase != nil {
-		for i := range phases {
-			if phases[i].End >= runEnd {
+	if pt != nil && cfg.OnPhase != nil {
+		for i := range pt.windows {
+			if pt.windows[i].End >= runEnd {
 				continue
 			}
 			i := i
-			sim.At(simnet.Time(phases[i].End), func() {
-				phaseEmitted[i] = true
-				cfg.OnPhase(phaseStat(i))
+			sim.At(simnet.Time(pt.windows[i].End), func() {
+				pt.emitted[i] = true
+				cfg.OnPhase(pt.stat(i))
 			})
 		}
 	}
@@ -403,24 +378,25 @@ func Run(cfg Config) *Result {
 			Genesis:      genesis,
 			TraceStages:  i == 0,
 			OnConfirm: func(tx *types.Transaction, success bool, at simnet.Time) {
-				m := meta[tx.ID()]
-				if m == nil || m.done {
+				id := tx.ID()
+				m, ok := meta[id]
+				if !ok || m.done {
 					return
 				}
 				m.replies++
-				if m.replies < f+1 {
+				if m.replies < int32(f+1) {
+					meta[id] = m
 					return
 				}
 				m.done = true
-				reply := at + simnet.Time(nw.BaseDelay(i, m.home, 256))
-				confirmAt[tx.ID()] = reply
+				reply := at + simnet.Time(nw.BaseDelay(i, int(m.home), 256))
+				m.reply = reply
+				meta[id] = m
 				lat := time.Duration(reply - m.submit)
 				res.Latency.Add(lat)
 				res.Series.Record(reply, lat)
-				if phases != nil {
-					pi := phaseOf(reply)
-					phases[pi].Confirmed++
-					phaseLat[pi] += lat
+				if pt != nil {
+					pt.record(reply, lat)
 				}
 				if !success {
 					res.Aborted++
@@ -510,6 +486,13 @@ func Run(cfg Config) *Result {
 	// observer.
 	interval := time.Duration(float64(time.Second) / cfg.LoadTPS)
 	submitted := 0
+	// Per-transaction scratch, reused across the whole run (the simulation
+	// is single-threaded): target list plus a dedup vector indexed by
+	// replica. Individual submissions are scheduled as closure-free call
+	// events — one transaction allocates its metadata entry and nothing
+	// else on the client side.
+	targetBuf := make([]int, 0, 2*(f+1)+1)
+	targetSeen := make([]bool, n)
 	var submitNext func(at simnet.Time)
 	submitNext = func(at simnet.Time) {
 		if at > windowEnd || (cfg.TotalTxs > 0 && submitted >= cfg.TotalTxs) {
@@ -519,12 +502,11 @@ func Run(cfg Config) *Result {
 			tx := gen.Next()
 			tx.SubmitNS = int64(sim.Now())
 			home := submitted % n
-			meta[tx.ID()] = &txMeta{submit: sim.Now(), home: home}
-			targets := submitTargets(tx, n, f)
-			for _, target := range targets {
-				target := target
+			meta[tx.ID()] = txMeta{submit: sim.Now(), home: int32(home)}
+			targetBuf = appendSubmitTargets(targetBuf[:0], targetSeen, tx, n, f)
+			for _, target := range targetBuf {
 				d := nw.BaseDelay(home, target, cfg.TxSize)
-				sim.After(d, func() { _ = replicas[target].SubmitTx(tx) })
+				sim.CallAfter(d, submitToReplica, replicas[target], tx)
 			}
 			submitted++
 			res.Submitted = submitted
@@ -575,6 +557,7 @@ func Run(cfg Config) *Result {
 
 	sim.Run(windowEnd + simnet.Time(cfg.Drain))
 	res.Events = sim.EventsProcessed()
+	res.Messages = nw.Messages()
 
 	// A halted run measures only the elapsed virtual time: divide the
 	// confirmations by the window that actually ran, not the configured
@@ -603,25 +586,30 @@ func Run(cfg Config) *Result {
 			})
 		}
 	}
-	// On a halted run, clamp phase windows to the elapsed virtual time so
-	// their rates, like the run-level throughput above, measure what
-	// actually ran; phases the halt preempted entirely are never emitted.
-	elapsed := time.Duration(sim.Now())
-	for i := range phases {
+	// Phase finalization. On a halted run the recorded counts include
+	// confirmations whose replies had not landed when the simulation
+	// stopped; re-bin from the metadata so every window counts exactly the
+	// replies inside its clamped bounds, then clamp to the elapsed virtual
+	// time — phases the halt preempted entirely are never emitted.
+	if pt != nil {
+		elapsed := time.Duration(sim.Now())
 		if res.Halted {
-			if phases[i].Start > elapsed {
-				phases[i].Start = elapsed
-			}
-			if phases[i].End > elapsed {
-				phases[i].End = elapsed
+			pt.reset()
+			for _, m := range meta {
+				if m.done && m.reply < simnet.Time(elapsed) {
+					pt.record(m.reply, time.Duration(m.reply-m.submit))
+				}
 			}
 		}
-		phases[i] = phaseStat(i)
-		if cfg.OnPhase != nil && !phaseEmitted[i] && !(res.Halted && phases[i].Start >= elapsed) {
-			cfg.OnPhase(phases[i])
+		res.Phases = pt.finalize(elapsed, res.Halted)
+		if cfg.OnPhase != nil {
+			for i := range res.Phases {
+				if !pt.emitted[i] && !pt.skipped[i] {
+					cfg.OnPhase(res.Phases[i])
+				}
+			}
 		}
 	}
-	res.Phases = phases
 
 	// Observer breakdown (Fig. 6): stage deltas from replica 0's trace plus
 	// the client-side reply time.
@@ -635,10 +623,10 @@ func Run(cfg Config) *Result {
 		res.Breakdown.Add(metrics.StagePreprocess, time.Duration(st.Proposed-st.Received))
 		res.Breakdown.Add(metrics.StagePartial, time.Duration(st.Delivered-st.Proposed))
 		res.Breakdown.Add(metrics.StageGlobal, time.Duration(st.Confirmed-st.Delivered))
-		if reply, ok := confirmAt[id]; ok && reply > st.Confirmed {
-			res.Breakdown.Add(metrics.StageReply, time.Duration(reply-st.Confirmed))
+		if m.done && m.reply > st.Confirmed {
+			res.Breakdown.Add(metrics.StageReply, time.Duration(m.reply-st.Confirmed))
 		} else {
-			res.Breakdown.Add(metrics.StageReply, time.Duration(nw.BaseDelay(0, m.home, 256)))
+			res.Breakdown.Add(metrics.StageReply, time.Duration(nw.BaseDelay(0, int(m.home), 256)))
 		}
 	}
 
@@ -656,33 +644,51 @@ func Run(cfg Config) *Result {
 	return res
 }
 
-// submitTargets returns the replicas a client sends tx to: each involved
-// instance's initial leader plus the f replicas after it, and replica 0
-// (the tracing observer). m = n, so instance i's initial leader is i.
-func submitTargets(tx *types.Transaction, n, f int) []int {
-	seen := make(map[int]bool, 2*(f+1))
-	var out []int
-	add := func(r int) {
+// submitToReplica is the client-submission event callback: delivering a
+// transaction to one replica. Top-level so the scheduler's call events
+// carry it without a closure allocation.
+func submitToReplica(replica, tx any) {
+	_ = replica.(*core.Replica).SubmitTx(tx.(*types.Transaction))
+}
+
+// appendSubmitTargets appends the replicas a client sends tx to onto dst:
+// each involved instance's initial leader plus the f replicas after it,
+// and replica 0 (the tracing observer). m = n, so instance i's initial
+// leader is i. seen is caller-provided scratch of length n, all-false on
+// entry; it is cleared again before returning. Duplicate payers resolve to
+// already-seen leaders, so iterating ops directly matches the distinct
+// payer list.
+func appendSubmitTargets(dst []int, seen []bool, tx *types.Transaction, n, f int) []int {
+	add := func(dst []int, r int) []int {
 		r %= n
 		if !seen[r] {
 			seen[r] = true
-			out = append(out, r)
+			dst = append(dst, r)
 		}
+		return dst
 	}
-	add(0)
-	for _, payer := range tx.Payers() {
-		lead := bucketLeader(payer, n)
+	dst = add(dst, 0)
+	hasPayer := false
+	for _, op := range tx.Ops {
+		if !op.IsPayerOp() {
+			continue
+		}
+		hasPayer = true
+		lead := bucketLeader(op.Key, n)
 		for k := 0; k <= f; k++ {
-			add(lead + k)
+			dst = add(dst, lead+k)
 		}
 	}
-	if len(out) == 1 { // no payer ops: route by client
+	if !hasPayer { // no payer ops: route by client
 		lead := bucketLeader(tx.Client, n)
 		for k := 0; k <= f; k++ {
-			add(lead + k)
+			dst = add(dst, lead+k)
 		}
 	}
-	return out
+	for _, r := range dst {
+		seen[r] = false
+	}
+	return dst
 }
 
 func bucketLeader(k types.Key, n int) int {

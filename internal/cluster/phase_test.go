@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/simnet"
+)
+
+// mkTracker builds a phaseTracker over a scenario with events at the
+// given times (all Heal — the kinds are irrelevant to windowing).
+func mkTracker(runEnd time.Duration, eventTimes ...time.Duration) *phaseTracker {
+	b := scenario.New("t")
+	for _, at := range eventTimes {
+		b.HealAt(at)
+	}
+	return newPhaseTracker(b.Build(), runEnd)
+}
+
+// TestPhaseBoundaryHalfOpen pins the regression: a confirmation whose
+// reply lands exactly on a phase boundary — including a boundary that
+// coincides with a 0.5 s series-bin edge — belongs to the window the
+// boundary opens, and the streamed per-phase counts match the final ones.
+func TestPhaseBoundaryHalfOpen(t *testing.T) {
+	// Boundary at exactly 2.5s: a 0.5s metric window edge.
+	pt := mkTracker(18*time.Second, 2500*time.Millisecond)
+	at := func(d time.Duration) simnet.Time { return simnet.Time(d) }
+	pt.record(at(2500*time.Millisecond-1), time.Millisecond) // last tick of baseline
+	pt.record(at(2500*time.Millisecond), time.Millisecond)   // exactly on the edge
+	pt.record(at(2500*time.Millisecond+1), time.Millisecond) // first tick after
+	// The streamed value for the closed baseline window...
+	streamed := pt.stat(0)
+	out := pt.finalize(18*time.Second, false)
+	if streamed.Confirmed != 1 || out[0].Confirmed != 1 {
+		t.Fatalf("baseline window [0, 2.5s) counted %d streamed / %d final, want 1 (boundary must not drift)",
+			streamed.Confirmed, out[0].Confirmed)
+	}
+	if out[1].Confirmed != 2 {
+		t.Fatalf("window [2.5s, ...) counted %d, want 2 (boundary reply belongs to the opening window)", out[1].Confirmed)
+	}
+	if sum := out[0].Confirmed + out[1].Confirmed; sum != 3 {
+		t.Fatalf("windows count %d confirmations, want all 3", sum)
+	}
+}
+
+// TestPhaseWindowCountsPinned fixes the exact per-window counts for a
+// three-phase timeline with replies scattered on and around every
+// boundary.
+func TestPhaseWindowCountsPinned(t *testing.T) {
+	pt := mkTracker(10*time.Second, 2*time.Second, 4*time.Second)
+	replies := []time.Duration{
+		1 * time.Second, 1999 * time.Millisecond, // baseline
+		2 * time.Second, 3 * time.Second, 3999 * time.Millisecond, // phase 1
+		4 * time.Second, 9 * time.Second, // phase 2
+	}
+	for _, r := range replies {
+		pt.record(simnet.Time(r), time.Millisecond)
+	}
+	out := pt.finalize(10*time.Second, false)
+	want := []int{2, 3, 2}
+	for i, w := range want {
+		if out[i].Confirmed != w {
+			t.Fatalf("window %d (%q [%v,%v)) counted %d, want %d",
+				i, out[i].Label, out[i].Start, out[i].End, out[i].Confirmed, w)
+		}
+		if out[i].ThroughputTPS != float64(w)/(out[i].End-out[i].Start).Seconds() {
+			t.Fatalf("window %d rate %f inconsistent with its bounds", i, out[i].ThroughputTPS)
+		}
+	}
+	// Windows tile the run: contiguous half-open intervals.
+	for i := 1; i < len(out); i++ {
+		if out[i].Start != out[i-1].End {
+			t.Fatalf("windows not contiguous: [%v,%v) then [%v,%v)",
+				out[i-1].Start, out[i-1].End, out[i].Start, out[i].End)
+		}
+	}
+}
+
+// TestFinalPhaseExtendsToLateReplies pins the other half of the drift
+// fix: replies landing after the nominal end of the run stay in the final
+// window, whose End is raised past the last of them so the reported rate
+// covers a span containing every counted confirmation.
+func TestFinalPhaseExtendsToLateReplies(t *testing.T) {
+	runEnd := 6 * time.Second
+	pt := mkTracker(runEnd, 2*time.Second)
+	late := runEnd + 300*time.Millisecond
+	pt.record(simnet.Time(5*time.Second), time.Millisecond)
+	pt.record(simnet.Time(runEnd), time.Millisecond) // exactly at nominal end
+	pt.record(simnet.Time(late), time.Millisecond)
+	out := pt.finalize(runEnd, false)
+	if out[1].Confirmed != 3 {
+		t.Fatalf("final window counted %d, want 3", out[1].Confirmed)
+	}
+	if out[1].End <= late {
+		t.Fatalf("final window End %v does not cover its last reply %v", out[1].End, late)
+	}
+	want := float64(3) / (out[1].End - out[1].Start).Seconds()
+	if out[1].ThroughputTPS != want {
+		t.Fatalf("final window rate %f, want %f", out[1].ThroughputTPS, want)
+	}
+}
+
+// TestZeroWidthWindowsStayEmpty: scenario events at or past the end of
+// the run collapse to zero-width windows, which must never own a reply
+// (the last-wins rule at equal Starts) nor report a rate.
+func TestZeroWidthWindowsStayEmpty(t *testing.T) {
+	runEnd := 4 * time.Second
+	pt := mkTracker(runEnd, 4*time.Second, 5*time.Second)
+	pt.record(simnet.Time(3*time.Second), time.Millisecond)
+	pt.record(simnet.Time(4*time.Second), time.Millisecond) // boundary at run end
+	out := pt.finalize(runEnd, false)
+	if out[1].Confirmed != 0 {
+		t.Fatalf("zero-width window [4s,4s) counted %d replies", out[1].Confirmed)
+	}
+	if out[2].Confirmed != 2-1 {
+		t.Fatalf("final window counted %d, want 1", out[2].Confirmed)
+	}
+	if out[0].Confirmed != 1 {
+		t.Fatalf("baseline counted %d, want 1", out[0].Confirmed)
+	}
+}
+
+// TestScenarioEventOnSeriesBinEdgeEndToEnd runs a real cluster with a
+// scenario boundary exactly on a 0.5 s series-bin edge and checks the
+// phase windows partition every recorded confirmation: the sum of
+// per-window counts equals the run's latency sample count, and streamed
+// OnPhase values equal the final Result.Phases.
+func TestScenarioEventOnSeriesBinEdgeEndToEnd(t *testing.T) {
+	scn := scenario.New("edge").
+		StraggleAt(1500*time.Millisecond, 5, 3).
+		StraggleAt(2500*time.Millisecond, 1, 3).
+		Build()
+	cfg := smallCfg(core.OrthrusMode())
+	cfg.Scenario = scn
+	var streamed []PhaseWindow
+	cfg.OnPhase = func(p PhaseWindow) { streamed = append(streamed, p) }
+	res := Run(cfg)
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %v", res.Phases)
+	}
+	sum := 0
+	for _, p := range res.Phases {
+		sum += p.Confirmed
+	}
+	if sum != res.Latency.Count() {
+		t.Fatalf("phase windows count %d confirmations, run recorded %d — boundary drift", sum, res.Latency.Count())
+	}
+	if len(streamed) != len(res.Phases) {
+		t.Fatalf("streamed %d phases, result has %d", len(streamed), len(res.Phases))
+	}
+	for i, p := range streamed {
+		if p != res.Phases[i] {
+			t.Fatalf("streamed phase %d %+v != final %+v", i, p, res.Phases[i])
+		}
+	}
+	for i := 1; i < len(res.Phases); i++ {
+		if res.Phases[i].Start != res.Phases[i-1].End {
+			t.Fatalf("phases not contiguous: %+v", res.Phases)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/types"
 )
 
@@ -23,14 +25,22 @@ import (
 
 // txTracker follows one transaction across the instances it was assigned
 // to: which instances escrowed its payer operations, how many global-log
-// occurrences have been processed, and its final outcome.
+// occurrences have been processed, and its final outcome. Escrow progress
+// is a bitmask over positions in instances (a transaction belongs to a
+// handful of buckets at most), which keeps the tracker to two allocations
+// — the struct and its route slice — per transaction per replica.
 type txTracker struct {
-	tx        *types.Transaction
-	instances []int        // buckets/instances the tx belongs to
-	escrowed  map[int]bool // instances whose payer ops escrowed successfully
-	occurSeen int          // glog occurrences processed so far
-	failed    bool
-	done      bool
+	tx           *types.Transaction
+	instances    []int  // buckets/instances the tx belongs to
+	escrowedBits uint64 // bit i set: instances[i]'s payer ops escrowed
+	// escrowedHi extends the bitmask for route positions 64 and up: a
+	// transaction with more than 64 distinct payer buckets (unbounded
+	// payer lists are reachable through the SDK at large m) allocates one
+	// small overflow word slice; everything else stays on the inline word.
+	escrowedHi []uint64
+	occurSeen  int // glog occurrences processed so far
+	failed     bool
+	done       bool
 }
 
 func (r *Replica) tracker(tx *types.Transaction) *txTracker {
@@ -40,17 +50,58 @@ func (r *Replica) tracker(tx *types.Transaction) *txTracker {
 		t = &txTracker{
 			tx:        tx,
 			instances: r.routeOf(tx),
-			escrowed:  make(map[int]bool, 2),
 		}
 		r.trackers[id] = t
 	}
 	return t
 }
 
+// escrowed reports whether the given instance's payer ops escrowed.
+func (t *txTracker) escrowed(instance int) bool {
+	for i, inst := range t.instances {
+		if inst == instance {
+			if i < 64 {
+				return t.escrowedBits&(1<<uint(i)) != 0
+			}
+			w := (i - 64) / 64
+			return w < len(t.escrowedHi) && t.escrowedHi[w]&(1<<uint((i-64)%64)) != 0
+		}
+	}
+	return false
+}
+
+// markEscrowed records a successful escrow phase on instance.
+func (t *txTracker) markEscrowed(instance int) {
+	for i, inst := range t.instances {
+		if inst != instance {
+			continue
+		}
+		if i < 64 {
+			t.escrowedBits |= 1 << uint(i)
+			return
+		}
+		if t.escrowedHi == nil {
+			t.escrowedHi = make([]uint64, (len(t.instances)-64+63)/64)
+		}
+		t.escrowedHi[(i-64)/64] |= 1 << uint((i-64)%64)
+		return
+	}
+}
+
+// escrowedCount returns the number of instances whose escrow phase
+// succeeded.
+func (t *txTracker) escrowedCount() int {
+	n := bits.OnesCount64(t.escrowedBits)
+	for _, w := range t.escrowedHi {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
 // ready reports whether the transaction's escrow phase concluded on every
 // instance it belongs to (successfully or by failing).
 func (t *txTracker) ready() bool {
-	return t.failed || t.done || len(t.escrowed) == len(t.instances)
+	return t.failed || t.done || t.escrowedCount() == len(t.instances)
 }
 
 // confirm finalizes a transaction at this replica: exactly once per tx.
@@ -113,7 +164,7 @@ func (r *Replica) execPartial(instance int, b *types.Block) {
 	for i := range b.Txs {
 		tx := &b.Txs[i]
 		t := r.tracker(tx)
-		if t.done || t.failed || t.escrowed[instance] {
+		if t.done || t.failed || t.escrowed(instance) {
 			continue
 		}
 		id := tx.ID()
@@ -135,8 +186,8 @@ func (r *Replica) execPartial(instance int, b *types.Block) {
 			r.confirm(t, false)
 			continue
 		}
-		t.escrowed[instance] = true
-		if len(t.escrowed) == len(t.instances) && tx.Kind() == types.Payment {
+		t.markEscrowed(instance)
+		if t.escrowedCount() == len(t.instances) && tx.Kind() == types.Payment {
 			// All payer escrows committed: the payment is decided. Apply
 			// credits and confirm without waiting for the global log.
 			r.store.CommitEscrow(id)

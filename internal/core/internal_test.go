@@ -122,7 +122,7 @@ func TestGlogHeadBlockingPreservesOrder(t *testing.T) {
 	t1 := r.tracker(con1)
 	t2 := r.tracker(con2)
 	r.store.Escrow(con2.Ops[0], con2.ID())
-	t2.escrowed[t2.instances[0]] = true
+	t2.markEscrowed(t2.instances[0])
 
 	r.glogQ = append(r.glogQ,
 		glogCursor{block: &types.Block{Instance: inst1, Txs: []types.Transaction{*con1}}},
@@ -135,7 +135,7 @@ func TestGlogHeadBlockingPreservesOrder(t *testing.T) {
 	// Complete con1's escrow phase; both must now execute in order, leaving
 	// rec = 2 (con2 last).
 	r.store.Escrow(con1.Ops[0], con1.ID())
-	t1.escrowed[t1.instances[0]] = true
+	t1.markEscrowed(t1.instances[0])
 	r.drainGlogQueue()
 	if !t1.done || !t2.done {
 		t.Fatal("glog queue did not drain after head became ready")
@@ -159,5 +159,36 @@ func TestByzantinePulseInterval(t *testing.T) {
 	sim.Run(simnet.Time(2 * time.Second))
 	if sn := r.sbs[2].NextProposeSeq(); sn > 4 {
 		t.Fatalf("Byzantine replica proposed %d blocks in 2s; should crawl", sn)
+	}
+}
+
+func TestTrackerWideInstanceSets(t *testing.T) {
+	// Routes longer than 64 positions (a transaction with >64 distinct
+	// payer buckets at large m) must track escrow progress exactly; the
+	// inline word overflows into escrowedHi.
+	for _, width := range []int{1, 2, 63, 64, 65, 100, 128} {
+		tr := &txTracker{instances: make([]int, width)}
+		for i := range tr.instances {
+			tr.instances[i] = i * 3 // arbitrary distinct instance ids
+		}
+		for i, inst := range tr.instances {
+			if tr.escrowed(inst) {
+				t.Fatalf("width %d: position %d escrowed before marking", width, i)
+			}
+			tr.markEscrowed(inst)
+			if !tr.escrowed(inst) {
+				t.Fatalf("width %d: position %d not escrowed after marking", width, i)
+			}
+			if got := tr.escrowedCount(); got != i+1 {
+				t.Fatalf("width %d: escrowedCount = %d after %d marks", width, got, i+1)
+			}
+		}
+		if !tr.ready() {
+			t.Fatalf("width %d: tracker not ready with every instance escrowed", width)
+		}
+		tr.markEscrowed(tr.instances[0]) // idempotent
+		if got := tr.escrowedCount(); got != width {
+			t.Fatalf("width %d: re-mark changed count to %d", width, got)
+		}
 	}
 }

@@ -114,6 +114,12 @@ type Replica struct {
 	trackers map[types.TxID]*txTracker
 	stages   map[types.TxID]*StageTrace
 
+	// routeBuf is the reusable scratch for bucket routing: SubmitTx and the
+	// leader's feasibility checks route every transaction without
+	// allocating. Replicas are single-threaded event handlers, so one
+	// buffer suffices; only tracker() retains routes (in its own slice).
+	routeBuf []int
+
 	seqRefs []types.BlockRef // refs awaiting sequencer proposal
 
 	// Epoch & checkpoint state.
@@ -350,7 +356,8 @@ func (r *Replica) SubmitTx(tx *types.Transaction) error {
 	if err := tx.Validate(); err != nil {
 		return err
 	}
-	for _, i := range r.routeOf(tx) {
+	r.routeBuf = r.appendRoute(r.routeBuf[:0], tx)
+	for _, i := range r.routeBuf {
 		r.buckets.Bucket(i).Push(tx)
 	}
 	if r.stages != nil {
@@ -374,15 +381,24 @@ func (r *Replica) stageOf(id types.TxID) *StageTrace {
 
 // routeOf returns the bucket indices a transaction is assigned to under the
 // current mode (every payer's bucket for Orthrus, first bucket otherwise).
+// The result is freshly allocated; hot paths use appendRoute with the
+// replica's scratch buffer instead.
 func (r *Replica) routeOf(tx *types.Transaction) []int {
-	idx := partition.BucketsOf(tx, r.cfg.M)
-	if len(idx) == 0 {
-		idx = []int{partition.Assign(tx.Client, r.cfg.M)}
+	return r.appendRoute(nil, tx)
+}
+
+// appendRoute appends tx's bucket route onto dst and returns the extended
+// slice (see routeOf).
+func (r *Replica) appendRoute(dst []int, tx *types.Transaction) []int {
+	start := len(dst)
+	dst = partition.AppendBucketsOf(dst, tx, r.cfg.M)
+	if len(dst) == start {
+		dst = append(dst, partition.Assign(tx.Client, r.cfg.M))
 	}
-	if !r.cfg.Mode.SplitMultiPayer && len(idx) > 1 {
-		idx = idx[:1]
+	if !r.cfg.Mode.SplitMultiPayer && len(dst)-start > 1 {
+		dst = dst[:start+1]
 	}
-	return idx
+	return dst
 }
 
 // --- proposal pulses ---

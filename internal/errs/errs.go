@@ -1,0 +1,15 @@
+// Package errs holds the error sentinels shared by the public SDK
+// packages. orthrus and orthrus/scenariodsl both re-export
+// ErrInvalidConfig; defining the value here lets scenariodsl type its
+// parse errors with the same sentinel the orthrus package wraps its
+// validation failures in, without a dependency cycle between the two
+// public packages.
+package errs
+
+import "errors"
+
+// ErrInvalidConfig is the sentinel every configuration or scenario
+// validation failure wraps; match with errors.Is. The public packages
+// alias it as orthrus.ErrInvalidConfig and scenariodsl.ErrInvalidConfig —
+// one value, so either alias matches errors from both packages.
+var ErrInvalidConfig = errors.New("orthrus: invalid configuration")

@@ -58,6 +58,8 @@ func figureTitle(id string) string {
 		return "Fig 8: undetectable faults (WAN n=16)"
 	case "S1":
 		return "Fig S1: scenario suite — dynamic faults, partitions and load (WAN n=10)"
+	case "F-scale":
+		return "Fig F-scale: scale sweep — throughput, latency and messages per commit over n=4..100 (WAN)"
 	}
 	return ""
 }
@@ -177,6 +179,42 @@ func s1Spec(scale float64, names []string) figureSpec {
 	}
 }
 
+// fscaleSpec is the scale-sweep figure: every protocol of the S1 panel
+// over the F-scale replica-count axis, one table per protocol, each row
+// reporting throughput, latency and messages per client-visible commit.
+func fscaleSpec(scale float64) figureSpec {
+	title := figureTitle("F-scale")
+	counts := scaleReplicaCounts(scale)
+	modes := scaleProtocols()
+	var jobs []runner.Job
+	for _, mode := range modes {
+		for _, n := range counts {
+			jobs = append(jobs, scaleJob(mode, n, scale))
+		}
+	}
+	return figureSpec{
+		id: "F-scale", title: title, jobs: jobs,
+		assemble: func(res []*cluster.Result) FigureResult {
+			out := FigureResult{Figure: "F-scale", Title: title}
+			for pi, mode := range modes {
+				rows := make([]Row, len(counts))
+				for i, r := range res[pi*len(counts) : (pi+1)*len(counts)] {
+					row := toRow(r, 0)
+					if r.Confirmed > 0 {
+						row.MsgsPerCommit = float64(r.Messages) / float64(r.Confirmed)
+					}
+					rows[i] = row
+				}
+				out.Tables = append(out.Tables, Table{
+					Title: fmt.Sprintf("Fig F-scale: %s vs cluster size", mode.Name),
+					Rows:  rows,
+				})
+			}
+			return out
+		},
+	}
+}
+
 func figureSpecs(scale float64, scenarios []string) []figureSpec {
 	return []figureSpec{
 		fig1bSpec(scale),
@@ -187,11 +225,12 @@ func figureSpecs(scale float64, scenarios []string) []figureSpec {
 		fig7Spec(scale),
 		fig8Spec(scale),
 		s1Spec(scale, scenarios),
+		fscaleSpec(scale),
 	}
 }
 
 // FigureIDs returns the supported figure identifiers in render order.
-func FigureIDs() []string { return []string{"1b", "3", "4", "5", "6", "7", "8", "S1"} }
+func FigureIDs() []string { return []string{"1b", "3", "4", "5", "6", "7", "8", "S1", "F-scale"} }
 
 // FigureInfo names one supported figure for listings (orthrus-bench -list).
 type FigureInfo struct {

@@ -12,11 +12,26 @@ import (
 // bytes exactly (the determinism regression test asserts this).
 
 func printRows(w io.Writer, title string, rows []Row) {
-	fmt.Fprintf(w, "\n== %s ==\n", title)
-	fmt.Fprintf(w, "%-8s %5s %10s %12s %10s %10s\n", "proto", "n", "straggler", "tput(ktps)", "lat(s)", "p99(s)")
+	withMsgs := false
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %5d %10d %12.1f %10.2f %10.2f\n",
+		if r.MsgsPerCommit > 0 {
+			withMsgs = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	fmt.Fprintf(w, "%-8s %5s %10s %12s %10s %10s", "proto", "n", "straggler", "tput(ktps)", "lat(s)", "p99(s)")
+	if withMsgs {
+		fmt.Fprintf(w, " %12s", "msgs/commit")
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %5d %10d %12.1f %10.2f %10.2f",
 			r.Protocol, r.N, r.Stragglers, r.TputKTPS, r.LatencyS, r.P99S)
+		if withMsgs {
+			fmt.Fprintf(w, " %12.1f", r.MsgsPerCommit)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

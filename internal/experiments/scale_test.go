@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// TestScaleSerialMatchesParallel is the F-scale determinism regression:
+// the figure's JSON artifact must be byte-identical whether its job grid
+// runs serially or through the full worker pool, and race-clean under
+// -race (CI runs this in the -short -race job). The scale caps n in
+// -short mode: 0.05 trims the replica axis to {4, 10} message-level
+// cells; the full run adds the n=25 cell.
+func TestScaleSerialMatchesParallel(t *testing.T) {
+	scale := 0.3
+	if testing.Short() {
+		scale = 0.05
+	}
+	serial, err := Run([]string{"F-scale"}, runner.Options{Workers: 1}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run([]string{"F-scale"}, runner.Options{Workers: 8}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.MarshalIndent(serial, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.MarshalIndent(parallel, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sj) != string(pj) {
+		t.Fatalf("F-scale artifact diverged between serial and parallel runs:\n%s\nvs\n%s", sj, pj)
+	}
+	// Sanity on the artifact's content: every (protocol, n) cell reports
+	// throughput and a positive messages-per-commit.
+	if len(serial) != 1 || len(serial[0].Tables) != 3 {
+		t.Fatalf("unexpected F-scale shape: %+v", serial)
+	}
+	for _, table := range serial[0].Tables {
+		for _, row := range table.Rows {
+			if row.TputKTPS <= 0 {
+				t.Fatalf("cell %s/n=%d has zero throughput", row.Protocol, row.N)
+			}
+			if row.MsgsPerCommit <= 0 {
+				t.Fatalf("cell %s/n=%d missing msgs/commit", row.Protocol, row.N)
+			}
+		}
+	}
+}

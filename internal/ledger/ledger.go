@@ -23,6 +23,12 @@ type Store struct {
 	// elog: escrow requests keyed by transaction, each holding the ops that
 	// were applied and must be undone on abort (Algorithm 2's (o, tx) pairs).
 	elog map[types.TxID][]types.Op
+	// opsFree pools the elog's op slices: commit/abort return a slice here
+	// and the next escrow reuses it, so the steady-state escrow cycle
+	// allocates nothing. A pooled slice must not be observed through
+	// EscrowedOps after its entry commits or aborts (the performance-model
+	// ownership rule; stores are single-threaded).
+	opsFree [][]types.Op
 }
 
 // NewStore creates an empty store.
@@ -84,7 +90,17 @@ func (s *Store) Escrow(op types.Op, id types.TxID) bool {
 		return false
 	}
 	s.owned[op.Key] = value
-	s.elog[id] = append(s.elog[id], op)
+	ops, ok := s.elog[id]
+	if !ok {
+		if n := len(s.opsFree); n > 0 {
+			ops = s.opsFree[n-1][:0]
+			s.opsFree[n-1] = nil
+			s.opsFree = s.opsFree[:n-1]
+		} else {
+			ops = make([]types.Op, 0, 2)
+		}
+	}
+	s.elog[id] = append(ops, op)
 	return true
 }
 
@@ -114,15 +130,23 @@ func (s *Store) AllEscrowed(tx *types.Transaction) bool {
 // escrow entries (Algorithm 2, function commitEscrow). The balances were
 // already decremented at escrow time.
 func (s *Store) CommitEscrow(id types.TxID) {
-	delete(s.elog, id)
+	if ops, ok := s.elog[id]; ok {
+		s.opsFree = append(s.opsFree, ops)
+		delete(s.elog, id)
+	}
 }
 
 // AbortEscrow undoes and removes all escrow requests of tx (Algorithm 2,
 // function abortEscrow): the reserved amounts return to their accounts.
 func (s *Store) AbortEscrow(id types.TxID) {
-	for _, op := range s.elog[id] {
+	ops, ok := s.elog[id]
+	if !ok {
+		return
+	}
+	for _, op := range ops {
 		s.owned[op.Key] += op.Amount // undo the decrement
 	}
+	s.opsFree = append(s.opsFree, ops)
 	delete(s.elog, id)
 }
 

@@ -89,6 +89,24 @@ func NewTimeSeries(bin time.Duration) *TimeSeries {
 	return &TimeSeries{Bin: bin}
 }
 
+// Reserve preallocates capacity for at least n bins, so a run of known
+// length fills its series without reallocating the three parallel slices.
+// It never shrinks and does not change Bins().
+func (ts *TimeSeries) Reserve(n int) {
+	if cap(ts.counts) >= n {
+		return
+	}
+	counts := make([]int, len(ts.counts), n)
+	copy(counts, ts.counts)
+	ts.counts = counts
+	latSums := make([]time.Duration, len(ts.latSums), n)
+	copy(latSums, ts.latSums)
+	ts.latSums = latSums
+	latCounts := make([]int, len(ts.latCounts), n)
+	copy(latCounts, ts.latCounts)
+	ts.latCounts = latCounts
+}
+
 func (ts *TimeSeries) grow(idx int) {
 	for len(ts.counts) <= idx {
 		ts.counts = append(ts.counts, 0)

@@ -30,24 +30,40 @@ func Assign(key types.Key, m int) int {
 // BucketsOf returns the distinct bucket indices a transaction belongs to:
 // one per payer (owned object with a decremental operation), ascending.
 func BucketsOf(tx *types.Transaction, m int) []int {
-	seen := make(map[int]bool, 2)
-	var out []int
+	return AppendBucketsOf(nil, tx, m)
+}
+
+// AppendBucketsOf appends the distinct bucket indices of tx's payers onto
+// dst, ascending, and returns the extended slice. It allocates nothing
+// when dst has room — the replica hot path routes every transaction
+// through a reusable scratch buffer. Deduplication is a linear scan over
+// the appended region: transactions have a handful of payers at most.
+func AppendBucketsOf(dst []int, tx *types.Transaction, m int) []int {
+	start := len(dst)
 	for _, op := range tx.Ops {
-		if op.IsPayerOp() {
-			b := Assign(op.Key, m)
-			if !seen[b] {
-				seen[b] = true
-				out = append(out, b)
+		if !op.IsPayerOp() {
+			continue
+		}
+		b := Assign(op.Key, m)
+		dup := false
+		for _, x := range dst[start:] {
+			if x == b {
+				dup = true
+				break
 			}
+		}
+		if !dup {
+			dst = append(dst, b)
 		}
 	}
 	// Keep deterministic ascending order for reproducibility.
+	out := dst[start:]
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] < out[j-1]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	return out
+	return dst
 }
 
 // Bucket is a FIFO of pending transactions for one instance, deduplicated

@@ -50,17 +50,69 @@ func (c Config) LeaderOf(view uint64) int {
 	return (c.Instance + int(view)) % c.N
 }
 
-// Quorum returns the commit quorum size, 2f+1.
-func (c Config) Quorum() int { return 2*c.F + 1 }
+// Quorum returns the prepare/commit quorum size ceil((n+f+1)/2): the
+// smallest count whose pairwise intersections always contain more than f
+// replicas, i.e. at least one honest one. For the paper's n = 3f+1 sizes
+// this is the familiar 2f+1; for other cluster sizes (the F-scale axis
+// includes n = 128 with f = 42) the fixed 2f+1 would let two quorums
+// intersect in faulty replicas only.
+func (c Config) Quorum() int { return (c.N + c.F + 2) / 2 }
 
-// slot tracks agreement state for one sequence number.
+// voteSet records per-replica digest votes for one phase of one slot. It
+// is a fixed slice indexed by replica id plus a presence vector — cheaper
+// than a map and fully reusable when its slot returns to the engine's
+// pool.
+type voteSet struct {
+	digests []types.BlockID
+	present []bool
+}
+
+func (v *voteSet) init(n int) {
+	if cap(v.digests) < n {
+		v.digests = make([]types.BlockID, n)
+		v.present = make([]bool, n)
+		return
+	}
+	v.digests = v.digests[:n]
+	v.present = v.present[:n]
+	for i := range v.present {
+		v.present[i] = false
+	}
+}
+
+// add records replica's vote; it reports false for duplicates.
+func (v *voteSet) add(replica int, d types.BlockID) bool {
+	if v.present[replica] {
+		return false
+	}
+	v.present[replica] = true
+	v.digests[replica] = d
+	return true
+}
+
+// countMatching returns the number of recorded votes for digest.
+func (v *voteSet) countMatching(digest types.BlockID) int {
+	n := 0
+	for i, ok := range v.present {
+		if ok && v.digests[i] == digest {
+			n++
+		}
+	}
+	return n
+}
+
+// slot tracks agreement state for one sequence number. Slots are pooled on
+// the engine: tryDeliver and view installation release them, and slotFor
+// reuses a released slot (vote slices included) for the next sequence
+// number — the ownership rule the property tests and ARCHITECTURE.md's
+// performance model document.
 type slot struct {
 	view      uint64
 	block     *types.Block
 	digest    types.BlockID
 	hasBlock  bool
-	prepares  map[int]types.BlockID
-	commits   map[int]types.BlockID
+	prepares  voteSet
+	commits   voteSet
 	prepared  bool
 	committed bool
 	// Highest view in which this replica held a prepared certificate, and
@@ -69,12 +121,32 @@ type slot struct {
 	preparedBlock *types.Block
 }
 
-func newSlot(view uint64) *slot {
-	return &slot{
-		view:     view,
-		prepares: make(map[int]types.BlockID),
-		commits:  make(map[int]types.BlockID),
+// newSlot takes a slot from the pool (or allocates one) and resets it for
+// the given view.
+func (e *Engine) newSlot(view uint64) *slot {
+	var s *slot
+	if n := len(e.slotPool); n > 0 {
+		s = e.slotPool[n-1]
+		e.slotPool[n-1] = nil
+		e.slotPool = e.slotPool[:n-1]
+		prepares, commits := s.prepares, s.commits
+		*s = slot{prepares: prepares, commits: commits}
+	} else {
+		s = &slot{}
 	}
+	s.view = view
+	s.prepares.init(e.cfg.N)
+	s.commits.init(e.cfg.N)
+	return s
+}
+
+// freeSlot returns a slot to the pool. The caller must have removed it
+// from e.slots; its block references are dropped here so the pool keeps no
+// dead blocks alive.
+func (e *Engine) freeSlot(s *slot) {
+	s.block = nil
+	s.preparedBlock = nil
+	e.slotPool = append(e.slotPool, s)
 }
 
 // Engine is one PBFT instance at one replica.
@@ -89,13 +161,24 @@ type Engine struct {
 	vcVotes      map[uint64]map[int]*ViewChange
 
 	slots       map[uint64]*slot
-	nextDeliver uint64 // next sequence number to deliver
-	nextPropose uint64 // next sequence number this replica would propose
-	target      uint64 // deliveries expected (progress obligation); 0 = idle
+	slotPool    []*slot // released slots awaiting reuse
+	nextDeliver uint64  // next sequence number to deliver
+	nextPropose uint64  // next sequence number this replica would propose
+	target      uint64  // deliveries expected (progress obligation); 0 = idle
 
-	timeoutMult   time.Duration
-	progressTimer *simnet.Timer
-	vcTimer       *simnet.Timer
+	timeoutMult time.Duration
+	// The progress failure detector is event-thrifty: a wakeup event
+	// chases the moving deadline instead of one cancelled-and-reallocated
+	// timer per delivery. progressDeadline is the virtual time the
+	// detector fires (0 = disarmed); progressWakeAt is the earliest known
+	// in-flight wakeup (0 = none). A wakeup that lands before the current
+	// deadline re-arms; when the deadline moves *earlier* than every
+	// in-flight wakeup (a view change shrank the timeout), an extra wakeup
+	// is scheduled so detection is never late — stale later wakeups fire
+	// as no-ops.
+	progressDeadline simnet.Time
+	progressWakeAt   simnet.Time
+	vcTimer          *simnet.Timer
 
 	delivered uint64 // count of delivered blocks
 	stopped   bool
@@ -158,10 +241,7 @@ func (e *Engine) CanPropose() bool {
 // Resume cannot replay a pre-crash timeout.
 func (e *Engine) Stop() {
 	e.stopped = true
-	if e.progressTimer != nil {
-		e.progressTimer.Stop()
-		e.progressTimer = nil
-	}
+	e.progressDeadline = 0
 	if e.vcTimer != nil {
 		e.vcTimer.Stop()
 		e.vcTimer = nil
@@ -235,7 +315,7 @@ func (e *Engine) Handle(from int, msg Message) {
 func (e *Engine) slotFor(seq uint64) *slot {
 	s, ok := e.slots[seq]
 	if !ok {
-		s = newSlot(e.view)
+		s = e.newSlot(e.view)
 		e.slots[seq] = s
 	}
 	return s
@@ -277,10 +357,9 @@ func (e *Engine) onPrepare(m *Prepare) {
 	if s.view != m.View {
 		return
 	}
-	if _, dup := s.prepares[m.Replica]; dup {
+	if !s.prepares.add(m.Replica, m.Digest) {
 		return
 	}
-	s.prepares[m.Replica] = m.Digest
 	e.advance(m.Seq)
 }
 
@@ -292,10 +371,9 @@ func (e *Engine) onCommit(m *Commit) {
 	if s.view != m.View {
 		return
 	}
-	if _, dup := s.commits[m.Replica]; dup {
+	if !s.commits.add(m.Replica, m.Digest) {
 		return
 	}
-	s.commits[m.Replica] = m.Digest
 	e.advance(m.Seq)
 }
 
@@ -309,7 +387,7 @@ func (e *Engine) advance(seq uint64) {
 		// Prepared: pre-prepare + 2f matching prepares (the leader's own
 		// prepare counts as one of the 2f+1 total votes here since every
 		// replica broadcasts a prepare on accepting the proposal).
-		if countMatching(s.prepares, s.digest) >= e.cfg.Quorum() {
+		if s.prepares.countMatching(s.digest) >= e.cfg.Quorum() {
 			s.prepared = true
 			s.preparedView = s.view
 			s.preparedBlock = s.block
@@ -320,21 +398,11 @@ func (e *Engine) advance(seq uint64) {
 		}
 	}
 	if s.prepared && !s.committed {
-		if countMatching(s.commits, s.digest) >= e.cfg.Quorum() {
+		if s.commits.countMatching(s.digest) >= e.cfg.Quorum() {
 			s.committed = true
 		}
 	}
 	e.tryDeliver()
-}
-
-func countMatching(votes map[int]types.BlockID, digest types.BlockID) int {
-	n := 0
-	for _, d := range votes {
-		if d == digest {
-			n++
-		}
-	}
-	return n
 }
 
 // tryDeliver delivers committed slots in sequence order.
@@ -346,6 +414,7 @@ func (e *Engine) tryDeliver() {
 		}
 		b := s.block
 		delete(e.slots, e.nextDeliver)
+		e.freeSlot(s)
 		e.nextDeliver++
 		e.delivered++
 		if e.nextPropose < e.nextDeliver {
@@ -361,21 +430,48 @@ func (e *Engine) tryDeliver() {
 
 // --- failure detection & view change ---
 
+// resetProgressTimer re-arms the failure detector: the deadline moves to
+// now + timeout, and a single in-flight wakeup event chases it. Moving the
+// deadline costs nothing — a wakeup that fires early simply re-schedules
+// itself at the current deadline — so a delivery-heavy run schedules one
+// event per timeout interval per engine, not one per delivery.
 func (e *Engine) resetProgressTimer() {
-	if e.progressTimer != nil {
-		e.progressTimer.Stop()
-		e.progressTimer = nil
-	}
 	if e.stopped || e.viewChanging || e.nextDeliver >= e.target {
+		e.progressDeadline = 0
 		return
 	}
-	d := e.cfg.Timeout * e.timeoutMult
-	e.progressTimer = e.sim.AfterTimer(d, func() {
-		if e.stopped || e.viewChanging || e.nextDeliver >= e.target {
-			return
-		}
-		e.startViewChange(e.view + 1)
-	})
+	e.progressDeadline = e.sim.Now() + simnet.Time(e.cfg.Timeout*e.timeoutMult)
+	e.armProgressWakeup()
+}
+
+// armProgressWakeup guarantees an in-flight wakeup no later than the
+// current deadline.
+func (e *Engine) armProgressWakeup() {
+	if e.progressDeadline == 0 {
+		return
+	}
+	if e.progressWakeAt != 0 && e.progressWakeAt <= e.progressDeadline {
+		return // an in-flight wakeup already covers the deadline
+	}
+	e.progressWakeAt = e.progressDeadline
+	e.sim.CallAt(e.progressDeadline, progressFire, e, nil)
+}
+
+// progressFire is the detector's wakeup callback (top-level so CallAt
+// schedules it without a closure allocation).
+func progressFire(a, _ any) {
+	e := a.(*Engine)
+	if e.progressWakeAt == e.sim.Now() {
+		e.progressWakeAt = 0 // this was the covering wakeup
+	}
+	if e.progressDeadline == 0 || e.stopped || e.viewChanging || e.nextDeliver >= e.target {
+		return
+	}
+	if e.sim.Now() < e.progressDeadline {
+		e.armProgressWakeup() // deadline moved forward; chase it
+		return
+	}
+	e.startViewChange(e.view + 1)
 }
 
 // startViewChange broadcasts a view-change vote for newView.
@@ -385,10 +481,7 @@ func (e *Engine) startViewChange(newView uint64) {
 	}
 	e.viewChanging = true
 	e.vcTarget = newView
-	if e.progressTimer != nil {
-		e.progressTimer.Stop()
-		e.progressTimer = nil
-	}
+	e.progressDeadline = 0
 	var prepared []PreparedEntry
 	for seq, s := range e.slots {
 		if seq >= e.nextDeliver && s.preparedBlock != nil {
@@ -507,12 +600,15 @@ func (e *Engine) onNewView(from int, m *NewView) {
 	for seq := range e.slots {
 		if seq >= e.nextDeliver {
 			// Preserve the local prepared certificate (safety across views)
-			// while resetting vote state for the new view.
-			old := e.slots[seq]
-			s := newSlot(m.View)
-			s.preparedView = old.preparedView
-			s.preparedBlock = old.preparedBlock
-			e.slots[seq] = s
+			// while resetting vote state for the new view. The old slot is
+			// reset in place rather than pooled-and-replaced: nothing else
+			// holds a reference to it.
+			s := e.slots[seq]
+			pv, pb := s.preparedView, s.preparedBlock
+			prepares, commits := s.prepares, s.commits
+			*s = slot{prepares: prepares, commits: commits, view: m.View, preparedView: pv, preparedBlock: pb}
+			s.prepares.init(e.cfg.N)
+			s.commits.init(e.cfg.N)
 		}
 	}
 	// Clean up stale view-change votes.

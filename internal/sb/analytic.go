@@ -55,7 +55,28 @@ type Instance struct {
 	prepared  []simnet.Time
 	committed []simnet.Time
 	tmp       []simnet.Time
+
+	// quorumCache memoizes the per-replica commit-time offsets by block
+	// size: the closed form is a pure function of (blockSize, latency
+	// matrix, straggler out-scales), and a steady-state run proposes
+	// thousands of same-sized blocks (empty pulses above all). Hitting the
+	// cache turns a proposal from O(n^2 log n) into O(n) — the difference
+	// between minutes and seconds for the n = 100 F-scale cells. Entries
+	// snapshot the out-scale vector and are re-derived when it changes;
+	// the cache resets when it reaches quorumCacheMax distinct sizes.
+	quorumCache map[int]*quorumTimes
 }
+
+// quorumTimes is one memoized closed-form solution: per-replica commit
+// offsets from the proposal time, valid for the captured out-scales.
+type quorumTimes struct {
+	committedOff []simnet.Time
+	outScale     []float64
+}
+
+// quorumCacheMax bounds the number of distinct block sizes memoized per
+// instance (a few KB each at n = 128); beyond it the cache resets.
+const quorumCacheMax = 256
 
 // NewInstance creates the shared instance. The initial (and, in this
 // implementation, permanent) leader of instance i is replica i mod n.
@@ -99,17 +120,57 @@ func (inst *Instance) Port(id int, deliver func(*types.Block)) *Port {
 }
 
 // propose computes per-replica delivery times for a block proposed now and
-// schedules the delivery events.
+// schedules the delivery events. The closed form is memoized per block
+// size (see quorumCache).
 func (inst *Instance) propose(b *types.Block) {
-	n, f := inst.cfg.N, inst.cfg.F
-	quorum := 2*f + 1
-	t0 := inst.sim.Now()
+	n := inst.cfg.N
 	blockSize := inst.cfg.BlockOverhead + len(b.Txs)*inst.cfg.TxSize
 	ctrl := inst.cfg.CtrlSize
+	t0 := inst.sim.Now()
+	qt := inst.quorumTimesFor(blockSize)
+	// Schedule in-order deliveries (closure-free call events: n per block).
+	for j := 0; j < n; j++ {
+		at := t0 + qt.committedOff[j]
+		if at <= inst.lastDeliver[j] {
+			at = inst.lastDeliver[j] + 1
+		}
+		inst.lastDeliver[j] = at
+		inst.sim.CallAt(at, portDeliver, inst.ports[j], b)
+	}
+	// Fold the traffic the closed form replaced into the network's message
+	// statistics: one pre-prepare broadcast (n messages of the block) plus
+	// n prepare and n commit broadcasts (n^2 control messages each), the
+	// same counts the message-level engine would deliver fault-free.
+	un := uint64(n)
+	inst.nw.AddModeled(2*un*un+un, un*uint64(blockSize)+2*un*un*uint64(ctrl))
+}
 
-	// Pre-prepare dissemination from the leader.
+// quorumTimesFor returns the memoized commit-time offsets for a block of
+// the given wire size, recomputing when the size is new or any straggler
+// out-scale changed since the entry was derived.
+func (inst *Instance) quorumTimesFor(blockSize int) *quorumTimes {
+	n := inst.cfg.N
+	if qt, ok := inst.quorumCache[blockSize]; ok {
+		fresh := true
+		for i := 0; i < n; i++ {
+			if qt.outScale[i] != inst.nw.OutScale(i) {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			return qt
+		}
+	}
+	// Quorum ceil((n+f+1)/2), matching pbft.Config.Quorum: 2f+1 at the
+	// paper's n = 3f+1 sizes, strictly honest-intersecting elsewhere.
+	f := inst.cfg.F
+	quorum := (n + f + 2) / 2
+	ctrl := inst.cfg.CtrlSize
+	// Pre-prepare dissemination from the leader (offsets from propose
+	// time; BaseDelay is deterministic so offsets are time-invariant).
 	for i := 0; i < n; i++ {
-		inst.arrive[i] = t0 + simnet.Time(inst.nw.BaseDelay(inst.leader, i, blockSize))
+		inst.arrive[i] = simnet.Time(inst.nw.BaseDelay(inst.leader, i, blockSize))
 	}
 	// Prepared at j: pre-prepare arrived and a quorum of prepares arrived.
 	// Replica i broadcasts its prepare the moment the pre-prepare reaches
@@ -138,23 +199,29 @@ func (inst *Instance) propose(b *types.Block) {
 		}
 		inst.committed[j] = c
 	}
-	// Schedule in-order deliveries.
-	for j := 0; j < n; j++ {
-		j := j
-		at := inst.committed[j]
-		if at <= inst.lastDeliver[j] {
-			at = inst.lastDeliver[j] + 1
-		}
-		inst.lastDeliver[j] = at
-		port := inst.ports[j]
-		inst.sim.At(at, func() {
-			if port.stopped || port.deliver == nil {
-				return
-			}
-			port.delivered++
-			port.deliver(b)
-		})
+	qt := &quorumTimes{
+		committedOff: append([]simnet.Time(nil), inst.committed[:n]...),
+		outScale:     make([]float64, n),
 	}
+	for i := 0; i < n; i++ {
+		qt.outScale[i] = inst.nw.OutScale(i)
+	}
+	if inst.quorumCache == nil || len(inst.quorumCache) >= quorumCacheMax {
+		inst.quorumCache = make(map[int]*quorumTimes, 64)
+	}
+	inst.quorumCache[blockSize] = qt
+	return qt
+}
+
+// portDeliver lands one analytic delivery at a replica's port (top-level
+// so CallAt schedules it without a closure allocation).
+func portDeliver(a, b any) {
+	port := a.(*Port)
+	if port.stopped || port.deliver == nil {
+		return
+	}
+	port.delivered++
+	port.deliver(b.(*types.Block))
 }
 
 // Port is one replica's handle on an analytic SB instance; it implements

@@ -1,0 +1,213 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property tests for the pooled event scheduler. The pooling contract
+// (sim.go, ARCHITECTURE.md "Performance model"): an event is owned by the
+// queue from schedule until its callback returns, then by the free pool;
+// released events are zeroed; no event is ever in the queue and the pool
+// at once. Execution order is the total order (at, seq).
+
+// checkHeap verifies the binary-heap invariant over the live queue.
+func checkHeap(t *testing.T, q eventQueue) {
+	t.Helper()
+	for i := range q {
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(q) && q.Less(c, i) {
+				t.Fatalf("heap invariant violated at parent %d child %d: (%d,%d) > (%d,%d)",
+					i, c, q[i].at, q[i].seq, q[c].at, q[c].seq)
+			}
+		}
+	}
+}
+
+// eventZeroed reports whether a released event carries no stale state
+// (funcs are not comparable, so the struct is checked field by field).
+func eventZeroed(e *event) bool {
+	return e.at == 0 && e.seq == 0 && e.fn == nil && e.call == nil &&
+		e.argA == nil && e.argB == nil && e.nw == nil &&
+		e.from == 0 && e.to == 0 && e.size == 0 && e.msg == nil && e.timer == nil
+}
+
+// checkDisjoint verifies no event sits in both the queue and the pool,
+// and that pooled events are fully zeroed.
+func checkDisjoint(t *testing.T, s *Sim) {
+	t.Helper()
+	inQueue := make(map[*event]bool, len(s.queue))
+	for _, e := range s.queue {
+		inQueue[e] = true
+	}
+	for _, e := range s.pool {
+		if inQueue[e] {
+			t.Fatal("event present in both queue and free pool")
+		}
+		if !eventZeroed(e) {
+			t.Fatalf("released event not zeroed: %+v", *e)
+		}
+	}
+}
+
+// TestSchedulerTotalOrder drives random event loads — seeded sweeps over
+// mixed At/After/CallAt/AfterTimer scheduling, including events scheduled
+// from inside callbacks — and asserts every execution trace is totally
+// ordered by (at, seq), with seq reflecting scheduling order.
+func TestSchedulerTotalOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(seed)
+		type stamp struct {
+			at  Time
+			seq uint64
+		}
+		var trace []stamp
+		n := 50 + rng.Intn(200)
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			at := s.Now() + Time(rng.Intn(1000))
+			seq := s.seq + 1 // the stamp the scheduler will assign next
+			switch rng.Intn(4) {
+			case 0:
+				s.At(at, func() {
+					trace = append(trace, stamp{s.Now(), seq})
+					if depth < 3 && rng.Intn(2) == 0 {
+						schedule(depth + 1)
+					}
+				})
+			case 1:
+				s.After(Duration(rng.Intn(1000)), func() {
+					trace = append(trace, stamp{s.Now(), seq})
+				})
+			case 2:
+				s.CallAt(at, func(a, b any) {
+					trace = append(trace, stamp{s.Now(), seq})
+				}, nil, nil)
+			default:
+				tm := s.AfterTimer(Duration(rng.Intn(1000)), func() {
+					trace = append(trace, stamp{s.Now(), seq})
+				})
+				if rng.Intn(4) == 0 {
+					tm.Stop()
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			schedule(0)
+		}
+		for s.Step() {
+			checkHeap(t, s.queue)
+			checkDisjoint(t, s)
+		}
+		for i := 1; i < len(trace); i++ {
+			a, b := trace[i-1], trace[i]
+			if a.at > b.at || (a.at == b.at && a.seq >= b.seq) {
+				t.Fatalf("seed %d: execution order violated (at,seq): (%d,%d) before (%d,%d)",
+					seed, a.at, a.seq, b.at, b.seq)
+			}
+		}
+	}
+}
+
+// TestHeapInvariantAfterHalt halts mid-run from a random event and checks
+// the remaining queue is still a valid heap disjoint from the pool, and
+// that stepping can resume without corrupting either.
+func TestHeapInvariantAfterHalt(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		s := New(seed)
+		n := 100 + rng.Intn(200)
+		haltAt := rng.Intn(n)
+		for i := 0; i < n; i++ {
+			i := i
+			s.After(Duration(rng.Intn(500)), func() {
+				if i == haltAt {
+					s.Halt()
+				}
+			})
+		}
+		s.RunAll(0)
+		if !s.Halted() {
+			t.Fatalf("seed %d: Halt not observed", seed)
+		}
+		checkHeap(t, s.queue)
+		checkDisjoint(t, s)
+		// The engine must remain stepable after Halt (Run/RunAll stop, the
+		// raw queue does not corrupt).
+		for s.Step() {
+			checkHeap(t, s.queue)
+			checkDisjoint(t, s)
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("seed %d: %d events stuck after drain", seed, s.Pending())
+		}
+	}
+}
+
+// TestPooledEventsNeverObservedAfterRelease schedules network deliveries
+// and plain events, tracking the identity of every pooled event: after
+// each step, no live queue entry may alias a pool entry, and every pool
+// entry must be zeroed — a released event can never be observed with
+// stale fields. Uses testing/quick over the load shape.
+func TestPooledEventsNeverObservedAfterRelease(t *testing.T) {
+	f := func(seed int64, loadBits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(seed)
+		nw := NewNetwork(s, 4, FixedModel{D: time.Millisecond})
+		delivered := 0
+		for i := 0; i < 4; i++ {
+			nw.Register(i, func(from int, msg any) {
+				delivered++
+				if m, ok := msg.(int); ok && rng.Intn(4) == 0 {
+					nw.Send(0, m%4, 64, m+1)
+				}
+			})
+		}
+		load := 16 + int(loadBits)
+		for i := 0; i < load; i++ {
+			nw.Send(rng.Intn(4), rng.Intn(4), 128, i)
+			if rng.Intn(3) == 0 {
+				s.After(Duration(rng.Intn(100)), func() {})
+			}
+		}
+		for s.Step() {
+			inQueue := make(map[*event]bool, len(s.queue))
+			for _, e := range s.queue {
+				inQueue[e] = true
+			}
+			for _, e := range s.pool {
+				if inQueue[e] || !eventZeroed(e) {
+					return false
+				}
+			}
+		}
+		return delivered > 0 && s.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolReuseBounded pins the point of pooling: a long steady-state
+// send/step cycle reuses a bounded set of event objects instead of
+// allocating per message.
+func TestPoolReuseBounded(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, 2, FixedModel{D: time.Millisecond})
+	nw.Register(0, func(int, any) {})
+	nw.Register(1, func(int, any) {})
+	seen := make(map[*event]bool)
+	for round := 0; round < 1000; round++ {
+		nw.Send(0, 1, 64, round)
+		for _, e := range s.queue {
+			seen[e] = true
+		}
+		s.RunAll(0)
+	}
+	if len(seen) > 4 {
+		t.Fatalf("steady-state cycle touched %d distinct event objects; pooling broken", len(seen))
+	}
+}

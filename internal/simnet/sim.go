@@ -7,6 +7,15 @@
 // Determinism: events at equal virtual times are processed in scheduling
 // order (a monotone sequence number breaks ties), and all randomness flows
 // through a seeded generator, so every experiment is exactly reproducible.
+//
+// Allocation model: events are pooled. An executed event returns to a free
+// list the moment its callback finishes, and the next At/Send reuses it, so
+// a steady-state simulation allocates no event objects at all. Message
+// deliveries are encoded as event fields rather than closures for the same
+// reason. The pooling contract — an event is owned by the queue until its
+// callback returns and by the pool afterwards, and released events are
+// zeroed — is enforced by the property tests in property_test.go and
+// documented in ARCHITECTURE.md's performance model.
 package simnet
 
 import (
@@ -28,11 +37,34 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Seconds returns the time in seconds.
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
-// event is one scheduled callback.
+// event is one scheduled callback. Exactly one of the three callback forms
+// is set: fn (a plain closure), call (a closure-free function pointer with
+// two operands), or nw (a network delivery encoded as fields). Events are
+// pooled: Step releases an event back to the simulator's free list after
+// its callback returns, zeroing every field first.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+
+	fn func()
+
+	// Closure-free callback: call(argA, argB). Used for hot-path events
+	// (message deliveries to replicas, client submissions, timer wakeups)
+	// where a closure per event would dominate the allocation profile.
+	call       func(a, b any)
+	argA, argB any
+
+	// Network delivery: when nw is non-nil the event delivers msg from ->
+	// to through nw's handler table, re-checking liveness and link state at
+	// delivery time.
+	nw       *Network
+	from, to int
+	size     int
+	msg      any
+
+	// timer, when non-nil, gates the callback: a stopped timer turns the
+	// event into a no-op.
+	timer *Timer
 }
 
 // eventQueue is a min-heap over (at, seq).
@@ -61,6 +93,7 @@ type Sim struct {
 	now    Time
 	seq    uint64
 	queue  eventQueue
+	pool   []*event // free list of released events
 	rng    *rand.Rand
 	events uint64 // total events processed, for accounting
 	halted bool
@@ -83,17 +116,63 @@ func (s *Sim) EventsProcessed() uint64 { return s.events }
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return len(s.queue) }
 
-// At schedules fn at absolute virtual time t (clamped to now).
-func (s *Sim) At(t Time, fn func()) {
+// alloc takes an event from the pool (or allocates the pool's first use of
+// this slot). The returned event is zeroed except for pooling bookkeeping.
+func (s *Sim) alloc() *event {
+	if n := len(s.pool); n > 0 {
+		e := s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// release zeroes an executed event and returns it to the pool. Zeroing
+// drops references (msg payloads, closures) so the pool never keeps dead
+// objects alive, and makes use-after-release observable: a released event
+// that somehow re-entered the queue would order at (0, 0).
+func (s *Sim) release(e *event) {
+	*e = event{}
+	s.pool = append(s.pool, e)
+}
+
+// schedule stamps (at, seq) onto e and pushes it on the queue, clamping
+// past times to now.
+func (s *Sim) schedule(e *event, t Time) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	e.at, e.seq = t, s.seq
+	heap.Push(&s.queue, e)
+}
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	e := s.alloc()
+	e.fn = fn
+	s.schedule(e, t)
 }
 
 // After schedules fn d after the current time.
 func (s *Sim) After(d Duration, fn func()) { s.At(s.now+Time(d), fn) }
+
+// CallAt schedules fn(argA, argB) at absolute virtual time t (clamped to
+// now). Unlike At, a top-level fn plus pointer-shaped operands allocates
+// nothing: the operands ride in the pooled event. This is the hot-path
+// scheduling primitive — client submissions, analytic SB deliveries and
+// consensus timer wakeups use it.
+func (s *Sim) CallAt(t Time, fn func(a, b any), argA, argB any) {
+	e := s.alloc()
+	e.call, e.argA, e.argB = fn, argA, argB
+	s.schedule(e, t)
+}
+
+// CallAfter schedules fn(argA, argB) d after the current time.
+func (s *Sim) CallAfter(d Duration, fn func(a, b any), argA, argB any) {
+	s.CallAt(s.now+Time(d), fn, argA, argB)
+}
 
 // Timer is a cancellable scheduled callback.
 type Timer struct {
@@ -109,11 +188,10 @@ func (t *Timer) Stopped() bool { return t.stopped }
 // AfterTimer schedules fn after d and returns a handle that can cancel it.
 func (s *Sim) AfterTimer(d Duration, fn func()) *Timer {
 	t := &Timer{}
-	s.After(d, func() {
-		if !t.stopped {
-			fn()
-		}
-	})
+	e := s.alloc()
+	e.fn = fn
+	e.timer = t
+	s.schedule(e, s.now+Time(d))
 	return t
 }
 
@@ -125,8 +203,28 @@ func (s *Sim) Step() bool {
 	e := heap.Pop(&s.queue).(*event)
 	s.now = e.at
 	s.events++
-	e.fn()
+	s.dispatch(e)
+	s.release(e)
 	return true
+}
+
+// dispatch runs an event's callback. The event is still owned by the
+// caller (Step), which releases it afterwards; callbacks never see the
+// event itself, so they cannot retain it past release.
+func (s *Sim) dispatch(e *event) {
+	if e.timer != nil && e.timer.stopped {
+		return
+	}
+	switch {
+	case e.nw != nil:
+		e.nw.deliver(e.from, e.to, e.size, e.msg)
+	case e.call != nil:
+		e.call(e.argA, e.argB)
+	default:
+		if e.fn != nil {
+			e.fn()
+		}
+	}
 }
 
 // Halt stops the engine: Run and RunAll return after the event that called
@@ -176,11 +274,13 @@ type Network struct {
 	outScale []float64
 	// down marks crashed nodes: they neither send nor receive.
 	down []bool
-	// blocked, when non-nil, marks unidirectional link cuts: blocked[a][b]
-	// is checked both at send and at delivery time, so a message already in
-	// flight when a cut happens is lost unless the link is restored before
-	// its delivery time. Allocated lazily by the partition/link hooks.
-	blocked [][]bool
+	// blocked, when non-nil, marks unidirectional link cuts as one flat
+	// n*n row-major matrix (blocked[from*n+to]): it is checked both at send
+	// and at delivery time, so a message already in flight when a cut
+	// happens is lost unless the link is restored before its delivery
+	// time. The whole matrix is one allocation, made lazily by the first
+	// cut and reused for the rest of the run.
+	blocked []bool
 	// dropRate is the probability a message is lost (0 by default; GST
 	// behavior is modeled as dropRate 0).
 	dropRate float64
@@ -259,17 +359,14 @@ func (nw *Network) SetLinkBlocked(from, to int, blocked bool) {
 		if !blocked {
 			return
 		}
-		nw.blocked = make([][]bool, len(nw.handlers))
-		for i := range nw.blocked {
-			nw.blocked[i] = make([]bool, len(nw.handlers))
-		}
+		nw.blocked = make([]bool, len(nw.handlers)*len(nw.handlers))
 	}
-	nw.blocked[from][to] = blocked
+	nw.blocked[from*len(nw.handlers)+to] = blocked
 }
 
 // LinkBlocked reports whether traffic from -> to is currently cut.
 func (nw *Network) LinkBlocked(from, to int) bool {
-	return nw.blocked != nil && nw.blocked[from][to]
+	return nw.blocked != nil && nw.blocked[from*len(nw.handlers)+to]
 }
 
 // Partition splits the network into the given groups: every link between
@@ -295,14 +392,29 @@ func (nw *Network) Partition(groups ...[]int) {
 	}
 }
 
-// Heal restores every cut link (undoes Partition and SetLinkBlocked).
-func (nw *Network) Heal() { nw.blocked = nil }
+// Heal restores every cut link (undoes Partition and SetLinkBlocked). The
+// cut matrix is cleared in place, keeping its one allocation for the next
+// partition of the run.
+func (nw *Network) Heal() {
+	for i := range nw.blocked {
+		nw.blocked[i] = false
+	}
+}
 
 // Messages returns the count of messages delivered.
 func (nw *Network) Messages() uint64 { return nw.msgs }
 
 // Bytes returns the total payload bytes delivered.
 func (nw *Network) Bytes() uint64 { return nw.bytes }
+
+// AddModeled folds messages that a closed-form layer models without
+// simulating (the analytic SB's pre-prepare/prepare/commit traffic) into
+// the delivery statistics, so Messages and Bytes stay comparable between
+// message-level and analytic runs.
+func (nw *Network) AddModeled(msgs, bytes uint64) {
+	nw.msgs += msgs
+	nw.bytes += bytes
+}
 
 // SetNICBps enables the shared-NIC model with the given per-node bandwidth
 // in bits per second (0 disables it). When enabled, the latency model
@@ -339,7 +451,9 @@ func (nw *Network) serTime(size int) Time {
 // Send delivers msg of the given size from -> to after the modeled delay.
 // With the NIC model enabled, the message first queues on the sender's
 // egress link, propagates, then queues on the receiver's ingress link.
-// Self-sends are delivered with the model's local delay.
+// Self-sends are delivered with the model's local delay. The delivery is
+// scheduled as a pooled field-encoded event, not a closure: one Send
+// allocates nothing once the simulator's event pool is warm.
 func (nw *Network) Send(from, to, size int, msg any) {
 	if nw.down[from] || nw.down[to] || nw.LinkBlocked(from, to) {
 		return
@@ -367,14 +481,20 @@ func (nw *Network) Send(from, to, size int, msg any) {
 	} else {
 		deliverAt = nw.sim.now + Time(prop)
 	}
-	nw.sim.At(deliverAt, func() {
-		if nw.down[to] || nw.LinkBlocked(from, to) || nw.handlers[to] == nil {
-			return
-		}
-		nw.msgs++
-		nw.bytes += uint64(size)
-		nw.handlers[to](from, msg)
-	})
+	e := nw.sim.alloc()
+	e.nw, e.from, e.to, e.size, e.msg = nw, from, to, size, msg
+	nw.sim.schedule(e, deliverAt)
+}
+
+// deliver lands a message at its destination, re-checking liveness and
+// link state at delivery time (Step dispatches queued deliveries here).
+func (nw *Network) deliver(from, to, size int, msg any) {
+	if nw.down[to] || nw.LinkBlocked(from, to) || nw.handlers[to] == nil {
+		return
+	}
+	nw.msgs++
+	nw.bytes += uint64(size)
+	nw.handlers[to](from, msg)
 }
 
 // Broadcast sends msg from -> every node including the sender itself

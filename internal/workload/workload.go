@@ -11,6 +11,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/ledger"
 	"repro/internal/types"
@@ -92,10 +93,30 @@ func New(cfg Config) *Generator {
 func (g *Generator) Config() Config { return g.cfg }
 
 // Account returns the key of account i.
-func Account(i int) types.Key { return types.Key(fmt.Sprintf("acct-%06d", i)) }
+func Account(i int) types.Key { return paddedKey("acct-", i, 6) }
 
 // Record returns the key of shared record i.
-func Record(i int) types.Key { return types.Key(fmt.Sprintf("record-%04d", i)) }
+func Record(i int) types.Key { return paddedKey("record-", i, 4) }
+
+// paddedKey renders prefix + zero-padded decimal i (width digits minimum)
+// without fmt — key construction sits on the workload generator's hot
+// path, and Sprintf costs several allocations per call.
+func paddedKey(prefix string, i, width int) types.Key {
+	if i < 0 { // negative indices never occur; fall back for safety
+		return types.Key(fmt.Sprintf("%s%0*d", prefix, width, i))
+	}
+	buf := make([]byte, 0, len(prefix)+width+20)
+	buf = append(buf, prefix...)
+	start := len(buf)
+	buf = strconv.AppendInt(buf, int64(i), 10)
+	if pad := width - (len(buf) - start); pad > 0 {
+		const zeros = "00000000000000000000"
+		buf = append(buf, zeros[:pad]...)
+		copy(buf[start+pad:], buf[start:]) // shift digits right (overlap-safe)
+		copy(buf[start:], zeros[:pad])
+	}
+	return types.Key(buf)
+}
 
 // Genesis returns the ledger initializer matching the generator's accounts.
 func (g *Generator) Genesis() func(st *ledger.Store) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/errs"
 	"repro/internal/registry"
 	"repro/internal/simnet"
 	"repro/internal/types"
@@ -33,14 +34,20 @@ func (n Net) String() string {
 	return "WAN"
 }
 
+// MaxReplicas is the largest supported cluster size: the paper's largest
+// evaluated configuration (n = 128, m = n instances) and the bound the
+// consensus engines' vote tracking and the F-scale sweep are validated
+// to. Validate rejects larger values.
+const MaxReplicas = 128
+
 // Config describes one run. Build it with NewConfig and functional
 // options, or fill the fields directly; zero tuning knobs (durations,
 // batch sizes, timeouts) take the engine defaults documented on each
 // field. Validate reports every problem as a typed error before anything
 // executes — the SDK never panics on a bad configuration.
 type Config struct {
-	// Replicas is the cluster size n (the system runs m = n instances).
-	// Default 16.
+	// Replicas is the cluster size n (the system runs m = n instances), at
+	// most MaxReplicas. Default 16.
 	Replicas int
 	// Protocol names a registered protocol (see Protocols). Default
 	// "Orthrus".
@@ -151,8 +158,17 @@ func NewConfig(opts ...Option) Config {
 	return c
 }
 
-// WithReplicas sets the cluster size n.
+// WithReplicas sets the cluster size n, in [1, MaxReplicas] (checked by
+// Validate).
 func WithReplicas(n int) Option { return func(c *Config) { c.Replicas = n } }
+
+// WithClusterSize is WithReplicas under its deployment-facing name: it
+// sets the cluster size n (and thereby m = n SB instances), in
+// [1, MaxReplicas]. Validate reports out-of-range sizes as ErrInvalidConfig
+// before anything runs; quorum math for every registered protocol is
+// validated across this whole range — f = (n-1)/3 with commit quorum
+// ceil((n+f+1)/2), the classic 2f+1 at the paper's n = 3f+1 sizes.
+func WithClusterSize(n int) Option { return WithReplicas(n) }
 
 // WithProtocol selects a registered protocol by name (see Protocols).
 func WithProtocol(name string) Option { return func(c *Config) { c.Protocol = name } }
@@ -291,8 +307,10 @@ func WithTrace(r io.Reader, balance int64) Option {
 // ErrInvalidConfig is the sentinel every Validate failure wraps; match
 // with errors.Is. Individual problems are *ValidationError values
 // (errors.As) and protocol lookup failures additionally wrap
-// ErrUnknownProtocol.
-var ErrInvalidConfig = errors.New("orthrus: invalid configuration")
+// ErrUnknownProtocol. It is the same value as
+// scenariodsl.ErrInvalidConfig, so one errors.Is check covers
+// configuration and scenario-DSL failures alike.
+var ErrInvalidConfig = errs.ErrInvalidConfig
 
 // ValidationError pinpoints one invalid Config field.
 type ValidationError struct {
@@ -317,6 +335,8 @@ func (c Config) Validate() error {
 	}
 	if c.Replicas < 1 {
 		bad("Replicas", "need at least 1 replica, got %d", c.Replicas)
+	} else if c.Replicas > MaxReplicas {
+		bad("Replicas", "%d replicas exceed the supported maximum %d", c.Replicas, MaxReplicas)
 	}
 	if c.Protocol == "" {
 		bad("Protocol", "must name a registered protocol (one of %v)", ProtocolNames())

@@ -1,0 +1,53 @@
+package scenariodsl
+
+import (
+	"errors"
+	"sort"
+	"testing"
+)
+
+// FuzzScenarioDSL drives Parse with arbitrary input: it must never panic,
+// every failure must wrap ErrInvalidConfig, and every success must yield
+// a time-sorted scenario whose events survive Validate (against several
+// cluster sizes) without panicking. The seed corpus lives under
+// testdata/fuzz/FuzzScenarioDSL alongside the f.Add seeds below.
+func FuzzScenarioDSL(f *testing.F) {
+	f.Add("3s crash 5 6\n6s recover 5 6\n")
+	f.Add("1s straggle x10 3\n4s load-surge x2.5\n")
+	f.Add("5s partition 0 1 2 | 3 4\n8s heal\n")
+	f.Add("# comment only\n\n")
+	f.Add("1s crash 1\n1s crash 1\n1s heal\n")
+	f.Add("999999h heal\n0s load-surge x100\n")
+	f.Add("1s partition 0|1|2|3\n")
+	f.Add("bogus line")
+	f.Add("1s crash -1")
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse("fuzz", src)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("Parse error %v does not wrap ErrInvalidConfig", err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("nil scenario without error")
+		}
+		if !sort.SliceIsSorted(s.Events, func(i, j int) bool {
+			return s.Events[i].At < s.Events[j].At
+		}) {
+			t.Fatalf("events not time-sorted: %v", s.Events)
+		}
+		for _, e := range s.Events {
+			if e.At < 0 {
+				t.Fatalf("negative event time survived parsing: %v", e)
+			}
+		}
+		// Validation against concrete cluster sizes must be a clean
+		// error or success, never a panic — including n smaller than the
+		// largest parsed node index.
+		for _, n := range []int{1, 4, 7, 128} {
+			_ = s.Validate(n)
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package scenariodsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/errs"
+)
+
+// ErrInvalidConfig is the sentinel every Parse failure wraps; match with
+// errors.Is. It is the same value as orthrus.ErrInvalidConfig, so one
+// check covers scenario-DSL and configuration failures alike.
+var ErrInvalidConfig = errs.ErrInvalidConfig
+
+// Parse builds a scenario from its compact text form: one event per line,
+//
+//	<time> <kind> <operands...>
+//
+// where <time> is a Go duration (e.g. 3s, 500ms) and <kind> one of:
+//
+//	3s   crash 5 6              # stop replicas 5 and 6
+//	6s   recover 5 6            # restart them
+//	1s   straggle x10 3         # slow replica 3 by 10x (x1 heals)
+//	4s   load-surge x2.5        # multiply the client load by 2.5
+//	5s   partition 0 1 2 | 3 4  # cut groups apart ('|' separates groups)
+//	8s   heal                   # remove every link cut
+//
+// Blank lines and '#' comments are ignored; events may appear in any
+// order (the scenario sorts by time). Parse checks syntax only — node
+// indices against a concrete cluster size are checked by the scenario's
+// Validate, which runs before anything executes. Every parse failure
+// wraps ErrInvalidConfig and pinpoints its line. The name names the
+// scenario in run labels, like New.
+func Parse(name, src string) (*Scenario, error) {
+	b := New(name)
+	for ln, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, lineErr(ln, "want <time> <kind> [operands], got %q", strings.TrimSpace(line))
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return nil, lineErr(ln, "bad event time %q: %v", fields[0], err)
+		}
+		if at < 0 {
+			return nil, lineErr(ln, "negative event time %q", fields[0])
+		}
+		kind, args := fields[1], fields[2:]
+		switch kind {
+		case "crash", "recover":
+			nodes, err := parseNodes(ln, kind, args)
+			if err != nil {
+				return nil, err
+			}
+			if kind == "crash" {
+				b.CrashAt(at, nodes...)
+			} else {
+				b.RecoverAt(at, nodes...)
+			}
+		case "straggle":
+			if len(args) == 0 {
+				return nil, lineErr(ln, "straggle wants x<scale> and nodes")
+			}
+			scale, err := parseScale(ln, "straggle", args[0])
+			if err != nil {
+				return nil, err
+			}
+			nodes, err := parseNodes(ln, "straggle", args[1:])
+			if err != nil {
+				return nil, err
+			}
+			b.StraggleAt(at, scale, nodes...)
+		case "load-surge":
+			if len(args) != 1 {
+				return nil, lineErr(ln, "load-surge wants exactly x<multiplier>")
+			}
+			mult, err := parseScale(ln, "load-surge", args[0])
+			if err != nil {
+				return nil, err
+			}
+			b.LoadSurgeAt(at, mult)
+		case "partition":
+			groups, err := parseGroups(ln, args)
+			if err != nil {
+				return nil, err
+			}
+			b.PartitionAt(at, groups...)
+		case "heal":
+			if len(args) != 0 {
+				return nil, lineErr(ln, "heal takes no operands, got %v", args)
+			}
+			b.HealAt(at)
+		default:
+			return nil, lineErr(ln, "unknown event kind %q (want crash, recover, straggle, load-surge, partition or heal)", kind)
+		}
+	}
+	return b.Build(), nil
+}
+
+// lineErr wraps a parse failure with its 1-based line number and the
+// ErrInvalidConfig sentinel.
+func lineErr(ln int, format string, args ...any) error {
+	return fmt.Errorf("%w: scenariodsl: line %d: %s", ErrInvalidConfig, ln+1, fmt.Sprintf(format, args...))
+}
+
+// parseNodes parses a non-empty list of non-negative replica indices.
+func parseNodes(ln int, kind string, args []string) ([]int, error) {
+	if len(args) == 0 {
+		return nil, lineErr(ln, "%s names no nodes", kind)
+	}
+	nodes := make([]int, len(args))
+	for i, a := range args {
+		id, err := strconv.Atoi(a)
+		if err != nil || id < 0 {
+			return nil, lineErr(ln, "%s: bad node index %q", kind, a)
+		}
+		nodes[i] = id
+	}
+	return nodes, nil
+}
+
+// parseScale parses an x-prefixed positive factor like x10 or x2.5.
+func parseScale(ln int, kind, arg string) (float64, error) {
+	num, ok := strings.CutPrefix(arg, "x")
+	if !ok {
+		return 0, lineErr(ln, "%s: want x<factor>, got %q", kind, arg)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v <= 0 {
+		return 0, lineErr(ln, "%s: bad factor %q", kind, arg)
+	}
+	return v, nil
+}
+
+// parseGroups splits partition operands on '|' into node groups. The
+// separator may be its own token or glued to a neighbor (0 1| 2). At
+// least one group with at least one node is required.
+func parseGroups(ln int, args []string) ([][]int, error) {
+	if len(args) == 0 {
+		return nil, lineErr(ln, "partition names no groups")
+	}
+	var groups [][]int
+	cur := []int{}
+	flush := func() {
+		groups = append(groups, cur)
+		cur = []int{}
+	}
+	for _, a := range args {
+		parts := strings.Split(a, "|")
+		for i, p := range parts {
+			if i > 0 {
+				flush()
+			}
+			if p == "" {
+				continue
+			}
+			id, err := strconv.Atoi(p)
+			if err != nil || id < 0 {
+				return nil, lineErr(ln, "partition: bad node index %q", p)
+			}
+			cur = append(cur, id)
+		}
+	}
+	flush()
+	for _, g := range groups {
+		if len(g) == 0 {
+			return nil, lineErr(ln, "partition: empty group")
+		}
+	}
+	return groups, nil
+}

@@ -1,0 +1,120 @@
+package scenariodsl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFullVocabulary(t *testing.T) {
+	src := `
+# a composite timeline
+1s    straggle x10 3
+3s    crash 5 6          # trailing comment
+5s    partition 0 1 2 | 3 4
+6s    recover 5 6
+6500ms load-surge x2.5
+8s    heal
+`
+	s, err := Parse("demo", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	wantKinds := []Kind{Straggle, Crash, Partition, Recover, LoadSurge, Heal}
+	if len(s.Events) != len(wantKinds) {
+		t.Fatalf("parsed %d events, want %d: %v", len(s.Events), len(wantKinds), s.Events)
+	}
+	for i, e := range s.Events {
+		if e.Kind != wantKinds[i] {
+			t.Fatalf("event %d kind = %v, want %v", i, e.Kind, wantKinds[i])
+		}
+	}
+	if got := s.Events[4].At; got != 6500*time.Millisecond {
+		t.Fatalf("load-surge at %v", got)
+	}
+	if got := s.Events[2].Groups; len(got) != 2 || len(got[0]) != 3 || len(got[1]) != 2 {
+		t.Fatalf("partition groups = %v", got)
+	}
+	if err := s.Validate(7); err != nil {
+		t.Fatalf("parsed scenario failed Validate(7): %v", err)
+	}
+}
+
+func TestParseSortsByTime(t *testing.T) {
+	s, err := Parse("order", "5s heal\n1s crash 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events[0].Kind != Crash || s.Events[1].Kind != Heal {
+		t.Fatalf("events not sorted by time: %v", s.Events)
+	}
+}
+
+func TestParseGluedPartitionSeparators(t *testing.T) {
+	for _, src := range []string{
+		"2s partition 0 1|2 3",
+		"2s partition 0 1 |2 3",
+		"2s partition 0 1| 2 3",
+	} {
+		s, err := Parse("p", src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if g := s.Events[0].Groups; len(g) != 2 || len(g[0]) != 2 || len(g[1]) != 2 {
+			t.Fatalf("%q: groups = %v", src, g)
+		}
+	}
+}
+
+func TestParseErrorsAreTyped(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of the error
+	}{
+		{"bogus", "want <time> <kind>"},
+		{"1s explode 3", "unknown event kind"},
+		{"xyz crash 1", "bad event time"},
+		{"-1s crash 1", "negative event time"},
+		{"1s crash", "names no nodes"},
+		{"1s crash -2", "bad node index"},
+		{"1s crash 1.5", "bad node index"},
+		{"1s straggle 3", "want x<factor>"},
+		{"1s straggle x0 3", "bad factor"},
+		{"1s straggle x10", "names no nodes"},
+		{"1s load-surge", "exactly x<multiplier>"},
+		{"1s load-surge x2 x3", "exactly x<multiplier>"},
+		{"1s heal 3", "takes no operands"},
+		{"1s partition", "names no groups"},
+		{"1s partition 0 1 |", "empty group"},
+		{"1s partition a b", "bad node index"},
+	}
+	for _, c := range cases {
+		_, err := Parse("bad", c.src)
+		if err == nil {
+			t.Fatalf("Parse(%q): expected error", c.src)
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("Parse(%q): error %v does not wrap ErrInvalidConfig", c.src, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("Parse(%q) = %v, want substring %q", c.src, err, c.want)
+		}
+		if !strings.Contains(err.Error(), "line 1") {
+			t.Fatalf("Parse(%q) = %v, missing line number", c.src, err)
+		}
+	}
+}
+
+func TestParseEmptyIsEmptyScenario(t *testing.T) {
+	s, err := Parse("empty", "\n# nothing but comments\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 0 {
+		t.Fatalf("events = %v", s.Events)
+	}
+}
