@@ -13,6 +13,7 @@
 //	orthrus-bench -parallel 1                       # force a serial run
 //	orthrus-bench -json BENCH_results.json          # write the JSON artifact
 //	orthrus-bench -bench -q                         # hot-path perf harness -> BENCH_scale.json
+//	orthrus-bench -bench -compare old.json          # perf harness + per-cell delta table vs old.json
 //
 // Scale in (0,1] shrinks run durations, loads and the replica-count axis
 // proportionally; 1 is the paper-sized configuration. Runs fan out across
@@ -114,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	quiet := fs.Bool("q", false, "suppress the text rendering (useful with -json)")
 	list := fs.Bool("list", false, "list registered protocols, figures and scenario presets, then exit")
 	bench := fs.Bool("bench", false, "run the hot-path perf harness instead of figures and write the orthrus-bench-perf/v1 artifact")
+	compare := fs.String("compare", "", "with -bench: print a per-cell delta table (ns/op, allocs/op, events/s) against this orthrus-bench-perf/v1 artifact")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -141,9 +143,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if len(conflicts) > 0 {
 			return fmt.Errorf("orthrus-bench: %s only apply to figure runs; drop with -bench", strings.Join(conflicts, ", "))
 		}
-		return runPerfBench(stdout, stderr, *jsonPath, *quiet, func(cfg orthrus.Config) (*orthrus.Result, error) {
+		return runPerfBench(stdout, stderr, *jsonPath, *compare, *quiet, func(cfg orthrus.Config) (*orthrus.Result, error) {
 			return cfg.Run(context.Background())
 		})
+	}
+	if *compare != "" {
+		return fmt.Errorf("orthrus-bench: -compare requires -bench (it diffs orthrus-bench-perf/v1 artifacts)")
 	}
 
 	// Reject rather than clamp out-of-range scales: the artifact records

@@ -120,10 +120,21 @@ func measureCell(protocol string, n int, runner func(orthrus.Config) (*orthrus.R
 }
 
 // runPerfBench measures the whole grid and writes the artifact to
-// jsonPath. The table rendering goes to stdout unless quiet.
-func runPerfBench(stdout, stderr io.Writer, jsonPath string, quiet bool, runner func(orthrus.Config) (*orthrus.Result, error)) error {
+// jsonPath. The table rendering goes to stdout unless quiet; comparePath,
+// when set, names an older orthrus-bench-perf/v1 artifact to print a
+// per-cell delta table against after the run.
+func runPerfBench(stdout, stderr io.Writer, jsonPath, comparePath string, quiet bool, runner func(orthrus.Config) (*orthrus.Result, error)) error {
 	if jsonPath == "" {
 		jsonPath = "BENCH_scale.json"
+	}
+	var old *perfArtifact
+	if comparePath != "" {
+		// Load (and validate) the baseline up front: a typo'd path should
+		// fail before minutes of measurement, not after.
+		var err error
+		if old, err = readPerfArtifact(comparePath); err != nil {
+			return err
+		}
 	}
 	doc := perfArtifact{Schema: perfSchema}
 	if !quiet {
@@ -150,5 +161,61 @@ func runPerfBench(stdout, stderr io.Writer, jsonPath string, quiet bool, runner 
 		return err
 	}
 	fmt.Fprintf(stderr, "wrote %s (%d cells, schema %s)\n", jsonPath, len(doc.Cells), perfSchema)
+	if old != nil {
+		compareArtifacts(stdout, old, &doc, comparePath)
+	}
 	return nil
+}
+
+// readPerfArtifact loads and schema-checks an orthrus-bench-perf/v1 file.
+func readPerfArtifact(path string) (*perfArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("orthrus-bench: -compare: %w", err)
+	}
+	var doc perfArtifact
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("orthrus-bench: -compare %s: %w", path, err)
+	}
+	if doc.Schema != perfSchema {
+		return nil, fmt.Errorf("orthrus-bench: -compare %s: schema %q, want %q", path, doc.Schema, perfSchema)
+	}
+	return &doc, nil
+}
+
+// compareArtifacts prints the per-cell deltas between two perf artifacts:
+// ns/op, allocs/op and sim-events/s, as old -> new with the relative
+// change. Cells present on only one side are flagged rather than dropped,
+// so grid growth shows up in review.
+func compareArtifacts(w io.Writer, old, new *perfArtifact, oldName string) {
+	index := make(map[perfPoint]perfCell, len(old.Cells))
+	for _, c := range old.Cells {
+		index[perfPoint{c.Protocol, c.N}] = c
+	}
+	fmt.Fprintf(w, "\ndelta vs %s:\n", oldName)
+	fmt.Fprintf(w, "%-8s %5s %24s %26s %26s\n", "proto", "n", "ms/op", "allocs/op", "sim-events/s")
+	pct := func(new, old float64) string {
+		if old == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", (new/old-1)*100)
+	}
+	for _, c := range new.Cells {
+		o, ok := index[perfPoint{c.Protocol, c.N}]
+		if !ok {
+			fmt.Fprintf(w, "%-8s %5d   (new cell, no baseline)\n", c.Protocol, c.N)
+			continue
+		}
+		delete(index, perfPoint{c.Protocol, c.N})
+		fmt.Fprintf(w, "%-8s %5d %9.0f -> %-6.0f%7s %11d -> %-8d%7s %9.0fk -> %-7.0fk%7s\n",
+			c.Protocol, c.N,
+			float64(o.NsPerOp)/1e6, float64(c.NsPerOp)/1e6, pct(float64(c.NsPerOp), float64(o.NsPerOp)),
+			o.AllocsPerOp, c.AllocsPerOp, pct(float64(c.AllocsPerOp), float64(o.AllocsPerOp)),
+			o.SimEventsPerSec/1e3, c.SimEventsPerSec/1e3, pct(c.SimEventsPerSec, o.SimEventsPerSec))
+	}
+	for _, c := range old.Cells {
+		if _, stale := index[perfPoint{c.Protocol, c.N}]; stale {
+			fmt.Fprintf(w, "%-8s %5d   (baseline cell missing from this run)\n", c.Protocol, c.N)
+		}
+	}
 }

@@ -29,7 +29,7 @@ func stubRunner(cfg orthrus.Config) (*orthrus.Result, error) {
 func TestPerfBenchArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_scale.json")
 	var out, errOut bytes.Buffer
-	if err := runPerfBench(&out, &errOut, path, false, stubRunner); err != nil {
+	if err := runPerfBench(&out, &errOut, path, "", false, stubRunner); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -74,7 +74,7 @@ func TestPerfBenchQuietAndErrors(t *testing.T) {
 	t.Chdir(dir)
 	var out, errOut bytes.Buffer
 	// Quiet mode renders nothing to stdout.
-	if err := runPerfBench(&out, &errOut, "", true, stubRunner); err != nil {
+	if err := runPerfBench(&out, &errOut, "", "", true, stubRunner); err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() != 0 {
@@ -86,10 +86,75 @@ func TestPerfBenchQuietAndErrors(t *testing.T) {
 	}
 	// A failing cell surfaces with its coordinates.
 	boom := errors.New("boom")
-	err := runPerfBench(&out, &errOut, filepath.Join(dir, "x.json"), true,
+	err := runPerfBench(&out, &errOut, filepath.Join(dir, "x.json"), "", true,
 		func(orthrus.Config) (*orthrus.Result, error) { return nil, boom })
 	if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), "cell Orthrus/n=4") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestPerfBenchCompare runs the harness against a synthetic baseline and
+// checks the delta table: per-cell old -> new values with relative
+// changes, plus flags for cells present on only one side.
+func TestPerfBenchCompare(t *testing.T) {
+	dir := t.TempDir()
+	// Baseline: same grid measured "slower" (double ns, half events/s),
+	// one cell missing and one stale extra.
+	base := perfArtifact{Schema: perfSchema}
+	for i, c := range perfGrid() {
+		if c.protocol == "Ladon" && c.n == 25 {
+			continue // exercise the new-cell path
+		}
+		base.Cells = append(base.Cells, perfCell{
+			Protocol: c.protocol, N: c.n,
+			NsPerOp:         int64(2000000 * (i + 1)),
+			AllocsPerOp:     1000,
+			SimEventsPerSec: 50000,
+		})
+	}
+	base.Cells = append(base.Cells, perfCell{Protocol: "Retired", N: 7, NsPerOp: 1})
+	baseData, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(basePath, append(baseData, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if err := runPerfBench(&out, &errOut, filepath.Join(dir, "new.json"), basePath, true, stubRunner); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"delta vs " + basePath,
+		"sim-events/s",
+		"(new cell, no baseline)",
+		"(baseline cell missing from this run)",
+		"1000 -> ", // allocs delta renders old -> new
+		"%",        // relative changes present
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("delta table missing %q:\n%s", want, got)
+		}
+	}
+
+	// A bad baseline fails before any measurement.
+	calls := 0
+	err = runPerfBench(&out, &errOut, filepath.Join(dir, "n2.json"), filepath.Join(dir, "absent.json"), true,
+		func(cfg orthrus.Config) (*orthrus.Result, error) { calls++; return stubRunner(cfg) })
+	if err == nil || calls != 0 {
+		t.Fatalf("missing baseline: err=%v calls=%d", err, calls)
+	}
+	// Wrong schema is rejected.
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPerfBench(&out, &errOut, filepath.Join(dir, "n3.json"), badPath, true, stubRunner); err == nil ||
+		!strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema check: err=%v", err)
 	}
 }
 

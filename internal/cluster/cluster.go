@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -278,15 +279,26 @@ func (r *Result) String() string {
 }
 
 // txMeta tracks client-side accounting for one transaction. It is stored
-// by value — one map, no per-transaction pointer allocations — and carries
+// by value in a dense slice addressed by the transaction's run index
+// (types.Transaction.Idx, stamped at submission) — no per-transaction
+// pointer allocations and no ID hashing on the reply path — and carries
 // the client-visible reply time once the (f+1)-th reply lands.
 type txMeta struct {
+	id      types.TxID // content digest, for the observer's stage lookup
 	submit  simnet.Time
 	reply   simnet.Time // client-visible reply time; set when done
 	home    int32       // replica co-located with the submitting client
 	replies int32
 	done    bool
 }
+
+// simPool recycles simulators across runs: Sim.Reset reuses the event
+// pool, queue buckets and scratch arenas a previous run grew, so
+// benchmark iterations and RunMany sweeps stop re-growing megabytes of
+// scheduler state per run. Reset restores the exact just-constructed
+// state, so results are identical whether a Sim is fresh or reused (the
+// determinism contract).
+var simPool = sync.Pool{New: func() any { return simnet.New(0) }}
 
 // Run executes one experiment and returns its measurements.
 func Run(cfg Config) *Result {
@@ -304,7 +316,12 @@ func Run(cfg Config) *Result {
 	}
 	n := cfg.N
 	f := (n - 1) / 3
-	sim := simnet.New(cfg.Seed)
+	sim := simPool.Get().(*simnet.Sim)
+	sim.Reset(cfg.Seed)
+	defer func() {
+		sim.Reset(0) // drop references from this run before pooling
+		simPool.Put(sim)
+	}()
 
 	var model *simnet.GeoModel
 	if cfg.Net == LAN {
@@ -329,7 +346,9 @@ func Run(cfg Config) *Result {
 	}
 	genesis := gen.Genesis()
 
-	meta := make(map[types.TxID]txMeta, 1024)
+	// Client-side metadata, indexed by the dense run index stamped onto
+	// every submitted transaction (Idx-1).
+	meta := make([]txMeta, 0, 1024)
 
 	// Scenario phase windows: confirmations are binned by reply time into
 	// half-open windows delimited by the scenario's event times (see
@@ -378,20 +397,20 @@ func Run(cfg Config) *Result {
 			Genesis:      genesis,
 			TraceStages:  i == 0,
 			OnConfirm: func(tx *types.Transaction, success bool, at simnet.Time) {
-				id := tx.ID()
-				m, ok := meta[id]
-				if !ok || m.done {
+				if tx.Idx == 0 || tx.Idx > uint64(len(meta)) {
+					return
+				}
+				m := &meta[tx.Idx-1]
+				if m.done {
 					return
 				}
 				m.replies++
 				if m.replies < int32(f+1) {
-					meta[id] = m
 					return
 				}
 				m.done = true
 				reply := at + simnet.Time(nw.BaseDelay(i, int(m.home), 256))
 				m.reply = reply
-				meta[id] = m
 				lat := time.Duration(reply - m.submit)
 				res.Latency.Add(lat)
 				res.Series.Record(reply, lat)
@@ -493,6 +512,7 @@ func Run(cfg Config) *Result {
 	// else on the client side.
 	targetBuf := make([]int, 0, 2*(f+1)+1)
 	targetSeen := make([]bool, n)
+	leaders := &leaderCache{n: n, m: make(map[types.Key]int, 1024)}
 	var submitNext func(at simnet.Time)
 	submitNext = func(at simnet.Time) {
 		if at > windowEnd || (cfg.TotalTxs > 0 && submitted >= cfg.TotalTxs) {
@@ -502,8 +522,9 @@ func Run(cfg Config) *Result {
 			tx := gen.Next()
 			tx.SubmitNS = int64(sim.Now())
 			home := submitted % n
-			meta[tx.ID()] = txMeta{submit: sim.Now(), home: int32(home)}
-			targetBuf = appendSubmitTargets(targetBuf[:0], targetSeen, tx, n, f)
+			tx.Idx = uint64(submitted + 1) // dense run index for slice-addressed state
+			meta = append(meta, txMeta{id: tx.ID(), submit: sim.Now(), home: int32(home)})
+			targetBuf = appendSubmitTargets(targetBuf[:0], targetSeen, leaders, tx, n, f)
 			for _, target := range targetBuf {
 				d := nw.BaseDelay(home, target, cfg.TxSize)
 				sim.CallAfter(d, submitToReplica, replicas[target], tx)
@@ -595,8 +616,8 @@ func Run(cfg Config) *Result {
 		elapsed := time.Duration(sim.Now())
 		if res.Halted {
 			pt.reset()
-			for _, m := range meta {
-				if m.done && m.reply < simnet.Time(elapsed) {
+			for i := range meta {
+				if m := &meta[i]; m.done && m.reply < simnet.Time(elapsed) {
 					pt.record(m.reply, time.Duration(m.reply-m.submit))
 				}
 			}
@@ -614,8 +635,9 @@ func Run(cfg Config) *Result {
 	// Observer breakdown (Fig. 6): stage deltas from replica 0's trace plus
 	// the client-side reply time.
 	obs := replicas[0]
-	for id, m := range meta {
-		st, ok := obs.Stages(id)
+	for i := range meta {
+		m := &meta[i]
+		st, ok := obs.Stages(m.id)
 		if !ok || st.Confirmed == 0 || st.Submit == 0 {
 			continue
 		}
@@ -657,8 +679,9 @@ func submitToReplica(replica, tx any) {
 // leader is i. seen is caller-provided scratch of length n, all-false on
 // entry; it is cleared again before returning. Duplicate payers resolve to
 // already-seen leaders, so iterating ops directly matches the distinct
-// payer list.
-func appendSubmitTargets(dst []int, seen []bool, tx *types.Transaction, n, f int) []int {
+// payer list. leaders memoizes the sha256-based key-to-leader mapping for
+// the run.
+func appendSubmitTargets(dst []int, seen []bool, leaders *leaderCache, tx *types.Transaction, n, f int) []int {
 	add := func(dst []int, r int) []int {
 		r %= n
 		if !seen[r] {
@@ -674,13 +697,13 @@ func appendSubmitTargets(dst []int, seen []bool, tx *types.Transaction, n, f int
 			continue
 		}
 		hasPayer = true
-		lead := bucketLeader(op.Key, n)
+		lead := leaders.of(op.Key)
 		for k := 0; k <= f; k++ {
 			dst = add(dst, lead+k)
 		}
 	}
 	if !hasPayer { // no payer ops: route by client
-		lead := bucketLeader(tx.Client, n)
+		lead := leaders.of(tx.Client)
 		for k := 0; k <= f; k++ {
 			dst = add(dst, lead+k)
 		}
@@ -691,6 +714,19 @@ func appendSubmitTargets(dst []int, seen []bool, tx *types.Transaction, n, f int
 	return dst
 }
 
-func bucketLeader(k types.Key, n int) int {
-	return core.BucketOf(k, n)
+// leaderCache memoizes core.BucketOf per key for one run: the assignment
+// hashes the key with sha256, and the open-loop client resolves the same
+// few thousand account keys for the whole run.
+type leaderCache struct {
+	n int
+	m map[types.Key]int
+}
+
+func (c *leaderCache) of(k types.Key) int {
+	if v, ok := c.m[k]; ok {
+		return v
+	}
+	v := core.BucketOf(k, c.n)
+	c.m[k] = v
+	return v
 }

@@ -7,8 +7,6 @@ import (
 	"repro/internal/types"
 )
 
-func bucketOfKey(k types.Key, m int) int { return partition.Assign(k, m) }
-
 // BucketOf returns the bucket/instance index an owned-object key maps to;
 // exported for the cluster harness and clients that want to route
 // submissions to the responsible instance's leader.

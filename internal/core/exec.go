@@ -30,8 +30,12 @@ import (
 // handful of buckets at most), which keeps the tracker to two allocations
 // — the struct and its route slice — per transaction per replica.
 type txTracker struct {
-	tx           *types.Transaction
-	instances    []int  // buckets/instances the tx belongs to
+	tx        *types.Transaction
+	instances []int // buckets/instances the tx belongs to; aliases routeArr when short
+	// routeArr inlines the route storage for the common case (a payment
+	// touches one or two buckets, a contract a handful), so a tracker is
+	// one allocation, not two.
+	routeArr     [4]int
 	escrowedBits uint64 // bit i set: instances[i]'s payer ops escrowed
 	// escrowedHi extends the bitmask for route positions 64 and up: a
 	// transaction with more than 64 distinct payer buckets (unbounded
@@ -44,15 +48,45 @@ type txTracker struct {
 }
 
 func (r *Replica) tracker(tx *types.Transaction) *txTracker {
+	// Fast path: transactions stamped with a dense run index (cluster.Run)
+	// resolve through a slice — no 32-byte key hashing per occurrence.
+	if i := tx.Idx; i != 0 {
+		if uint64(len(r.trackersIdx)) < i {
+			grown := make([]*txTracker, max(int(i), 2*len(r.trackersIdx)))
+			copy(grown, r.trackersIdx)
+			r.trackersIdx = grown
+		}
+		if t := r.trackersIdx[i-1]; t != nil {
+			return t
+		}
+		t := r.newTracker(tx)
+		r.trackersIdx[i-1] = t
+		return t
+	}
 	id := tx.ID()
 	t, ok := r.trackers[id]
 	if !ok {
-		t = &txTracker{
-			tx:        tx,
-			instances: r.routeOf(tx),
-		}
+		t = r.newTracker(tx)
 		r.trackers[id] = t
 	}
+	return t
+}
+
+// trackerSlabSize is the chunk size for tracker slab allocation.
+const trackerSlabSize = 256
+
+// newTracker builds a tracker with its route. Trackers are carved from a
+// replica-local slab (they live for the whole run, so there is nothing to
+// pool) and reuse the inline route array when the route is short — one
+// bulk allocation per 256 transactions instead of two per transaction.
+func (r *Replica) newTracker(tx *types.Transaction) *txTracker {
+	if len(r.trackerSlab) == 0 {
+		r.trackerSlab = make([]txTracker, trackerSlabSize)
+	}
+	t := &r.trackerSlab[0]
+	r.trackerSlab = r.trackerSlab[1:]
+	t.tx = tx
+	t.instances = r.appendRoute(t.routeArr[:0], tx)
 	return t
 }
 
@@ -128,28 +162,41 @@ func (r *Replica) confirm(t *txTracker, success bool) {
 
 // drainExecQueues escrow-phases delivered blocks whose state references are
 // satisfied. One instance's progress can unblock another, so it loops until
-// a fixed point.
+// a fixed point. The occupancy bitset keeps each pass proportional to the
+// instances that actually hold queued blocks (ascending order, exactly as
+// the full scan visited them) instead of all M.
 func (r *Replica) drainExecQueues() {
 	for progress := true; progress; {
 		progress = false
-		for i := 0; i < r.cfg.M; i++ {
-			q := r.execQ[i]
-			for len(q) > 0 {
-				b := q[0]
-				if r.cfg.Mode.FastPathPayments && !r.execState.Covers(b.State) {
-					break
+		for wi, word := range r.execQocc {
+			for word != 0 {
+				i := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				q, h := r.execQ[i], r.execQhead[i]
+				for h < len(q) {
+					b := q[h]
+					if r.cfg.Mode.FastPathPayments && !r.execState.Covers(b.State) {
+						break
+					}
+					q[h] = nil
+					h++
+					r.execState[i] = b.SN + 1
+					if r.cfg.Mode.FastPathPayments {
+						r.execPartial(i, b)
+					}
+					if b.Proposer == r.cfg.ID {
+						r.releaseProposedDebits(b)
+					}
+					progress = true
 				}
-				q = q[1:]
-				r.execState[i] = b.SN + 1
-				if r.cfg.Mode.FastPathPayments {
-					r.execPartial(i, b)
+				if h == len(q) {
+					// Drained: rewind onto the backing array so future
+					// deliveries append without growing.
+					q, h = q[:0], 0
+					r.execQocc[wi] &^= 1 << uint(i&63)
 				}
-				if b.Proposer == r.cfg.ID {
-					r.releaseProposedDebits(b)
-				}
-				progress = true
+				r.execQ[i], r.execQhead[i] = q, h
 			}
-			r.execQ[i] = q
 		}
 	}
 	r.drainGlogQueue()
@@ -170,7 +217,7 @@ func (r *Replica) execPartial(instance int, b *types.Block) {
 		id := tx.ID()
 		ok := true
 		for _, op := range tx.Ops {
-			if !op.IsPayerOp() || bucketOfKey(op.Key, r.cfg.M) != instance {
+			if !op.IsPayerOp() || r.buckets.Assign(op.Key) != instance {
 				continue
 			}
 			if !r.store.Escrow(op, id) {
@@ -216,8 +263,8 @@ type glogCursor struct {
 // head transaction may have to wait for its escrow phase (driven by the
 // per-instance queues); nothing overtakes it.
 func (r *Replica) drainGlogQueue() {
-	for len(r.glogQ) > 0 {
-		cur := &r.glogQ[0]
+	for r.glogHead < len(r.glogQ) {
+		cur := &r.glogQ[r.glogHead]
 		for cur.next < len(cur.block.Txs) {
 			tx := &cur.block.Txs[cur.next]
 			t := r.tracker(tx)
@@ -250,8 +297,11 @@ func (r *Replica) drainGlogQueue() {
 				r.execSequential(t)
 			}
 		}
-		r.glogQ = r.glogQ[1:]
+		r.glogQ[r.glogHead] = glogCursor{}
+		r.glogHead++
 	}
+	// Fully drained: rewind onto the backing array.
+	r.glogQ, r.glogHead = r.glogQ[:0], 0
 }
 
 // execContractOrthrus finalizes a contract transaction at its global-log

@@ -61,6 +61,8 @@ type SBBuilder func(instance int, hooks SBHooks) SB
 // sequence. Implementations must be deterministic functions of the local
 // delivery sequence so all honest replicas agree without communication.
 type GlobalOrdering interface {
+	// Both deliver hooks may return a scratch slice owned by the ordering,
+	// valid only until the next call — callers consume it immediately.
 	// OnWorkerDeliver is invoked for every block delivered by a worker SB
 	// instance; it returns blocks that became globally confirmed, in order.
 	OnWorkerDeliver(b *types.Block) []*types.Block

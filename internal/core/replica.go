@@ -93,26 +93,49 @@ type Replica struct {
 	sim *simnet.Sim
 	nw  *simnet.Network
 
-	sbs     []SB // M worker SB instances (+1 sequencer if enabled)
-	buckets *partition.Set
-	store   *ledger.Store
-	global  GlobalOrdering
-	rank    order.RankTracker
-	state   types.StateVector // delivered blocks per worker instance
+	sbs []SB // M worker SB instances (+1 sequencer if enabled)
+	// sbHandle caches each SB's message handler (nil when the SB is not
+	// message-level): the network dispatcher calls through this table
+	// instead of re-asserting the optional interface on every delivery.
+	sbHandle []func(int, pbft.Message)
+	buckets  *partition.Set
+	store    *ledger.Store
+	global   GlobalOrdering
+	rank     order.RankTracker
+	state    types.StateVector // delivered blocks per worker instance
 
 	// execState counts escrow-phased (executed) blocks per instance; blocks
 	// escrow-phase only once execState covers their referenced state b.S.
 	execState types.StateVector
-	execQ     [][]*types.Block // delivered blocks awaiting escrow phase
-	glogQ     []glogCursor     // globally confirmed blocks awaiting execution
+	// execQ[i] with execQhead[i] form a head-indexed deque of delivered
+	// blocks awaiting their escrow phase: consuming advances the head and
+	// a fully drained queue rewinds to its backing array instead of
+	// sliding off it, so steady-state delivery appends allocate nothing.
+	execQ     [][]*types.Block
+	execQhead []int
+	// execQocc marks instances with a non-empty execQ (bit per instance):
+	// the escrow fixed point visits only live queues instead of scanning
+	// all M per delivery.
+	execQocc []uint64
+	// glogQ with glogHead is the same deque shape for globally confirmed
+	// blocks awaiting in-order execution.
+	glogQ    []glogCursor
+	glogHead int
 
 	// proposedDebits tracks amounts this replica (as leader) has promised in
 	// proposed-but-not-yet-executed blocks, so feasibility validation of new
 	// batches does not double-spend a payer across pipelined blocks.
 	proposedDebits map[types.Key]types.Amount
 
-	trackers map[types.TxID]*txTracker
-	stages   map[types.TxID]*StageTrace
+	// Per-transaction trackers: transactions stamped with a dense run
+	// index (types.Transaction.Idx, assigned by cluster.Run) live in a
+	// slice addressed by Idx-1 — no 32-byte-key hashing on the deliver
+	// path. Unindexed transactions (direct API use, custom sources) fall
+	// back to the ID-keyed map.
+	trackersIdx []*txTracker
+	trackerSlab []txTracker
+	trackers    map[types.TxID]*txTracker
+	stages      map[types.TxID]*StageTrace
 
 	// routeBuf is the reusable scratch for bucket routing: SubmitTx and the
 	// leader's feasibility checks route every transaction without
@@ -131,9 +154,10 @@ type Replica struct {
 
 	stalledUntil simnet.Time // Mir-style global stall deadline
 
-	// lastComplain remembers, per instance, the view this replica last
-	// complained about, so the censorship detector votes once per view.
-	lastComplain map[int]uint64
+	// lastComplain remembers, per instance, one past the view this replica
+	// last complained about (0 = never), so the censorship detector votes
+	// once per view.
+	lastComplain []uint64
 
 	// Counters.
 	confirmedOK  uint64
@@ -142,6 +166,17 @@ type Replica struct {
 	// pulseGen invalidates in-flight pulse loops across Stop/Recover cycles
 	// so a quick recovery does not leave two loops running per instance.
 	pulseGen uint64
+	// pulseSlots back the closure-free pulse events: one per SB instance,
+	// allocated once, carried as the CallAfter operand for every pulse of
+	// that instance (the generation rides in the other operand).
+	pulseSlots []pulseSlot
+}
+
+// pulseSlot names one instance's pulse loop for the closure-free
+// scheduler events.
+type pulseSlot struct {
+	r        *Replica
+	instance int
 }
 
 // NewReplica builds a replica attached to a simulated network. Call Start
@@ -187,12 +222,14 @@ func NewReplica(cfg Config, sim *simnet.Sim, nw *simnet.Network) *Replica {
 		state:          make(types.StateVector, cfg.M),
 		execState:      make(types.StateVector, cfg.M),
 		execQ:          make([][]*types.Block, cfg.M),
+		execQhead:      make([]int, cfg.M),
+		execQocc:       make([]uint64, (cfg.M+63)/64),
 		proposedDebits: make(map[types.Key]types.Amount),
 		trackers:       make(map[types.TxID]*txTracker),
 		ckptVotes:      make(map[uint64]map[int][32]byte),
 		ckptSent:       make(map[uint64]bool),
 		instHash:       make([][32]byte, cfg.M),
-		lastComplain:   make(map[int]uint64),
+		lastComplain:   make([]uint64, cfg.M),
 	}
 	if cfg.TraceStages {
 		r.stages = make(map[types.TxID]*StageTrace)
@@ -209,6 +246,10 @@ func NewReplica(cfg Config, sim *simnet.Sim, nw *simnet.Network) *Replica {
 		build = r.pbftBuilder()
 	}
 	r.sbs = make([]SB, nInst)
+	r.pulseSlots = make([]pulseSlot, nInst)
+	for i := range r.pulseSlots {
+		r.pulseSlots[i] = pulseSlot{r: r, instance: i}
+	}
 	for i := 0; i < nInst; i++ {
 		i := i
 		hooks := SBHooks{
@@ -221,6 +262,12 @@ func NewReplica(cfg Config, sim *simnet.Sim, nw *simnet.Network) *Replica {
 			},
 		}
 		r.sbs[i] = build(i, hooks)
+	}
+	r.sbHandle = make([]func(int, pbft.Message), nInst)
+	for i, sb := range r.sbs {
+		if h, ok := sb.(interface{ Handle(int, pbft.Message) }); ok {
+			r.sbHandle[i] = h.Handle
+		}
 	}
 	nw.Register(cfg.ID, r.handle)
 	return r
@@ -263,9 +310,9 @@ func (r *Replica) handle(from int, msg any) {
 	switch m := msg.(type) {
 	case pbft.Message:
 		i := m.PBFTInstance()
-		if i >= 0 && i < len(r.sbs) {
-			if h, ok := r.sbs[i].(interface{ Handle(int, pbft.Message) }); ok {
-				h.Handle(from, m)
+		if i >= 0 && i < len(r.sbHandle) {
+			if h := r.sbHandle[i]; h != nil {
+				h(from, m)
 			}
 		}
 	case *CheckpointMsg:
@@ -391,9 +438,9 @@ func (r *Replica) routeOf(tx *types.Transaction) []int {
 // slice (see routeOf).
 func (r *Replica) appendRoute(dst []int, tx *types.Transaction) []int {
 	start := len(dst)
-	dst = partition.AppendBucketsOf(dst, tx, r.cfg.M)
+	dst = r.buckets.AppendBucketsOf(dst, tx)
 	if len(dst) == start {
-		dst = append(dst, partition.Assign(tx.Client, r.cfg.M))
+		dst = append(dst, r.buckets.Assign(tx.Client))
 	}
 	if !r.cfg.Mode.SplitMultiPayer && len(dst)-start > 1 {
 		dst = dst[:start+1]
@@ -412,14 +459,23 @@ func (r *Replica) schedulePulse(instance int) {
 		// triggering a view change.
 		d = r.cfg.ViewTimeout * 4 / 5
 	}
-	gen := r.pulseGen
-	r.sim.After(d, func() {
-		if r.stopped || gen != r.pulseGen {
-			return
-		}
-		r.pulse(instance)
-		r.schedulePulse(instance)
-	})
+	// Closure-free: the pulse slot and generation ride in the pooled
+	// event's operands, so a steady proposal pulse allocates nothing.
+	r.sim.CallAfter(d, pulseFire, &r.pulseSlots[instance], r.pulseGen)
+}
+
+// pulseFire is the pulse-loop callback (top-level so CallAfter schedules
+// it without a closure allocation). A stale generation — the replica
+// stopped or recovered since this pulse was scheduled — makes it a no-op,
+// so Stop/Recover cycles never leave two loops running on one instance.
+func pulseFire(a, b any) {
+	p := a.(*pulseSlot)
+	r := p.r
+	if r.stopped || b.(uint64) != r.pulseGen {
+		return
+	}
+	r.pulse(p.instance)
+	r.schedulePulse(p.instance)
 }
 
 // pulse attempts one proposal on an instance this replica currently leads.
@@ -488,7 +544,7 @@ func (r *Replica) legFeasible(tx *types.Transaction, instance int) bool {
 		if !op.IsPayerOp() {
 			continue
 		}
-		if r.cfg.Mode.SplitMultiPayer && bucketOfKey(op.Key, r.cfg.M) != instance {
+		if r.cfg.Mode.SplitMultiPayer && r.buckets.Assign(op.Key) != instance {
 			continue // another instance validates that leg
 		}
 		if r.store.Balance(op.Key)-r.proposedDebits[op.Key]-op.Amount < op.Con {
@@ -505,7 +561,7 @@ func (r *Replica) promiseDebits(tx *types.Transaction, instance int) {
 		if !op.IsPayerOp() {
 			continue
 		}
-		if r.cfg.Mode.SplitMultiPayer && bucketOfKey(op.Key, r.cfg.M) != instance {
+		if r.cfg.Mode.SplitMultiPayer && r.buckets.Assign(op.Key) != instance {
 			continue
 		}
 		r.proposedDebits[op.Key] += op.Amount
@@ -520,7 +576,7 @@ func (r *Replica) releaseProposedDebits(b *types.Block) {
 			if !op.IsPayerOp() {
 				continue
 			}
-			if r.cfg.Mode.SplitMultiPayer && bucketOfKey(op.Key, r.cfg.M) != b.Instance {
+			if r.cfg.Mode.SplitMultiPayer && r.buckets.Assign(op.Key) != b.Instance {
 				continue
 			}
 			if v := r.proposedDebits[op.Key] - op.Amount; v > 0 {
@@ -577,18 +633,21 @@ func (r *Replica) onDeliver(instance int, b *types.Block) {
 	}
 	r.state[instance] = b.SN + 1
 	r.rank.Observe(b.Rank)
-	// Fold the block into the instance's rolling checkpoint digest.
-	h := sha256.New()
-	h.Write(r.instHash[instance][:])
+	// Fold the block into the instance's rolling checkpoint digest. The
+	// concatenation runs through a stack buffer and the one-shot Sum256 —
+	// byte-identical to hashing the two writes through a streaming digest,
+	// without its allocations.
+	var fold [64]byte
+	copy(fold[:32], r.instHash[instance][:])
 	d := b.Digest()
-	h.Write(d[:])
-	copy(r.instHash[instance][:], h.Sum(nil))
+	copy(fold[32:], d[:])
+	r.instHash[instance] = sha256.Sum256(fold[:])
 
 	// Mark contained transactions as in-flight so replaced leaders do not
 	// re-propose them from their bucket copies.
 	bucket := r.buckets.Bucket(instance)
 	for i := range b.Txs {
-		bucket.MarkConfirmed(b.Txs[i].ID())
+		bucket.MarkConfirmed(&b.Txs[i])
 	}
 	// Censorship detection (Sec. V-B): the leader keeps delivering blocks
 	// while an old, locally feasible transaction sits unproposed in this
@@ -596,7 +655,7 @@ func (r *Replica) onDeliver(instance int, b *types.Block) {
 	bucket.Tick()
 	if tx, age, ok := bucket.Oldest(); ok && age > r.cfg.CensorshipBlocks && r.legFeasible(tx, instance) {
 		view := r.sbs[instance].View()
-		if last, done := r.lastComplain[instance]; !done || last < view+1 {
+		if last := r.lastComplain[instance]; last < view+1 {
 			r.lastComplain[instance] = view + 1
 			if c, okc := r.sbs[instance].(interface{ Complain() }); okc {
 				c.Complain()
@@ -619,6 +678,7 @@ func (r *Replica) onDeliver(instance int, b *types.Block) {
 	// feed the global ordering; whatever became globally confirmed joins
 	// the in-order global execution queue.
 	r.execQ[instance] = append(r.execQ[instance], b)
+	r.execQocc[instance>>6] |= 1 << uint(instance&63)
 	for _, gb := range r.global.OnWorkerDeliver(b) {
 		r.glogQ = append(r.glogQ, glogCursor{block: gb})
 	}

@@ -6,7 +6,7 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/simnet"
@@ -41,7 +41,7 @@ func (l *Latency) Mean() time.Duration {
 
 func (l *Latency) sort() {
 	if !l.sorted {
-		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		slices.Sort(l.samples)
 		l.sorted = true
 	}
 }

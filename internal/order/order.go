@@ -31,7 +31,9 @@ import (
 type Orderer interface {
 	// Deliver hands the orderer one block delivered by an SB instance and
 	// returns the blocks that became globally confirmed as a result, in
-	// global order.
+	// global order. The returned slice is a scratch buffer owned by the
+	// orderer, valid only until the next Deliver — callers consume or copy
+	// it immediately (the deliver path does per-call allocation nowhere).
 	Deliver(b *types.Block) []*types.Block
 	// PendingCount returns blocks delivered but not yet globally confirmed.
 	PendingCount() int
@@ -47,6 +49,7 @@ type Predetermined struct {
 	next    uint64 // next global position to confirm
 	byPos   map[uint64]*types.Block
 	pending int
+	out     []*types.Block // Deliver's reusable result buffer
 }
 
 // NewPredetermined creates a predetermined orderer over m instances.
@@ -63,7 +66,7 @@ func (p *Predetermined) Position(b *types.Block) uint64 {
 func (p *Predetermined) Deliver(b *types.Block) []*types.Block {
 	p.byPos[p.Position(b)] = b
 	p.pending++
-	var out []*types.Block
+	out := p.out[:0]
 	for {
 		nb, ok := p.byPos[p.next]
 		if !ok {
@@ -74,6 +77,7 @@ func (p *Predetermined) Deliver(b *types.Block) []*types.Block {
 		p.pending--
 		out = append(out, nb)
 	}
+	p.out = out
 	return out
 }
 
@@ -106,6 +110,12 @@ type Dynamic struct {
 	m       int
 	last    []types.OrderKey // last delivered key per instance
 	waiting blockHeap
+	out     []*types.Block // Deliver's reusable result buffer
+	// bar caches the confirmation bar and barInst its arg-min instance:
+	// raising any other instance's floor cannot move the bar, so the O(m)
+	// recomputation runs only when the bar-defining instance advances.
+	bar     types.OrderKey
+	barInst int
 }
 
 // NewDynamic creates a dynamic orderer over m instances. Before an instance
@@ -115,33 +125,42 @@ func NewDynamic(m int) *Dynamic {
 	for i := range d.last {
 		d.last[i] = types.OrderKey{Rank: 0, Instance: i}
 	}
+	d.recomputeBar()
 	return d
+}
+
+// recomputeBar rebuilds the cached bar by scanning all instance floors.
+func (d *Dynamic) recomputeBar() {
+	d.bar = types.OrderKey{Rank: d.last[0].Rank + 1, Instance: d.last[0].Instance}
+	d.barInst = 0
+	for i, lk := range d.last[1:] {
+		cand := types.OrderKey{Rank: lk.Rank + 1, Instance: lk.Instance}
+		if cand.Less(d.bar) {
+			d.bar = cand
+			d.barInst = i + 1
+		}
+	}
 }
 
 // Bar returns the current confirmation bar: the lowest ordering key a
 // future block could possibly take.
-func (d *Dynamic) Bar() types.OrderKey {
-	bar := types.OrderKey{Rank: d.last[0].Rank + 1, Instance: d.last[0].Instance}
-	for _, lk := range d.last[1:] {
-		cand := types.OrderKey{Rank: lk.Rank + 1, Instance: lk.Instance}
-		if cand.Less(bar) {
-			bar = cand
-		}
-	}
-	return bar
-}
+func (d *Dynamic) Bar() types.OrderKey { return d.bar }
 
 // Deliver implements Orderer (Algorithm 3's globalOrder).
 func (d *Dynamic) Deliver(b *types.Block) []*types.Block {
 	heap.Push(&d.waiting, b)
 	if lk := b.Key(); d.last[b.Instance].Less(lk) || d.last[b.Instance] == lk {
 		d.last[b.Instance] = lk
+		if b.Instance == d.barInst {
+			d.recomputeBar() // the bar-defining floor moved
+		}
 	}
 	bar := d.Bar()
-	var out []*types.Block
+	out := d.out[:0]
 	for len(d.waiting) > 0 && d.waiting[0].Key().Less(bar) {
 		out = append(out, heap.Pop(&d.waiting).(*types.Block))
 	}
+	d.out = out
 	return out
 }
 

@@ -33,6 +33,21 @@ func BucketsOf(tx *types.Transaction, m int) []int {
 	return AppendBucketsOf(nil, tx, m)
 }
 
+// txKey is the bucket bookkeeping key for a transaction: the dense
+// per-run index when the submission layer stamped one (no hashing at
+// all), otherwise the first eight bytes of the content digest with the
+// top bit set so the two key spaces cannot meet. The truncated-digest
+// fallback trades a 2^-63 collision chance for hashing 8 bytes instead
+// of 32 on every bucket operation; only direct API users (tests,
+// examples) take it.
+func txKey(tx *types.Transaction) uint64 {
+	if tx.Idx != 0 {
+		return tx.Idx
+	}
+	id := tx.ID()
+	return binary.BigEndian.Uint64(id[:8]) | 1<<63
+}
+
 // AppendBucketsOf appends the distinct bucket indices of tx's payers onto
 // dst, ascending, and returns the extended slice. It allocates nothing
 // when dst has room — the replica hot path routes every transaction
@@ -67,14 +82,15 @@ func AppendBucketsOf(dst []int, tx *types.Transaction, m int) []int {
 }
 
 // Bucket is a FIFO of pending transactions for one instance, deduplicated
-// by transaction ID. Transactions leave the bucket when pulled by the
-// leader or removed after confirmation elsewhere.
+// by transaction identity (txKey). Transactions leave the bucket when
+// pulled by the leader or removed after confirmation elsewhere.
 type Bucket struct {
 	queue   []*types.Transaction
-	present map[types.TxID]bool
-	// confirmed remembers IDs that were already confirmed so a late
-	// re-submission is not re-added (garbage collected at checkpoints).
-	confirmed map[types.TxID]bool
+	present map[uint64]bool
+	// confirmed remembers transactions that were already confirmed so a
+	// late re-submission is not re-added (garbage collected at
+	// checkpoints).
+	confirmed map[uint64]bool
 	// clock counts block deliveries of the owning instance; firstSeen maps
 	// each pending transaction to the clock value when it first arrived.
 	// Together they age pending transactions in units of delivered blocks,
@@ -82,15 +98,15 @@ type Bucket struct {
 	// delivering blocks while an old feasible transaction stays queued is
 	// suspected of censoring it.
 	clock     uint64
-	firstSeen map[types.TxID]uint64
+	firstSeen map[uint64]uint64
 }
 
 // NewBucket creates an empty bucket.
 func NewBucket() *Bucket {
 	return &Bucket{
-		present:   make(map[types.TxID]bool),
-		confirmed: make(map[types.TxID]bool),
-		firstSeen: make(map[types.TxID]uint64),
+		present:   make(map[uint64]bool),
+		confirmed: make(map[uint64]bool),
+		firstSeen: make(map[uint64]uint64),
 	}
 }
 
@@ -104,7 +120,7 @@ func (b *Bucket) Oldest() (tx *types.Transaction, age uint64, ok bool) {
 		return nil, 0, false
 	}
 	tx = b.queue[0]
-	return tx, b.clock - b.firstSeen[tx.ID()], true
+	return tx, b.clock - b.firstSeen[txKey(tx)], true
 }
 
 // Len returns the number of queued transactions.
@@ -113,14 +129,14 @@ func (b *Bucket) Len() int { return len(b.queue) }
 // Push appends tx unless it is already queued or was confirmed; it reports
 // whether the transaction was added.
 func (b *Bucket) Push(tx *types.Transaction) bool {
-	id := tx.ID()
-	if b.present[id] || b.confirmed[id] {
+	k := txKey(tx)
+	if b.present[k] || b.confirmed[k] {
 		return false
 	}
-	b.present[id] = true
+	b.present[k] = true
 	b.queue = append(b.queue, tx)
-	if _, seen := b.firstSeen[id]; !seen {
-		b.firstSeen[id] = b.clock
+	if _, seen := b.firstSeen[k]; !seen {
+		b.firstSeen[k] = b.clock
 	}
 	return true
 }
@@ -136,7 +152,7 @@ func (b *Bucket) Pull(max int) []*types.Transaction {
 	out := b.queue[:max:max]
 	b.queue = b.queue[max:]
 	for _, tx := range out {
-		delete(b.present, tx.ID())
+		delete(b.present, txKey(tx))
 	}
 	return out
 }
@@ -152,15 +168,16 @@ func (b *Bucket) Peek(max int) []*types.Transaction {
 
 // MarkConfirmed records that a transaction was confirmed (possibly via a
 // block from another replica's leader) and drops it from the queue.
-func (b *Bucket) MarkConfirmed(id types.TxID) {
-	b.confirmed[id] = true
-	delete(b.firstSeen, id)
-	if !b.present[id] {
+func (b *Bucket) MarkConfirmed(tx *types.Transaction) {
+	k := txKey(tx)
+	b.confirmed[k] = true
+	delete(b.firstSeen, k)
+	if !b.present[k] {
 		return
 	}
-	delete(b.present, id)
-	for i, tx := range b.queue {
-		if tx.ID() == id {
+	delete(b.present, k)
+	for i, q := range b.queue {
+		if txKey(q) == k {
 			b.queue = append(b.queue[:i], b.queue[i+1:]...)
 			break
 		}
@@ -170,10 +187,10 @@ func (b *Bucket) MarkConfirmed(id types.TxID) {
 // GC forgets confirmation records (run at stable checkpoints, Sec. V-D)
 // and prunes age marks for transactions no longer queued.
 func (b *Bucket) GC() {
-	b.confirmed = make(map[types.TxID]bool)
-	for id := range b.firstSeen {
-		if !b.present[id] {
-			delete(b.firstSeen, id)
+	clear(b.confirmed)
+	for k := range b.firstSeen {
+		if !b.present[k] {
+			delete(b.firstSeen, k)
 		}
 	}
 }
@@ -182,15 +199,59 @@ func (b *Bucket) GC() {
 // with transaction routing (Add) and cross-bucket bookkeeping.
 type Set struct {
 	buckets []*Bucket
+	// assign memoizes Assign per key: the sha256-based mapping sits on
+	// every routing, feasibility and escrow path, and a replica resolves
+	// the same few thousand account keys over and over.
+	assign map[types.Key]int
 }
 
 // NewSet creates m empty buckets.
 func NewSet(m int) *Set {
-	s := &Set{buckets: make([]*Bucket, m)}
+	s := &Set{buckets: make([]*Bucket, m), assign: make(map[types.Key]int, 1024)}
 	for i := range s.buckets {
 		s.buckets[i] = NewBucket()
 	}
 	return s
+}
+
+// Assign maps key to its bucket exactly like the package-level Assign with
+// m = s.M(), memoized per key.
+func (s *Set) Assign(key types.Key) int {
+	if v, ok := s.assign[key]; ok {
+		return v
+	}
+	v := Assign(key, len(s.buckets))
+	s.assign[key] = v
+	return v
+}
+
+// AppendBucketsOf is AppendBucketsOf(dst, tx, s.M()) through the set's
+// memoized key assignment.
+func (s *Set) AppendBucketsOf(dst []int, tx *types.Transaction) []int {
+	start := len(dst)
+	for _, op := range tx.Ops {
+		if !op.IsPayerOp() {
+			continue
+		}
+		b := s.Assign(op.Key)
+		dup := false
+		for _, x := range dst[start:] {
+			if x == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, b)
+		}
+	}
+	out := dst[start:]
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return dst
 }
 
 // M returns the number of buckets (= SB instances).
@@ -219,9 +280,8 @@ func (s *Set) Add(tx *types.Transaction) ([]int, error) {
 
 // MarkConfirmed drops tx from all buckets.
 func (s *Set) MarkConfirmed(tx *types.Transaction) {
-	id := tx.ID()
 	for _, b := range s.buckets {
-		b.MarkConfirmed(id)
+		b.MarkConfirmed(tx)
 	}
 }
 

@@ -121,7 +121,7 @@ func TestBucketConfirmedNotReadded(t *testing.T) {
 	b := NewBucket()
 	tx := types.NewPayment("alice", "bob", 1, 7)
 	b.Push(tx)
-	b.MarkConfirmed(tx.ID())
+	b.MarkConfirmed(tx)
 	if b.Len() != 0 {
 		t.Fatal("confirmed tx still queued")
 	}

@@ -61,23 +61,35 @@ func (c Config) Quorum() int { return (c.N + c.F + 2) / 2 }
 // voteSet records per-replica digest votes for one phase of one slot. It
 // is a fixed slice indexed by replica id plus a presence vector — cheaper
 // than a map and fully reusable when its slot returns to the engine's
-// pool.
+// pool. A running tally per tracked digest keeps the quorum check O(1)
+// per vote: countFor adds one compare instead of rescanning all n votes
+// (the scan survives only in retally, which runs once per slot when the
+// proposal arrives after some votes).
 type voteSet struct {
 	digests []types.BlockID
 	present []bool
+	// tally counts recorded votes matching tallyFor. setTally installs the
+	// digest to track (the slot's accepted proposal digest); votes recorded
+	// before that are folded in by retally.
+	tally    int
+	tallyFor types.BlockID
+	hasTally bool
 }
 
 func (v *voteSet) init(n int) {
 	if cap(v.digests) < n {
 		v.digests = make([]types.BlockID, n)
 		v.present = make([]bool, n)
-		return
+	} else {
+		v.digests = v.digests[:n]
+		v.present = v.present[:n]
+		for i := range v.present {
+			v.present[i] = false
+		}
 	}
-	v.digests = v.digests[:n]
-	v.present = v.present[:n]
-	for i := range v.present {
-		v.present[i] = false
-	}
+	v.tally = 0
+	v.tallyFor = types.BlockID{}
+	v.hasTally = false
 }
 
 // add records replica's vote; it reports false for duplicates.
@@ -87,19 +99,27 @@ func (v *voteSet) add(replica int, d types.BlockID) bool {
 	}
 	v.present[replica] = true
 	v.digests[replica] = d
+	if v.hasTally && d == v.tallyFor {
+		v.tally++
+	}
 	return true
 }
 
-// countMatching returns the number of recorded votes for digest.
-func (v *voteSet) countMatching(digest types.BlockID) int {
-	n := 0
+// setTally starts tracking the given digest, recounting votes already
+// recorded.
+func (v *voteSet) setTally(digest types.BlockID) {
+	v.tallyFor = digest
+	v.hasTally = true
+	v.tally = 0
 	for i, ok := range v.present {
 		if ok && v.digests[i] == digest {
-			n++
+			v.tally++
 		}
 	}
-	return n
 }
+
+// countFor returns the number of recorded votes for the tracked digest.
+func (v *voteSet) countFor() int { return v.tally }
 
 // slot tracks agreement state for one sequence number. Slots are pooled on
 // the engine: tryDeliver and view installation release them, and slotFor
@@ -149,6 +169,55 @@ func (e *Engine) freeSlot(s *slot) {
 	e.slotPool = append(e.slotPool, s)
 }
 
+// slotRing is a dense window of agreement slots indexed by sequence
+// number: the hot message path (slotFor/advance/tryDeliver) resolves a
+// sequence number with one shift-free masked index instead of a map
+// lookup. The ring covers [base, base+len); base tracks the engine's
+// nextDeliver, and the window grows (power-of-two, entries re-placed) on
+// the rare occasion a proposal outruns it.
+type slotRing struct {
+	ring []*slot // power-of-two length; entry for seq lives at seq&mask
+	base uint64  // lowest seq the window admits (== engine nextDeliver)
+	top  uint64  // one past the highest seq that may hold a slot
+}
+
+// get returns the slot for seq, or nil if absent or outside the window.
+func (r *slotRing) get(seq uint64) *slot {
+	if seq < r.base || seq >= r.top {
+		return nil
+	}
+	return r.ring[seq&uint64(len(r.ring)-1)]
+}
+
+// put installs the slot for seq (seq >= base), growing the ring on demand.
+func (r *slotRing) put(seq uint64, s *slot) {
+	if len(r.ring) == 0 {
+		r.ring = make([]*slot, 8)
+	}
+	for seq-r.base >= uint64(len(r.ring)) {
+		old := r.ring
+		grown := make([]*slot, 2*len(old))
+		for sq := r.base; sq < r.top; sq++ {
+			grown[sq&uint64(len(grown)-1)] = old[sq&uint64(len(old)-1)]
+		}
+		r.ring = grown
+	}
+	r.ring[seq&uint64(len(r.ring)-1)] = s
+	if seq >= r.top {
+		r.top = seq + 1
+	}
+}
+
+// advanceBase clears the slot at base and moves the window forward one
+// sequence number (delivery order).
+func (r *slotRing) advanceBase() {
+	r.ring[r.base&uint64(len(r.ring)-1)] = nil
+	r.base++
+	if r.top < r.base {
+		r.top = r.base
+	}
+}
+
 // Engine is one PBFT instance at one replica.
 type Engine struct {
 	cfg Config
@@ -160,7 +229,7 @@ type Engine struct {
 	vcTarget     uint64 // view we are trying to install while viewChanging
 	vcVotes      map[uint64]map[int]*ViewChange
 
-	slots       map[uint64]*slot
+	slots       slotRing
 	slotPool    []*slot // released slots awaiting reuse
 	nextDeliver uint64  // next sequence number to deliver
 	nextPropose uint64  // next sequence number this replica would propose
@@ -207,7 +276,6 @@ func New(cfg Config, tr Transport, sim *simnet.Sim) *Engine {
 		tr:          tr,
 		sim:         sim,
 		vcVotes:     make(map[uint64]map[int]*ViewChange),
-		slots:       make(map[uint64]*slot),
 		timeoutMult: 1,
 	}
 }
@@ -313,10 +381,10 @@ func (e *Engine) Handle(from int, msg Message) {
 }
 
 func (e *Engine) slotFor(seq uint64) *slot {
-	s, ok := e.slots[seq]
-	if !ok {
+	s := e.slots.get(seq)
+	if s == nil {
 		s = e.newSlot(e.view)
-		e.slots[seq] = s
+		e.slots.put(seq, s)
 	}
 	return s
 }
@@ -341,6 +409,8 @@ func (e *Engine) onPrePrepare(from int, m *PrePrepare) {
 	s.block = m.Block
 	s.digest = m.Block.Digest()
 	s.hasBlock = true
+	s.prepares.setTally(s.digest)
+	s.commits.setTally(s.digest)
 	// Backups (and the leader itself) echo a prepare vote.
 	if !e.cfg.Mute {
 		p := &Prepare{Instance: e.cfg.Instance, View: m.View, Seq: m.Seq, Digest: s.digest, Replica: e.cfg.ID}
@@ -379,15 +449,15 @@ func (e *Engine) onCommit(m *Commit) {
 
 // advance re-evaluates a slot's phase transitions after new evidence.
 func (e *Engine) advance(seq uint64) {
-	s, ok := e.slots[seq]
-	if !ok {
+	s := e.slots.get(seq)
+	if s == nil {
 		return
 	}
 	if s.hasBlock && !s.prepared {
 		// Prepared: pre-prepare + 2f matching prepares (the leader's own
 		// prepare counts as one of the 2f+1 total votes here since every
 		// replica broadcasts a prepare on accepting the proposal).
-		if s.prepares.countMatching(s.digest) >= e.cfg.Quorum() {
+		if s.prepares.countFor() >= e.cfg.Quorum() {
 			s.prepared = true
 			s.preparedView = s.view
 			s.preparedBlock = s.block
@@ -398,7 +468,7 @@ func (e *Engine) advance(seq uint64) {
 		}
 	}
 	if s.prepared && !s.committed {
-		if s.commits.countMatching(s.digest) >= e.cfg.Quorum() {
+		if s.commits.countFor() >= e.cfg.Quorum() {
 			s.committed = true
 		}
 	}
@@ -408,12 +478,12 @@ func (e *Engine) advance(seq uint64) {
 // tryDeliver delivers committed slots in sequence order.
 func (e *Engine) tryDeliver() {
 	for {
-		s, ok := e.slots[e.nextDeliver]
-		if !ok || !s.committed {
+		s := e.slots.get(e.nextDeliver)
+		if s == nil || !s.committed {
 			return
 		}
 		b := s.block
-		delete(e.slots, e.nextDeliver)
+		e.slots.advanceBase()
 		e.freeSlot(s)
 		e.nextDeliver++
 		e.delivered++
@@ -483,8 +553,8 @@ func (e *Engine) startViewChange(newView uint64) {
 	e.vcTarget = newView
 	e.progressDeadline = 0
 	var prepared []PreparedEntry
-	for seq, s := range e.slots {
-		if seq >= e.nextDeliver && s.preparedBlock != nil {
+	for seq := e.slots.base; seq < e.slots.top; seq++ {
+		if s := e.slots.get(seq); s != nil && seq >= e.nextDeliver && s.preparedBlock != nil {
 			prepared = append(prepared, PreparedEntry{Seq: seq, View: s.preparedView, Block: s.preparedBlock})
 		}
 	}
@@ -597,19 +667,20 @@ func (e *Engine) onNewView(from int, m *NewView) {
 		e.vcTimer.Stop()
 		e.vcTimer = nil
 	}
-	for seq := range e.slots {
-		if seq >= e.nextDeliver {
-			// Preserve the local prepared certificate (safety across views)
-			// while resetting vote state for the new view. The old slot is
-			// reset in place rather than pooled-and-replaced: nothing else
-			// holds a reference to it.
-			s := e.slots[seq]
-			pv, pb := s.preparedView, s.preparedBlock
-			prepares, commits := s.prepares, s.commits
-			*s = slot{prepares: prepares, commits: commits, view: m.View, preparedView: pv, preparedBlock: pb}
-			s.prepares.init(e.cfg.N)
-			s.commits.init(e.cfg.N)
+	for seq := e.slots.base; seq < e.slots.top; seq++ {
+		s := e.slots.get(seq)
+		if s == nil || seq < e.nextDeliver {
+			continue
 		}
+		// Preserve the local prepared certificate (safety across views)
+		// while resetting vote state for the new view. The old slot is
+		// reset in place rather than pooled-and-replaced: nothing else
+		// holds a reference to it.
+		pv, pb := s.preparedView, s.preparedBlock
+		prepares, commits := s.prepares, s.commits
+		*s = slot{prepares: prepares, commits: commits, view: m.View, preparedView: pv, preparedBlock: pb}
+		s.prepares.init(e.cfg.N)
+		s.commits.init(e.cfg.N)
 	}
 	// Clean up stale view-change votes.
 	for v := range e.vcVotes {

@@ -306,11 +306,11 @@ func TestDuplicateVotesNotDoubleCounted(t *testing.T) {
 	// Two distinct voters (the engine's own network prepare is still in
 	// flight in this unit test) are below the quorum of three no matter
 	// how many duplicates replica 1 sent.
-	if e.slots[0].prepared {
+	if e.slots.get(0).prepared {
 		t.Fatal("slot prepared from duplicate votes")
 	}
 	e.Handle(3, &Prepare{Instance: 0, View: 0, Seq: 0, Digest: d, Replica: 3})
-	if !e.slots[0].prepared {
+	if !e.slots.get(0).prepared {
 		t.Fatal("slot not prepared with quorum of distinct votes")
 	}
 }

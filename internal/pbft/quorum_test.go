@@ -65,25 +65,36 @@ func (dropTransport) Send(to, size int, msg Message)  {}
 // event-thrifty failure detector: when the deadline moves *earlier* than
 // an already-scheduled wakeup (a delivery reset timeoutMult after a view
 // change doubled it), the detector must still fire at the new, earlier
-// deadline rather than waiting for the stale wakeup.
+// deadline rather than waiting for the stale wakeup. The timer re-arm
+// audit for the scheduler overhaul runs it against both queue
+// implementations — the detector's stale-wakeup logic must not depend on
+// which queue delivers the wakeups.
 func TestProgressDetectorTracksShrinkingDeadline(t *testing.T) {
-	sim := simnet.New(1)
-	e := New(Config{N: 4, F: 1, ID: 1, Timeout: 10 * time.Second}, dropTransport{}, sim)
-	// Arm with a doubled timeout: wakeup scheduled at t=20s.
-	e.timeoutMult = 2
-	e.SetTarget(5)
-	// A successful delivery elsewhere resets the multiplier and re-arms:
-	// the deadline shrinks to t=10s, before the in-flight 20s wakeup.
-	e.timeoutMult = 1
-	e.resetProgressTimer()
-	sim.Run(simnet.Time(10*time.Second) - 1)
-	if e.viewChanging {
-		t.Fatal("view change before the 10s deadline")
+	for _, q := range []struct {
+		name string
+		kind simnet.QueueKind
+	}{{"wheel", simnet.QueueWheel}, {"heap", simnet.QueueHeap}} {
+		t.Run(q.name, func(t *testing.T) {
+			sim := simnet.NewWithQueue(1, q.kind)
+			e := New(Config{N: 4, F: 1, ID: 1, Timeout: 10 * time.Second}, dropTransport{}, sim)
+			// Arm with a doubled timeout: wakeup scheduled at t=20s.
+			e.timeoutMult = 2
+			e.SetTarget(5)
+			// A successful delivery elsewhere resets the multiplier and
+			// re-arms: the deadline shrinks to t=10s, before the in-flight
+			// 20s wakeup.
+			e.timeoutMult = 1
+			e.resetProgressTimer()
+			sim.Run(simnet.Time(10*time.Second) - 1)
+			if e.viewChanging {
+				t.Fatal("view change before the 10s deadline")
+			}
+			sim.Run(simnet.Time(10 * time.Second))
+			if !e.viewChanging {
+				t.Fatal("detector missed the shrunk 10s deadline (stale 20s wakeup)")
+			}
+			// The stale wakeup at 20s must fire as a no-op.
+			sim.Run(simnet.Time(25 * time.Second))
+		})
 	}
-	sim.Run(simnet.Time(10 * time.Second))
-	if !e.viewChanging {
-		t.Fatal("detector missed the shrunk 10s deadline (stale 20s wakeup)")
-	}
-	// The stale wakeup at 20s must fire as a no-op.
-	sim.Run(simnet.Time(25 * time.Second))
 }

@@ -20,7 +20,7 @@ package sb
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/simnet"
 	"repro/internal/types"
@@ -179,7 +179,7 @@ func (inst *Instance) quorumTimesFor(blockSize int) *quorumTimes {
 		for i := 0; i < n; i++ {
 			inst.tmp[i] = inst.arrive[i] + simnet.Time(inst.nw.BaseDelay(i, j, ctrl))
 		}
-		sort.Slice(inst.tmp, func(a, b int) bool { return inst.tmp[a] < inst.tmp[b] })
+		slices.Sort(inst.tmp)
 		p := inst.tmp[quorum-1]
 		if inst.arrive[j] > p {
 			p = inst.arrive[j]
@@ -192,7 +192,7 @@ func (inst *Instance) quorumTimesFor(blockSize int) *quorumTimes {
 		for i := 0; i < n; i++ {
 			inst.tmp[i] = inst.prepared[i] + simnet.Time(inst.nw.BaseDelay(i, j, ctrl))
 		}
-		sort.Slice(inst.tmp, func(a, b int) bool { return inst.tmp[a] < inst.tmp[b] })
+		slices.Sort(inst.tmp)
 		c := inst.tmp[quorum-1]
 		if inst.prepared[j] > c {
 			c = inst.prepared[j]

@@ -1,0 +1,200 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Differential tests: the timing-wheel queue and the reference heap must
+// produce the identical pop order for every (at, seq) workload — the
+// wheel's whole correctness argument reduces to "indistinguishable from
+// the heap".
+
+// popAll drains q and returns the (at, seq) sequence observed.
+func popAll(q eventQueue) [][2]int64 {
+	var out [][2]int64
+	for {
+		e := q.pop()
+		if e == nil {
+			return out
+		}
+		out = append(out, [2]int64{int64(e.at), int64(e.seq)})
+	}
+}
+
+// TestQueueDifferentialPopOrder drives both queue implementations through
+// identical randomized push/pop interleavings — clustered timestamps,
+// same-timestamp FIFO runs, sparse far-future outliers that force the
+// wheel's year wraparound, and mid-stream pops — and asserts the popped
+// (at, seq) sequences match element for element.
+func TestQueueDifferentialPopOrder(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		wheel := newWheelQueue()
+		ref := &heapQueue{}
+		var seq uint64
+		var clock Time
+		n := 200 + rng.Intn(800)
+		push := func(at Time) {
+			seq++
+			wheel.push(&event{at: at, seq: seq})
+			ref.push(&event{at: at, seq: seq})
+		}
+		for i := 0; i < n; i++ {
+			switch rng.Intn(10) {
+			case 0: // far-future outlier (timer-like): exercises year wrap
+				push(clock + Time(rng.Int63n(int64(20*time.Second))))
+			case 1, 2: // same-timestamp FIFO lane
+				at := clock + Time(rng.Intn(1000))
+				for j := 0; j < 1+rng.Intn(5); j++ {
+					push(at)
+				}
+			case 3: // interleaved pop run: advances the clock like Step does
+				for j := 0; j < rng.Intn(8); j++ {
+					we, he := wheel.pop(), ref.pop()
+					if (we == nil) != (he == nil) {
+						t.Fatalf("seed %d: pop emptiness diverged", seed)
+					}
+					if we == nil {
+						break
+					}
+					if we.at != he.at || we.seq != he.seq {
+						t.Fatalf("seed %d: pop diverged: wheel (%d,%d) heap (%d,%d)",
+							seed, we.at, we.seq, he.at, he.seq)
+					}
+					if we.at > clock {
+						clock = we.at
+					}
+				}
+			default: // clustered deliveries around the clock
+				push(clock + Time(rng.Int63n(int64(300*time.Millisecond))))
+			}
+			if wheel.len() != ref.len() {
+				t.Fatalf("seed %d: length diverged: wheel %d heap %d", seed, wheel.len(), ref.len())
+			}
+		}
+		w, h := popAll(wheel), popAll(ref)
+		if len(w) != len(h) {
+			t.Fatalf("seed %d: drained %d vs %d events", seed, len(w), len(h))
+		}
+		for i := range w {
+			if w[i] != h[i] {
+				t.Fatalf("seed %d: drain diverged at %d: wheel (%d,%d) heap (%d,%d)",
+					seed, i, w[i][0], w[i][1], h[i][0], h[i][1])
+			}
+		}
+	}
+}
+
+// TestQueueDifferentialQuick is the testing/quick version: arbitrary
+// timestamp vectors (interpreted as offsets, so pathological clustering
+// and huge gaps both occur) must drain identically from both queues.
+func TestQueueDifferentialQuick(t *testing.T) {
+	f := func(offsets []uint32, popEvery uint8) bool {
+		wheel := newWheelQueue()
+		ref := &heapQueue{}
+		var seq uint64
+		var clock Time
+		step := int(popEvery%7) + 2
+		for i, off := range offsets {
+			at := clock + Time(uint64(off)*uint64(1+i%3))
+			seq++
+			wheel.push(&event{at: at, seq: seq})
+			ref.push(&event{at: at, seq: seq})
+			if i%step == 0 {
+				we, he := wheel.pop(), ref.pop()
+				if we == nil || he == nil || we.at != he.at || we.seq != he.seq {
+					return false
+				}
+				if we.at > clock {
+					clock = we.at
+				}
+			}
+		}
+		w, h := popAll(wheel), popAll(ref)
+		if len(w) != len(h) {
+			return false
+		}
+		for i := range w {
+			if w[i] != h[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// simTrace runs a deterministic mixed workload — network deliveries with
+// reentrant sends, plain callbacks, cancelled timers, a mid-run Halt with
+// resumption, and a Reset that reuses pooled nodes for a second round —
+// and returns the (at, seq) execution trace.
+func simTrace(kind QueueKind, seed int64) [][2]int64 {
+	var trace [][2]int64
+	s := NewWithQueue(seed, kind)
+	for round := 0; round < 2; round++ {
+		s.Reset(seed + int64(round))
+		rng := rand.New(rand.NewSource(seed*31 + int64(round)))
+		nw := NewNetwork(s, 4, FixedModel{D: time.Millisecond})
+		record := func() { trace = append(trace, [2]int64{int64(s.Now()), int64(s.seq)}) }
+		for i := 0; i < 4; i++ {
+			nw.Register(i, func(from int, msg any) {
+				record()
+				if m, ok := msg.(int); ok && m > 0 && rng.Intn(3) == 0 {
+					nw.Send(from, m%4, 64, m-1)
+				}
+			})
+		}
+		n := 150 + rng.Intn(150)
+		haltAt := rng.Intn(n)
+		for i := 0; i < n; i++ {
+			i := i
+			switch rng.Intn(4) {
+			case 0:
+				nw.Send(rng.Intn(4), rng.Intn(4), 128, rng.Intn(8))
+			case 1:
+				s.After(Duration(rng.Int63n(int64(5*time.Second))), func() {
+					record()
+					if i == haltAt {
+						s.Halt()
+					}
+				})
+			case 2:
+				tm := s.AfterTimer(Duration(rng.Intn(2000)), record)
+				if rng.Intn(3) == 0 {
+					tm.Stop()
+				}
+			default:
+				s.CallAfter(Duration(rng.Intn(100)), func(a, b any) { record() }, nil, nil)
+			}
+		}
+		s.RunAll(0) // may stop early at the Halt
+		s.halted = false
+		s.RunAll(0) // resume and drain
+	}
+	return trace
+}
+
+// TestSimDifferentialTrace pins the scheduler end to end: the same seeded
+// workload — including Halt mid-run, resumption, and pooled-node reuse
+// across a Reset — executes in the identical (at, seq) order on the wheel
+// and on the reference heap.
+func TestSimDifferentialTrace(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		w := simTrace(QueueWheel, seed)
+		h := simTrace(QueueHeap, seed)
+		if len(w) != len(h) {
+			t.Fatalf("seed %d: trace lengths diverged: wheel %d heap %d", seed, len(w), len(h))
+		}
+		for i := range w {
+			if w[i] != h[i] {
+				t.Fatalf("seed %d: trace diverged at %d: wheel (%d,%d) heap (%d,%d)",
+					seed, i, w[i][0], w[i][1], h[i][0], h[i][1])
+			}
+		}
+	}
+}

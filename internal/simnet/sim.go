@@ -8,6 +8,12 @@
 // order (a monotone sequence number breaks ties), and all randomness flows
 // through a seeded generator, so every experiment is exactly reproducible.
 //
+// Scheduling: the event queue is an O(1)-amortized calendar/timing-wheel
+// queue (wheel.go); the original binary min-heap survives as the
+// reference implementation (heap.go, QueueHeap) that the differential
+// property tests compare the wheel against. Both pop in the identical
+// total order (at, seq), so results never depend on the choice.
+//
 // Allocation model: events are pooled. An executed event returns to a free
 // list the moment its callback finishes, and the next At/Send reuses it, so
 // a steady-state simulation allocates no event objects at all. Message
@@ -19,7 +25,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -37,16 +42,30 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Seconds returns the time in seconds.
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
-// event is one scheduled callback. Exactly one of the three callback forms
-// is set: fn (a plain closure), call (a closure-free function pointer with
-// two operands), or nw (a network delivery encoded as fields). Events are
-// pooled: Step releases an event back to the simulator's free list after
-// its callback returns, zeroing every field first.
+// event is one scheduled callback. Exactly one of the two callback forms
+// is set: call (a function pointer with two operands — plain closures and
+// cancellable timers ride in the operands, which hold func and pointer
+// values without boxing allocations) or nw (a network delivery encoded as
+// fields). Events are pooled: Step releases an event back to the
+// simulator's free list after its callback returns, zeroing every field
+// first. The struct is laid out to keep a popped event's queue links and
+// ordering key on its first cache line, and the whole event in two.
 type event struct {
 	at  Time
 	seq uint64
 
-	fn func()
+	// next, skip and runTail chain events inside one timing-wheel bucket
+	// (wheel.go): the wheel queues pooled events intrusively, so
+	// scheduling allocates no container nodes at all. next links the full
+	// (at, seq) order; skip links the heads of same-timestamp runs (the
+	// FIFO lanes) so an insert hops over a lane in one step; runTail, on a
+	// lane's head, points at its last member for O(1) lane appends. All
+	// three are owned by the queue and nil outside it. They sit next to
+	// the ordering key so the queue's pop/insert path touches one cache
+	// line of a cold event.
+	next    *event
+	skip    *event
+	runTail *event
 
 	// Closure-free callback: call(argA, argB). Used for hot-path events
 	// (message deliveries to replicas, client submissions, timer wakeups)
@@ -58,50 +77,86 @@ type event struct {
 	// to through nw's handler table, re-checking liveness and link state at
 	// delivery time.
 	nw       *Network
-	from, to int
-	size     int
+	from, to int32
+	size     int32
 	msg      any
-
-	// timer, when non-nil, gates the callback: a stopped timer turns the
-	// event into a no-op.
-	timer *Timer
 }
 
-// eventQueue is a min-heap over (at, seq).
-type eventQueue []*event
+// runFunc adapts a plain closure to the two-operand callback form (the
+// func value rides in argA; pointer-shaped, so no boxing allocation).
+func runFunc(a, _ any) { a.(func())() }
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// runTimer adapts a cancellable callback: the closure rides in argA, the
+// timer gate in argB.
+func runTimer(a, b any) {
+	if !b.(*Timer).stopped {
+		a.(func())()
 	}
-	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+
+// QueueKind selects the scheduler's event-queue implementation at Sim
+// construction.
+type QueueKind int
+
+// The two queue implementations. QueueWheel is the default: an
+// O(1)-amortized calendar/timing-wheel queue (wheel.go). QueueHeap is the
+// original binary min-heap, retained as the reference implementation for
+// the differential property tests and available for cross-checking runs.
+const (
+	QueueWheel QueueKind = iota
+	QueueHeap
+)
 
 // Sim is the discrete-event engine.
 type Sim struct {
 	now    Time
 	seq    uint64
-	queue  eventQueue
+	q      eventQueue
 	pool   []*event // free list of released events
 	rng    *rand.Rand
 	events uint64 // total events processed, for accounting
 	halted bool
 }
 
-// New creates a simulator with a seeded deterministic RNG.
+// New creates a simulator with a seeded deterministic RNG, backed by the
+// default timing-wheel queue.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	return NewWithQueue(seed, QueueWheel)
+}
+
+// NewWithQueue creates a simulator backed by the given queue
+// implementation. Both implementations pop events in the identical total
+// order (at, seq) — pinned by the differential property tests — so results
+// never depend on the choice; only performance does.
+func NewWithQueue(seed int64, kind QueueKind) *Sim {
+	var q eventQueue
+	if kind == QueueHeap {
+		q = &heapQueue{}
+	} else {
+		q = newWheelQueue()
+	}
+	return &Sim{q: q, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reset returns the simulator to its just-constructed state — clock at
+// zero, no queued events, counters cleared, RNG reseeded — while keeping
+// every arena it has grown: the event free list, queue bucket capacity and
+// scratch buffers all carry over. Queued events are released (zeroed) into
+// the pool, so no references from the previous run survive. A reset Sim
+// behaves exactly like New(seed): benchmark iterations and RunMany sweeps
+// reuse one simulator per worker instead of re-growing these arenas every
+// run (see cluster.Run).
+func (s *Sim) Reset(seed int64) {
+	s.q.forEach(func(e *event) {
+		*e = event{}
+		s.pool = append(s.pool, e)
+	})
+	s.q.reset()
+	s.now = 0
+	s.seq = 0
+	s.events = 0
+	s.halted = false
+	s.rng.Seed(seed)
 }
 
 // Now returns the current virtual time.
@@ -114,7 +169,7 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 func (s *Sim) EventsProcessed() uint64 { return s.events }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.queue) }
+func (s *Sim) Pending() int { return s.q.len() }
 
 // alloc takes an event from the pool (or allocates the pool's first use of
 // this slot). The returned event is zeroed except for pooling bookkeeping.
@@ -145,13 +200,13 @@ func (s *Sim) schedule(e *event, t Time) {
 	}
 	s.seq++
 	e.at, e.seq = t, s.seq
-	heap.Push(&s.queue, e)
+	s.q.push(e)
 }
 
 // At schedules fn at absolute virtual time t (clamped to now).
 func (s *Sim) At(t Time, fn func()) {
 	e := s.alloc()
-	e.fn = fn
+	e.call, e.argA = runFunc, fn
 	s.schedule(e, t)
 }
 
@@ -189,18 +244,17 @@ func (t *Timer) Stopped() bool { return t.stopped }
 func (s *Sim) AfterTimer(d Duration, fn func()) *Timer {
 	t := &Timer{}
 	e := s.alloc()
-	e.fn = fn
-	e.timer = t
+	e.call, e.argA, e.argB = runTimer, fn, t
 	s.schedule(e, s.now+Time(d))
 	return t
 }
 
 // Step executes the next event. It returns false when the queue is empty.
 func (s *Sim) Step() bool {
-	if len(s.queue) == 0 {
+	e := s.q.pop()
+	if e == nil {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*event)
 	s.now = e.at
 	s.events++
 	s.dispatch(e)
@@ -212,18 +266,10 @@ func (s *Sim) Step() bool {
 // caller (Step), which releases it afterwards; callbacks never see the
 // event itself, so they cannot retain it past release.
 func (s *Sim) dispatch(e *event) {
-	if e.timer != nil && e.timer.stopped {
-		return
-	}
-	switch {
-	case e.nw != nil:
-		e.nw.deliver(e.from, e.to, e.size, e.msg)
-	case e.call != nil:
+	if e.nw != nil {
+		e.nw.deliver(int(e.from), int(e.to), int(e.size), e.msg)
+	} else if e.call != nil {
 		e.call(e.argA, e.argB)
-	default:
-		if e.fn != nil {
-			e.fn()
-		}
 	}
 }
 
@@ -237,10 +283,18 @@ func (s *Sim) Halt() { s.halted = true }
 func (s *Sim) Halted() bool { return s.halted }
 
 // Run executes events until the queue drains, virtual time exceeds until,
-// or Halt is called from an event.
+// or Halt is called from an event. The loop uses the queue's fused
+// conditional pop, probing the queue once per event.
 func (s *Sim) Run(until Time) {
-	for !s.halted && len(s.queue) > 0 && s.queue[0].at <= until {
-		s.Step()
+	for !s.halted {
+		e := s.q.popLE(until)
+		if e == nil {
+			break
+		}
+		s.now = e.at
+		s.events++
+		s.dispatch(e)
+		s.release(e)
 	}
 	if s.now < until && !s.halted {
 		s.now = until
@@ -252,7 +306,7 @@ func (s *Sim) Run(until Time) {
 // events executed.
 func (s *Sim) RunAll(maxEvents uint64) uint64 {
 	start := s.events
-	for !s.halted && len(s.queue) > 0 {
+	for !s.halted && s.q.len() > 0 {
 		if maxEvents > 0 && s.events-start >= maxEvents {
 			break
 		}
@@ -269,6 +323,16 @@ type Network struct {
 	sim      *Sim
 	model    LatencyModel
 	handlers []Handler
+	// Latency fast path: when the model is a *GeoModel, the per-link base
+	// propagation delays are precomputed into one flat n*n matrix at
+	// topology build (NewNetwork), so a Send samples its delay with two
+	// slice loads and one RNG draw — no interface dispatch and no RegionOf
+	// closure calls. The model's BandwidthBps and JitterFrac are read live
+	// (cluster.Run mutates them after construction); the region assignment
+	// and base-latency table are snapshotted and must not change after
+	// NewNetwork.
+	geo      *GeoModel
+	pairBase []Duration
 	// outScale multiplies all delays for messages *sent by* a node; used to
 	// model a straggler whose instance runs 10x slower (Sec. VII-A).
 	outScale []float64
@@ -297,14 +361,34 @@ type Network struct {
 }
 
 // NewNetwork creates a network for n nodes over the given latency model.
+// A *GeoModel enables the precomputed per-link fast path (see Network).
 func NewNetwork(sim *Sim, n int, model LatencyModel) *Network {
-	return &Network{
+	nw := &Network{
 		sim:      sim,
 		model:    model,
 		handlers: make([]Handler, n),
 		outScale: onesVec(n),
 		down:     make([]bool, n),
 	}
+	if g, ok := model.(*GeoModel); ok {
+		nw.geo = g
+		nw.pairBase = make([]Duration, n*n)
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				var base Duration
+				if from == to {
+					base = g.LocalDelay
+				} else {
+					base = g.BaseLatency[g.RegionOf(from)][g.RegionOf(to)]
+					if base == 0 {
+						base = g.LocalDelay
+					}
+				}
+				nw.pairBase[from*n+to] = base
+			}
+		}
+	}
+	return nw
 }
 
 func onesVec(n int) []float64 {
@@ -427,11 +511,30 @@ func (nw *Network) SetNICBps(bps float64) {
 	}
 }
 
+// fastBase returns the jitter-free delay along the precomputed fast path,
+// replicating GeoModel.Base's arithmetic exactly (operation order matters:
+// the artifacts must stay byte-identical to the interface path).
+func (nw *Network) fastBase(from, to, size int) Duration {
+	base := nw.pairBase[from*len(nw.handlers)+to]
+	if bps := nw.geo.BandwidthBps; bps > 0 && size > 0 {
+		base += Duration(float64(size) * 8 / bps * float64(time.Second))
+	}
+	return base
+}
+
 // Delay returns the modeled propagation delay for a message of size bytes
 // from -> to, including the sender's straggler scaling (NIC queueing is
 // applied separately in Send). Exposed for the analytic SB.
 func (nw *Network) Delay(from, to, size int) Duration {
-	d := nw.model.Delay(from, to, size, nw.sim.rng)
+	var d Duration
+	if nw.geo != nil {
+		d = nw.fastBase(from, to, size)
+		if jf := nw.geo.JitterFrac; jf > 0 {
+			d += Duration(nw.sim.rng.Float64() * jf * float64(d))
+		}
+	} else {
+		d = nw.model.Delay(from, to, size, nw.sim.rng)
+	}
 	return Duration(float64(d) * nw.outScale[from])
 }
 
@@ -439,7 +542,12 @@ func (nw *Network) Delay(from, to, size int) Duration {
 // size bytes from -> to, including the sender's straggler scaling. The
 // analytic sequenced-broadcast layer uses it for closed-form quorum times.
 func (nw *Network) BaseDelay(from, to, size int) Duration {
-	d := nw.model.Base(from, to, size)
+	var d Duration
+	if nw.geo != nil {
+		d = nw.fastBase(from, to, size)
+	} else {
+		d = nw.model.Base(from, to, size)
+	}
 	return Duration(float64(d) * nw.outScale[from])
 }
 
@@ -482,7 +590,7 @@ func (nw *Network) Send(from, to, size int, msg any) {
 		deliverAt = nw.sim.now + Time(prop)
 	}
 	e := nw.sim.alloc()
-	e.nw, e.from, e.to, e.size, e.msg = nw, from, to, size, msg
+	e.nw, e.from, e.to, e.size, e.msg = nw, int32(from), int32(to), int32(size), msg
 	nw.sim.schedule(e, deliverAt)
 }
 

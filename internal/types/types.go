@@ -147,6 +147,14 @@ type Transaction struct {
 	Payload  []byte // opaque payload (models the 500-byte tx body)
 	SubmitNS int64  // client submit time (virtual ns); not hashed
 
+	// Idx is a dense 1-based per-run index stamped by the submission layer
+	// (cluster.Run). It is not part of the content digest and carries no
+	// protocol meaning; replicas use it to index per-transaction state with
+	// a slice instead of hashing the 32-byte ID. 0 means "unindexed" —
+	// consumers must fall back to ID-keyed maps (transactions built
+	// directly by tests or custom sources).
+	Idx uint64
+
 	id     TxID
 	hashed bool
 }

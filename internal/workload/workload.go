@@ -76,6 +76,10 @@ type Generator struct {
 	rng   *rand.Rand
 	zipf  *rand.Zipf
 	nonce uint64
+	// accounts and records cache rendered key strings by index (lazily
+	// filled): key construction is on the per-transaction hot path.
+	accounts []types.Key
+	records  []types.Key
 }
 
 // New creates a generator; unset Config fields take the paper's defaults.
@@ -118,20 +122,59 @@ func paddedKey(prefix string, i, width int) types.Key {
 	return types.Key(buf)
 }
 
-// Genesis returns the ledger initializer matching the generator's accounts.
+// Genesis returns the ledger initializer matching the generator's
+// accounts. It warms the generator's key caches, so every key string is
+// rendered exactly once per generator and shared by all the stores the
+// closure initializes (one per replica).
 func (g *Generator) Genesis() func(st *ledger.Store) {
 	cfg := g.cfg
+	accounts := make([]types.Key, cfg.Accounts)
+	for i := range accounts {
+		accounts[i] = g.accountKey(i)
+	}
+	records := make([]types.Key, cfg.SharedRecords)
+	for i := range records {
+		records[i] = g.recordKey(i)
+	}
 	return func(st *ledger.Store) {
-		for i := 0; i < cfg.Accounts; i++ {
-			st.Credit(Account(i), cfg.InitialBalance)
+		for _, k := range accounts {
+			st.Credit(k, cfg.InitialBalance)
 		}
-		for i := 0; i < cfg.SharedRecords; i++ {
-			st.SetShared(Record(i), 0)
+		for _, k := range records {
+			st.SetShared(k, 0)
 		}
 	}
 }
 
-func (g *Generator) pickAccount() types.Key { return Account(int(g.zipf.Uint64())) }
+// accountKey returns Account(i) through the generator's lazily filled
+// cache: the generator draws the same few thousand keys for the whole
+// run, and rendering one costs an allocation.
+func (g *Generator) accountKey(i int) types.Key {
+	if g.accounts == nil {
+		g.accounts = make([]types.Key, g.cfg.Accounts)
+	}
+	if k := g.accounts[i]; k != "" {
+		return k
+	}
+	k := Account(i)
+	g.accounts[i] = k
+	return k
+}
+
+// recordKey is accountKey for shared records.
+func (g *Generator) recordKey(i int) types.Key {
+	if g.records == nil {
+		g.records = make([]types.Key, g.cfg.SharedRecords)
+	}
+	if k := g.records[i]; k != "" {
+		return k
+	}
+	k := Record(i)
+	g.records[i] = k
+	return k
+}
+
+func (g *Generator) pickAccount() types.Key { return g.accountKey(int(g.zipf.Uint64())) }
 
 func (g *Generator) pickOther(not types.Key) types.Key {
 	for i := 0; i < 100; i++ {
@@ -142,7 +185,7 @@ func (g *Generator) pickOther(not types.Key) types.Key {
 	}
 	// Degenerate skew: fall back to a uniform draw.
 	for {
-		k := Account(g.rng.Intn(g.cfg.Accounts))
+		k := g.accountKey(g.rng.Intn(g.cfg.Accounts))
 		if k != not {
 			return k
 		}
@@ -181,10 +224,10 @@ func (g *Generator) nextContract() *types.Transaction {
 	for len(callers) < g.cfg.ContractCallers {
 		callers = append(callers, g.pickOther(caller))
 	}
-	rec := Record(g.rng.Intn(g.cfg.SharedRecords))
+	rec := g.recordKey(g.rng.Intn(g.cfg.SharedRecords))
 	ops := []types.Op{types.NewSharedAssign(rec, g.amount())}
 	if g.rng.Intn(2) == 0 {
-		ops = append(ops, types.NewSharedRead(Record(g.rng.Intn(g.cfg.SharedRecords))))
+		ops = append(ops, types.NewSharedRead(g.recordKey(g.rng.Intn(g.cfg.SharedRecords))))
 	}
 	return types.NewContractCall(caller, callers, 1, ops, g.nonce)
 }
