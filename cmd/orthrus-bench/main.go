@@ -76,7 +76,8 @@ func selectFigures(fig string) ([]string, error) {
 }
 
 // printList enumerates everything the registry-driven toolchain knows:
-// registered protocols, reproducible figures and preset scenarios.
+// registered protocols, reproducible figures, preset scenarios and
+// Byzantine attack presets.
 func printList(w io.Writer) {
 	fmt.Fprintln(w, "protocols (-protocol names are case-sensitive):")
 	for _, p := range orthrus.Protocols() {
@@ -88,6 +89,10 @@ func printList(w io.Writer) {
 	}
 	fmt.Fprintln(w, "\nscenarios (-scenario, figure S1 only):")
 	for _, name := range orthrus.ScenarioPresets() {
+		fmt.Fprintf(w, "  %-19s %s\n", name, scenariodsl.Describe(name))
+	}
+	fmt.Fprintln(w, "\nattack presets (figure S2):")
+	for _, name := range orthrus.AttackPresets() {
 		fmt.Fprintf(w, "  %-19s %s\n", name, scenariodsl.Describe(name))
 	}
 }

@@ -100,10 +100,10 @@ func TestSelectFigures(t *testing.T) {
 		in   string
 		want []string
 	}{
-		{"all", []string{"1b", "3", "4", "5", "6", "7", "8", "S1", "F-scale"}},
+		{"all", []string{"1b", "3", "4", "5", "6", "7", "8", "S1", "S2", "F-scale"}},
 		{"3,3", []string{"3"}},
 		{"6, 1b ,6", []string{"6", "1b"}},
-		{"3,all", []string{"3", "1b", "4", "5", "6", "7", "8", "S1", "F-scale"}},
+		{"3,all", []string{"3", "1b", "4", "5", "6", "7", "8", "S1", "S2", "F-scale"}},
 	}
 	for _, c := range cases {
 		got, err := selectFigures(c.in)

@@ -52,7 +52,7 @@ func run(args []string, w, stderr io.Writer) error {
 	faults := fs.Int("faults", 0, "replicas to crash at -fault-at (detectable faults)")
 	faultAt := fs.Duration("fault-at", 9*time.Second, "crash injection time")
 	byzantine := fs.Int("byzantine", 0, "undetectable (selective-participation) faulty replicas")
-	scn := fs.String("scenario", "", "preset fault/load scenario: "+strings.Join(scenariodsl.Presets(), ", ")+" (requires message-level PBFT)")
+	scn := fs.String("scenario", "", "preset fault/load or attack scenario: "+strings.Join(append(scenariodsl.Presets(), scenariodsl.AttackPresets()...), ", ")+" (requires message-level PBFT)")
 	scnFile := fs.String("scenario-file", "", "path to a scenario-DSL file (see scenariodsl.Parse; exclusive with -scenario)")
 	load := fs.Float64("load", 10000, "client load in tx/s")
 	duration := fs.Duration("duration", 15*time.Second, "submission window")

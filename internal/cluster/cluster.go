@@ -81,6 +81,10 @@ type Config struct {
 	EpochLen     uint64
 	ViewTimeout  time.Duration
 	TxSize       int
+	// CensorshipBlocks is the per-bucket censorship detector's patience in
+	// delivered blocks (Sec. V-B); 0 selects the replica default of 64.
+	// Lower it when a scenario censors leaders so detection fits the run.
+	CensorshipBlocks uint64
 
 	// AnalyticSB swaps message-level PBFT for the closed-form quorum-time
 	// SB (fault-free runs only; stragglers are supported).
@@ -109,6 +113,10 @@ type Config struct {
 	// window is final — mid-run for phases that close before the run ends,
 	// at finalization for the rest. Requires a Scenario.
 	OnPhase func(p PhaseWindow)
+	// OnBlockDeliver fires on every worker-instance block delivery at every
+	// replica, before execution. The safety property suite records
+	// (replica, instance, SN, digest) through it; nil costs nothing.
+	OnBlockDeliver func(replica, instance int, b *types.Block)
 	// Halt is polled at every 0.5 s window boundary; returning true stops
 	// the simulation immediately (Result.Halted) with whatever has been
 	// measured so far. The public SDK wires context cancellation here.
@@ -387,15 +395,16 @@ func Run(cfg Config) *Result {
 		i := i
 		ccfg := core.Config{
 			N: n, F: f, ID: i, M: n,
-			Mode:         cfg.Protocol,
-			BatchSize:    cfg.BatchSize,
-			BatchTimeout: cfg.BatchTimeout,
-			Window:       cfg.Window,
-			ViewTimeout:  cfg.ViewTimeout,
-			TxSize:       cfg.TxSize,
-			EpochLen:     cfg.EpochLen,
-			Genesis:      genesis,
-			TraceStages:  i == 0,
+			Mode:             cfg.Protocol,
+			BatchSize:        cfg.BatchSize,
+			BatchTimeout:     cfg.BatchTimeout,
+			Window:           cfg.Window,
+			ViewTimeout:      cfg.ViewTimeout,
+			TxSize:           cfg.TxSize,
+			EpochLen:         cfg.EpochLen,
+			CensorshipBlocks: cfg.CensorshipBlocks,
+			Genesis:          genesis,
+			TraceStages:      i == 0,
 			OnConfirm: func(tx *types.Transaction, success bool, at simnet.Time) {
 				if tx.Idx == 0 || tx.Idx > uint64(len(meta)) {
 					return
@@ -432,6 +441,11 @@ func Run(cfg Config) *Result {
 					res.ViewChanges++
 				}
 			},
+		}
+		if cfg.OnBlockDeliver != nil {
+			ccfg.OnBlockDeliver = func(instance int, b *types.Block) {
+				cfg.OnBlockDeliver(i, instance, b)
+			}
 		}
 		// Straggled instances are led by the highest-index replicas.
 		if cfg.Stragglers > 0 && i >= n-cfg.Stragglers {
@@ -496,6 +510,9 @@ func Run(cfg Config) *Result {
 			Partition:  func(groups [][]int) { nw.Partition(groups...) },
 			Heal:       nw.Heal,
 			LoadFactor: func(mult float64) { loadMult = mult },
+			Equivocate: func(id int) { replicas[id].SetEquivocate(true) },
+			Censor:     func(id int) { replicas[id].SetCensorAll(true) },
+			MuteLeader: func(id int) { replicas[id].SetMuteLeader(true) },
 		})
 	}
 

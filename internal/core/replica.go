@@ -62,6 +62,11 @@ type Config struct {
 	OnConfirm func(tx *types.Transaction, success bool, at simnet.Time)
 	// OnViewChange fires when an instance installs a new view.
 	OnViewChange func(instance int, view uint64, at simnet.Time)
+	// OnBlockDeliver fires on every worker-instance SB delivery, before the
+	// block executes. The safety property suite records (instance, SN,
+	// digest) triples through it to assert no two honest replicas ever
+	// deliver conflicting blocks; nil costs nothing.
+	OnBlockDeliver func(instance int, b *types.Block)
 
 	// Keys signs proposals; optional (nil disables signing, which large
 	// simulations use — the channels are authenticated either way).
@@ -158,6 +163,14 @@ type Replica struct {
 	// last complained about (0 = never), so the censorship detector votes
 	// once per view.
 	lastComplain []uint64
+
+	// adversary holds this replica's Byzantine behavior switches; every
+	// PBFT engine of the replica shares a pointer to it, so a scenario
+	// event flips the behavior across all instances the replica leads.
+	adversary pbft.Adversary
+	// censorAll makes the replica censor every transaction while leading
+	// (the scenario-driven variant of the cfg.Censor predicate).
+	censorAll bool
 
 	// Counters.
 	confirmedOK  uint64
@@ -287,7 +300,8 @@ func (r *Replica) pbftBuilder() SBBuilder {
 			OnViewChange: hooks.OnViewChange,
 			// A Byzantine selective-participation replica votes only in the
 			// instance it initially leads (instance index == replica ID).
-			Mute: r.cfg.ByzantineMute && instance != r.cfg.ID,
+			Mute:      r.cfg.ByzantineMute && instance != r.cfg.ID,
+			Adversary: &r.adversary,
 		}
 		return pbft.New(ecfg, &instanceTransport{nw: r.nw, id: r.cfg.ID}, r.sim)
 	}
@@ -359,6 +373,23 @@ func (r *Replica) Recover() {
 		r.schedulePulse(i)
 	}
 }
+
+// SetEquivocate switches the replica's equivocating-leader behavior at
+// runtime (scenario attack injection): from the next proposal on, every
+// block it leads is proposed in two conflicting versions to disjoint
+// replica halves. The flag is shared by all of the replica's PBFT engines.
+func (r *Replica) SetEquivocate(on bool) { r.adversary.Equivocate = on }
+
+// SetMuteLeader silences (or restores) the replica's leader role at
+// runtime: proposals and NewView messages are swallowed while votes
+// continue, forcing view changes in every instance it leads.
+func (r *Replica) SetMuteLeader(on bool) { r.adversary.MuteLeader = on }
+
+// SetCensorAll makes the replica censor every pending transaction while
+// leading (or stops doing so): it keeps proposing empty blocks, so only
+// the bucket-aging censorship detector at honest replicas can rotate it
+// out.
+func (r *Replica) SetCensorAll(on bool) { r.censorAll = on }
 
 // SetPulseScale changes the replica's proposal-pulse multiplier at runtime
 // (scenario straggler injection): the next scheduled pulse picks it up.
@@ -503,7 +534,7 @@ func (r *Replica) pulse(instance int) {
 	batch := pulled[:0]
 	var requeue []*types.Transaction
 	for _, tx := range pulled {
-		if r.cfg.Censor != nil && r.cfg.Censor(tx) {
+		if r.censorAll || (r.cfg.Censor != nil && r.cfg.Censor(tx)) {
 			requeue = append(requeue, tx) // Byzantine: silently skip
 			continue
 		}
@@ -630,6 +661,9 @@ func (r *Replica) onDeliver(instance int, b *types.Block) {
 		}
 		r.drainGlogQueue()
 		return
+	}
+	if r.cfg.OnBlockDeliver != nil {
+		r.cfg.OnBlockDeliver(instance, b)
 	}
 	r.state[instance] = b.SN + 1
 	r.rank.Observe(b.Rank)

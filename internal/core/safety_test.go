@@ -7,10 +7,13 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ledger"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/types"
+	"repro/internal/workload"
 )
 
 // randomWorkloadCluster runs a randomized mixed workload over a jittery WAN
@@ -106,6 +109,159 @@ func TestConservationUnderRandomSchedules(t *testing.T) {
 		want := types.Amount(10*1000) - fees
 		if got := c.replicas[0].Store().TotalOwned(); got != want {
 			t.Fatalf("seed %d: total owned %d, want %d", seed, got, want)
+		}
+	}
+}
+
+// blockSlot identifies one SB delivery slot across the cluster.
+type blockSlot struct {
+	instance int
+	seq      uint64
+}
+
+// runAttackPreset runs one Byzantine attack preset (see
+// scenario.AttackNames) on an n-replica cluster and returns the run result
+// plus every replica's delivery log, keyed (instance, seq) -> replica ->
+// block digest. The censorship detector is armed at 8 blocks so a
+// censoring leader is voted out well inside the 6-second window.
+func runAttackPreset(t *testing.T, preset string, n int, net cluster.NetProfile, seed int64) (*cluster.Result, map[blockSlot]map[int]types.BlockID) {
+	t.Helper()
+	const dur = 6 * time.Second
+	scn, err := scenario.Preset(preset, n, dur, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := map[blockSlot]map[int]types.BlockID{}
+	res := cluster.Run(cluster.Config{
+		N:                n,
+		Protocol:         core.OrthrusMode(),
+		Net:              net,
+		Scenario:         scn,
+		Workload:         workload.Config{Accounts: 500, Seed: seed},
+		LoadTPS:          300,
+		Duration:         dur,
+		Warmup:           500 * time.Millisecond,
+		Drain:            dur,
+		BatchSize:        64,
+		ViewTimeout:      time.Second,
+		CensorshipBlocks: 8,
+		NIC:              true,
+		Seed:             seed,
+		OnBlockDeliver: func(replica, instance int, b *types.Block) {
+			slot := blockSlot{instance: instance, seq: b.SN}
+			if delivered[slot] == nil {
+				delivered[slot] = map[int]types.BlockID{}
+			}
+			delivered[slot][replica] = b.Digest()
+		},
+	})
+	return res, delivered
+}
+
+// victimsOf extracts the attacked replica set from a preset's timeline.
+func victimsOf(scn *scenario.Scenario) map[int]bool {
+	victims := map[int]bool{}
+	for _, e := range scn.Events {
+		switch e.Kind {
+		case scenario.Equivocate, scenario.Censor, scenario.MuteLeader:
+			for _, id := range e.Nodes {
+				victims[id] = true
+			}
+		}
+	}
+	return victims
+}
+
+// requireSlotAgreement is the paper's safety property over a delivery log:
+// no two replicas commit conflicting blocks for the same (instance, seq).
+// The check covers every replica — a Byzantine leader misbehaves on the
+// proposal side only, so its own deliveries must agree with the honest
+// quorum too.
+func requireSlotAgreement(t *testing.T, delivered map[blockSlot]map[int]types.BlockID) {
+	t.Helper()
+	slots := 0
+	for slot, byReplica := range delivered {
+		var want types.BlockID
+		first := true
+		for replica, digest := range byReplica {
+			if first {
+				want, first = digest, false
+				continue
+			}
+			if digest != want {
+				t.Fatalf("conflicting commits at instance %d seq %d: replica %d delivered %s, another %s",
+					slot.instance, slot.seq, replica, digest, want)
+			}
+		}
+		slots++
+	}
+	if slots == 0 {
+		t.Fatal("delivery log is empty: nothing committed anywhere")
+	}
+}
+
+// TestAttackPresetSafety drives every Byzantine attack preset across seeds
+// and asserts the safety property — no two replicas commit conflicting
+// blocks for the same (instance, seq) — plus recovery: the attack phase
+// still confirms transactions (the view-change machinery rotates the
+// victims out) and the attack provokes at least one view change.
+func TestAttackPresetSafety(t *testing.T) {
+	for _, preset := range scenario.AttackNames() {
+		for seed := int64(1); seed <= 2; seed++ {
+			preset, seed := preset, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", preset, seed), func(t *testing.T) {
+				t.Parallel()
+				res, delivered := runAttackPreset(t, preset, 7, cluster.LAN, seed)
+				requireSlotAgreement(t, delivered)
+				if res.ViewChanges == 0 {
+					t.Fatal("attack provoked no view change")
+				}
+				if len(res.Phases) != 2 {
+					t.Fatalf("want baseline+attack phases, got %+v", res.Phases)
+				}
+				if att := res.Phases[1]; att.Confirmed == 0 {
+					t.Fatalf("no confirmations after attack onset: %+v", res.Phases)
+				}
+			})
+		}
+	}
+}
+
+// TestViewChangeStormSafetyWAN is the paper-shaped stress cell: a
+// view-change storm mutes f leaders at once on a 10-replica WAN cluster.
+// Safety must hold across the storm and throughput must come back once the
+// storm's view changes rotate the muted leaders out.
+func TestViewChangeStormSafetyWAN(t *testing.T) {
+	res, delivered := runAttackPreset(t, scenario.ViewChangeStorm, 10, cluster.WAN, 1)
+	requireSlotAgreement(t, delivered)
+	if res.ViewChanges == 0 {
+		t.Fatal("storm provoked no view change")
+	}
+	if att := res.Phases[len(res.Phases)-1]; att.Confirmed == 0 {
+		t.Fatalf("cluster never recovered from the storm: %+v", res.Phases)
+	}
+}
+
+// TestAttackPresetVictimsAreLeaderRoles pins the preset generator's
+// contract: victims never include replica 0 (the metrics observer) and the
+// storm attacks exactly f replicas.
+func TestAttackPresetVictimsAreLeaderRoles(t *testing.T) {
+	const n, f = 10, 3
+	for _, preset := range scenario.AttackNames() {
+		scn, err := scenario.Preset(preset, n, 10*time.Second, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victims := victimsOf(scn)
+		if victims[0] {
+			t.Fatalf("%s: replica 0 picked as victim", preset)
+		}
+		want := 1
+		if preset == scenario.ViewChangeStorm {
+			want = f
+		}
+		if len(victims) != want {
+			t.Fatalf("%s: %d victims, want %d", preset, len(victims), want)
 		}
 	}
 }

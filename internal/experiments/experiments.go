@@ -366,6 +366,17 @@ func scenarioJob(name string, mode core.Mode, scale float64) runner.Job {
 	return runner.NewJob(cfg)
 }
 
+// attackJob is one S2 cell: a Byzantine attack preset (see
+// scenario.AttackNames) on the S1 cluster shape. The censorship detector's
+// patience drops to 16 delivered blocks so a censoring leader is voted out
+// well inside the submission window; the other attacks end through the
+// same view-change machinery at the scenario-scaled timeout.
+func attackJob(name string, mode core.Mode, scale float64) runner.Job {
+	j := scenarioJob(name, mode, scale)
+	j.Config.CensorshipBlocks = 16
+	return runner.NewJob(j.Config)
+}
+
 func byzRows(res []*cluster.Result) []Row {
 	rows := make([]Row, len(res))
 	for i, r := range res {

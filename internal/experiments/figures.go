@@ -58,6 +58,8 @@ func figureTitle(id string) string {
 		return "Fig 8: undetectable faults (WAN n=16)"
 	case "S1":
 		return "Fig S1: scenario suite — dynamic faults, partitions and load (WAN n=10)"
+	case "S2":
+		return "Fig S2: adversary suite — equivocation, censorship, silent leaders and view-change storms (WAN n=10)"
 	case "F-scale":
 		return "Fig F-scale: scale sweep — throughput, latency and messages per commit over n=4..100 (WAN)"
 	}
@@ -179,6 +181,33 @@ func s1Spec(scale float64, names []string) figureSpec {
 	}
 }
 
+// s2Spec is the adversary suite: every Byzantine attack preset (see
+// scenario.AttackNames) runs once per protocol in scenarioProtocols, with
+// per-phase windows splitting each run at the attack onset — the S2 figure
+// shows throughput surviving the attack and recovering after the
+// view-change machinery rotates the victims out.
+func s2Spec(scale float64) figureSpec {
+	title := figureTitle("S2")
+	var jobs []runner.Job
+	var names []string
+	for _, name := range scenario.AttackNames() {
+		for _, mode := range scenarioProtocols() {
+			jobs = append(jobs, attackJob(name, mode, scale))
+			names = append(names, name)
+		}
+	}
+	return figureSpec{
+		id: "S2", title: title, jobs: jobs,
+		assemble: func(res []*cluster.Result) FigureResult {
+			out := FigureResult{Figure: "S2", Title: title}
+			for i, r := range res {
+				out.Scenarios = append(out.Scenarios, toScenario(r, names[i]))
+			}
+			return out
+		},
+	}
+}
+
 // fscaleSpec is the scale-sweep figure: every protocol of the S1 panel
 // over the F-scale replica-count axis, one table per protocol, each row
 // reporting throughput, latency and messages per client-visible commit.
@@ -225,12 +254,15 @@ func figureSpecs(scale float64, scenarios []string) []figureSpec {
 		fig7Spec(scale),
 		fig8Spec(scale),
 		s1Spec(scale, scenarios),
+		s2Spec(scale),
 		fscaleSpec(scale),
 	}
 }
 
 // FigureIDs returns the supported figure identifiers in render order.
-func FigureIDs() []string { return []string{"1b", "3", "4", "5", "6", "7", "8", "S1", "F-scale"} }
+func FigureIDs() []string {
+	return []string{"1b", "3", "4", "5", "6", "7", "8", "S1", "S2", "F-scale"}
+}
 
 // FigureInfo names one supported figure for listings (orthrus-bench -list).
 type FigureInfo struct {
@@ -251,6 +283,10 @@ func Figures() []FigureInfo {
 
 // ScenarioNames returns the S1 scenario identifiers in figure order.
 func ScenarioNames() []string { return scenario.Names() }
+
+// AttackNames returns the S2 Byzantine attack preset identifiers in
+// figure order.
+func AttackNames() []string { return scenario.AttackNames() }
 
 // Run executes the selected figures' job lists through one shared worker
 // pool and returns one FigureResult per id, in the order requested.
@@ -360,6 +396,12 @@ func Fig8(w io.Writer, scale float64) { mustRun(w, "8", scale) }
 // fault/load scenario for Orthrus and two baselines, with per-phase
 // metric windows around each event.
 func FigS1(w io.Writer, scale float64) { mustRun(w, "S1", scale) }
+
+// FigS2 runs the adversary suite (beyond the paper): every Byzantine
+// attack preset — equivocation, censorship, silent leaders and a
+// view-change storm — for Orthrus and two baselines, with per-phase
+// metric windows around the attack onset.
+func FigS2(w io.Writer, scale float64) { mustRun(w, "S2", scale) }
 
 // All runs every figure at the given scale, sharing one worker pool across
 // the whole suite.

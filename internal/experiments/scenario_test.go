@@ -57,6 +57,47 @@ func TestScenarioParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestS2SerialMatchesParallel extends the determinism regression to the
+// adversary suite: the full S2 figure run serially and through the worker
+// pool must produce identical results and byte-identical JSON, and every
+// attack cell must report phase windows and survive the attack (nonzero
+// throughput with at least one view change rotating the victims out).
+func TestS2SerialMatchesParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs twelve 10-replica attack clusters twice")
+	}
+	serial, err := Run([]string{"S2"}, runner.Options{Workers: 1}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run([]string{"S2"}, runner.Options{Workers: 6}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("S2 diverged:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	serialJSON, _ := json.Marshal(serial)
+	parallelJSON, _ := json.Marshal(parallel)
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Fatal("JSON artifacts diverged between serial and parallel S2 runs")
+	}
+	if want := len(scenario.AttackNames()) * len(scenarioProtocols()); len(serial[0].Scenarios) != want {
+		t.Fatalf("wrong cell count: %d, want %d", len(serial[0].Scenarios), want)
+	}
+	for _, s := range serial[0].Scenarios {
+		if len(s.Phases) != 2 {
+			t.Fatalf("cell %s/%s: want baseline+attack phase windows, got %+v", s.Scenario, s.Protocol, s.Phases)
+		}
+		if s.TputKTPS == 0 {
+			t.Fatalf("cell %s/%s confirmed nothing", s.Scenario, s.Protocol)
+		}
+		if s.ViewChanges == 0 {
+			t.Fatalf("cell %s/%s: attack provoked no view change", s.Scenario, s.Protocol)
+		}
+	}
+}
+
 // TestRunScenariosRejectsUnknownName: scenario selection validates against
 // the preset registry.
 func TestRunScenariosRejectsUnknownName(t *testing.T) {

@@ -42,6 +42,10 @@ type Config struct {
 	// models the undetectable Byzantine behavior of Sec. VII-E where a
 	// replica avoids participating in instances it does not lead.
 	Mute bool
+	// Adversary, when non-nil, points at the replica's shared Byzantine
+	// behavior switches (see the Adversary type). Scenario events flip the
+	// switches mid-run; nil means permanently honest.
+	Adversary *Adversary
 }
 
 // LeaderOf returns the leader of a view for this instance: instance i is
@@ -228,6 +232,11 @@ type Engine struct {
 	viewChanging bool
 	vcTarget     uint64 // view we are trying to install while viewChanging
 	vcVotes      map[uint64]map[int]*ViewChange
+	// vcHighest[r] is the highest view replica r has voted for. Only the
+	// highest pending vote per replica is retained in vcVotes (a newer vote
+	// evicts the older one), so vcVotes holds at most N entries no matter
+	// how many far-future views a faulty replica spams.
+	vcHighest []uint64
 
 	slots       slotRing
 	slotPool    []*slot // released slots awaiting reuse
@@ -251,6 +260,24 @@ type Engine struct {
 
 	delivered uint64 // count of delivered blocks
 	stopped   bool
+
+	// retained is a ring of the most recently delivered blocks, indexed by
+	// seq & (retainDelivered-1). Delivery discards a slot's certificates
+	// (freeSlot), so without it a new leader could not prove what was
+	// decided at a sequence number some replicas delivered but no pending
+	// certificate covers; sendNewView re-proposes the retained block there
+	// instead of a conflicting no-op.
+	retained [retainDelivered]retainedEntry
+}
+
+// retainDelivered is the per-engine delivered-block retention depth. It
+// must be a power of two and comfortably exceed the pipeline window, so
+// every gap a view change can surface is still covered.
+const retainDelivered = 32
+
+type retainedEntry struct {
+	seq   uint64
+	block *types.Block // nil until seq wraps the ring once
 }
 
 // New creates an engine. The transport must deliver broadcast messages back
@@ -276,6 +303,7 @@ func New(cfg Config, tr Transport, sim *simnet.Sim) *Engine {
 		tr:          tr,
 		sim:         sim,
 		vcVotes:     make(map[uint64]map[int]*ViewChange),
+		vcHighest:   make([]uint64, cfg.N),
 		timeoutMult: 1,
 	}
 }
@@ -357,7 +385,15 @@ func (e *Engine) Propose(b *types.Block) error {
 	}
 	e.nextPropose++
 	m := &PrePrepare{Instance: e.cfg.Instance, View: e.view, Seq: b.SN, Block: b}
-	e.tr.Broadcast(SizeOf(m, e.cfg.TxSize), m)
+	switch {
+	case e.leaderMuted():
+		// Swallow the proposal: the sequence number is consumed, the window
+		// fills, and the silent leader forces a view change downstream.
+	case e.equivocating():
+		e.equivocate(m)
+	default:
+		e.tr.Broadcast(SizeOf(m, e.cfg.TxSize), m)
+	}
 	return nil
 }
 
@@ -483,6 +519,7 @@ func (e *Engine) tryDeliver() {
 			return
 		}
 		b := s.block
+		e.retained[e.nextDeliver&(retainDelivered-1)] = retainedEntry{seq: e.nextDeliver, block: b}
 		e.slots.advanceBase()
 		e.freeSlot(s)
 		e.nextDeliver++
@@ -588,13 +625,29 @@ func (e *Engine) onViewChange(m *ViewChange) {
 	if m.NewView <= e.view {
 		return
 	}
+	if m.Replica < 0 || m.Replica >= e.cfg.N {
+		return
+	}
+	// Retain only each replica's highest vote: a newer vote evicts the
+	// replica's older pending one, so vcVotes is bounded at N entries even
+	// under far-future view spam. A repeat (or lower) vote is a no-op —
+	// this also subsumes the old per-view duplicate check. Voting for view
+	// v implicitly abandons views below v, standard PBFT semantics.
+	if prev := e.vcHighest[m.Replica]; prev >= m.NewView {
+		return
+	} else if prev > e.view {
+		if old := e.vcVotes[prev]; old != nil {
+			delete(old, m.Replica)
+			if len(old) == 0 {
+				delete(e.vcVotes, prev)
+			}
+		}
+	}
+	e.vcHighest[m.Replica] = m.NewView
 	votes, ok := e.vcVotes[m.NewView]
 	if !ok {
 		votes = make(map[int]*ViewChange)
 		e.vcVotes[m.NewView] = votes
-	}
-	if _, dup := votes[m.Replica]; dup {
-		return
 	}
 	votes[m.Replica] = m
 
@@ -606,22 +659,47 @@ func (e *Engine) onViewChange(m *ViewChange) {
 		}
 	}
 
-	// New leader installs the view with a quorum of view-change votes.
-	if e.cfg.LeaderOf(m.NewView) == e.cfg.ID && len(votes) >= e.cfg.Quorum() && !e.cfg.Mute {
+	// New leader installs the view with a quorum of view-change votes — a
+	// leader-muted adversary withholds the NewView, extending the storm
+	// until honest replicas escalate past it.
+	if e.cfg.LeaderOf(m.NewView) == e.cfg.ID && len(votes) >= e.cfg.Quorum() && !e.cfg.Mute && !e.leaderMuted() {
 		e.sendNewView(m.NewView, votes)
 	}
 }
 
+// retainedBlock returns the block this replica delivered at seq, if the
+// retention ring still covers it.
+func (e *Engine) retainedBlock(seq uint64) *types.Block {
+	r := &e.retained[seq&(retainDelivered-1)]
+	if r.block != nil && r.seq == seq {
+		return r.block
+	}
+	return nil
+}
+
 // sendNewView assembles re-proposals from the collected view changes: for
 // each undecided sequence number, the prepared block from the highest view
-// wins; gaps are filled with no-op blocks.
+// wins. A sequence number without a certificate is filled with the block
+// the leader itself delivered there (retention ring) if it has one, with a
+// no-op if no replica in the vote set delivered it (then a no-op cannot
+// conflict with anything), and is otherwise skipped: certificates are
+// discarded at delivery, so a seq below some replica's delivered prefix can
+// legitimately have no certificate in the vote set, and a no-op there would
+// let laggards commit a block conflicting with what the rest of the group
+// already executed. Skipping leaves the laggard's gap in place — the same
+// contract as crash recovery without state transfer — until a leader whose
+// retention covers the seq rotates in.
 func (e *Engine) sendNewView(view uint64, votes map[int]*ViewChange) {
 	minDelivered := ^uint64(0)
+	maxDelivered := uint64(0)
 	maxSeq := uint64(0)
 	havePrepared := make(map[uint64]PreparedEntry)
 	for _, vc := range votes {
 		if vc.Delivered < minDelivered {
 			minDelivered = vc.Delivered
+		}
+		if vc.Delivered > maxDelivered {
+			maxDelivered = vc.Delivered
 		}
 		if vc.Delivered > maxSeq {
 			maxSeq = vc.Delivered
@@ -643,8 +721,12 @@ func (e *Engine) sendNewView(view uint64, votes map[int]*ViewChange) {
 		var b *types.Block
 		if p, ok := havePrepared[seq]; ok {
 			b = p.Block
-		} else {
+		} else if rb := e.retainedBlock(seq); rb != nil {
+			b = rb
+		} else if seq >= maxDelivered {
 			b = e.cfg.MakeNoop(seq)
+		} else {
+			continue // delivered somewhere, unprovable here: leave the gap
 		}
 		nv.Reproposals = append(nv.Reproposals, &PrePrepare{
 			Instance: e.cfg.Instance, View: view, Seq: seq, Block: b,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/errs"
 )
 
 // The named presets of the S1 scenario suite, in figure order.
@@ -22,9 +24,32 @@ const (
 	FlashCrowd = "flash-crowd"
 )
 
+// The named attack presets of the S2 robustness suite, in figure order.
+// Each attack starts at 30% of the run and ends when the honest replicas
+// rotate the victims out of their leader roles — the recovery is part of
+// what the figure measures.
+const (
+	// Equivocation makes one replica an equivocating leader at 30% of the
+	// run.
+	Equivocation = "equivocation"
+	// Censorship makes one replica a censoring leader at 30% of the run.
+	Censorship = "censorship"
+	// SilentLeader leader-mutes one replica at 30% of the run.
+	SilentLeader = "silent-leader"
+	// ViewChangeStorm leader-mutes f replicas at once at 30% of the run,
+	// forcing view changes across many SB instances in one window.
+	ViewChangeStorm = "view-change-storm"
+)
+
 // Names returns the preset identifiers in S1 figure order.
 func Names() []string {
 	return []string{CrashRecover, RollingStragglers, PartitionHeal, FlashCrowd}
+}
+
+// AttackNames returns the Byzantine attack preset identifiers in S2 figure
+// order.
+func AttackNames() []string {
+	return []string{Equivocation, Censorship, SilentLeader, ViewChangeStorm}
 }
 
 // Describe returns a one-line description of a preset timeline for CLI
@@ -39,6 +64,14 @@ func Describe(name string) string {
 		return "isolate f replicas at 30% of the run, heal the cut at 60%"
 	case FlashCrowd:
 		return "triple the client submission rate between 35% and 65% of the run"
+	case Equivocation:
+		return "one leader equivocates from 30% of the run until rotated out"
+	case Censorship:
+		return "one leader censors all transactions from 30% of the run until rotated out"
+	case SilentLeader:
+		return "one leader goes silent at 30% of the run, forcing a view change"
+	case ViewChangeStorm:
+		return "f leaders go silent at once at 30% of the run — a view-change storm"
 	}
 	return ""
 }
@@ -49,7 +82,7 @@ func Describe(name string) string {
 // seed, so the same (name, n, dur, seed) always yields the same timeline.
 func Preset(name string, n int, dur time.Duration, seed int64) (*Scenario, error) {
 	if n < 4 {
-		return nil, fmt.Errorf("scenario: preset %q needs n >= 4, got %d", name, n)
+		return nil, fmt.Errorf("%w: scenario: preset %q needs n >= 4, got %d", errs.ErrInvalidConfig, name, n)
 	}
 	f := (n - 1) / 3
 	rng := rand.New(rand.NewSource(seed))
@@ -81,8 +114,25 @@ func Preset(name string, n int, dur time.Duration, seed int64) (*Scenario, error
 			LoadSurgeAt(frac(0.35), 3).
 			LoadSurgeAt(frac(0.65), 1).
 			Build(), nil
+	case Equivocation:
+		return New(name).
+			EquivocateAt(frac(0.3), pickVictims(rng, n, 1)...).
+			Build(), nil
+	case Censorship:
+		return New(name).
+			CensorAt(frac(0.3), pickVictims(rng, n, 1)...).
+			Build(), nil
+	case SilentLeader:
+		return New(name).
+			MuteLeaderAt(frac(0.3), pickVictims(rng, n, 1)...).
+			Build(), nil
+	case ViewChangeStorm:
+		return New(name).
+			MuteLeaderAt(frac(0.3), pickVictims(rng, n, f)...).
+			Build(), nil
 	default:
-		return nil, fmt.Errorf("scenario: unknown preset %q (want one of %v)", name, Names())
+		return nil, fmt.Errorf("%w: scenario: unknown preset %q (want one of %v or %v)",
+			errs.ErrInvalidConfig, name, Names(), AttackNames())
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/errs"
 	"repro/internal/simnet"
 )
 
@@ -42,7 +43,12 @@ type Kind int
 // stop and resume, the network endpoint goes down and comes back);
 // Partition/Heal act on links; Straggle rescales a node's egress delay and
 // proposal pulse (scale 1 heals it); LoadSurge rescales the open-loop
-// client submission rate.
+// client submission rate. The last three are Byzantine attacks: from their
+// event time on, the named replicas equivocate (conflicting proposals to
+// disjoint halves), censor (drop every pending transaction from their
+// proposals) or go leader-mute (swallow all leader-role traffic). Attacks
+// are one-way switches — the view-change machinery, not a timeline event,
+// ends them by rotating leadership away from the attacker.
 const (
 	Crash Kind = iota
 	Recover
@@ -50,6 +56,9 @@ const (
 	Heal
 	Straggle
 	LoadSurge
+	Equivocate
+	Censor
+	MuteLeader
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +76,12 @@ func (k Kind) String() string {
 		return "straggle"
 	case LoadSurge:
 		return "load-surge"
+	case Equivocate:
+		return "equivocate"
+	case Censor:
+		return "censor"
+	case MuteLeader:
+		return "mute-leader"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -88,7 +103,7 @@ type Event struct {
 func (e Event) String() string {
 	s := fmt.Sprintf("%v %s", e.At, e.Kind)
 	switch e.Kind {
-	case Crash, Recover:
+	case Crash, Recover, Equivocate, Censor, MuteLeader:
 		s += fmt.Sprintf(" nodes=%v", e.Nodes)
 	case Straggle:
 		s += fmt.Sprintf(" nodes=%v x%g", e.Nodes, e.Scale)
@@ -169,6 +184,33 @@ func (b *Builder) LoadSurgeAt(at time.Duration, mult float64) *Builder {
 	return b
 }
 
+// EquivocateAt turns the given replicas into equivocating leaders from time
+// at on: each block they lead is proposed in two conflicting versions to
+// disjoint replica halves. Neither half can reach a quorum, so the attacked
+// instances stall until their honest members rotate the view.
+func (b *Builder) EquivocateAt(at time.Duration, nodes ...int) *Builder {
+	b.s.Events = append(b.s.Events, Event{At: at, Kind: Equivocate, Nodes: nodes})
+	return b
+}
+
+// CensorAt turns the given replicas into censoring leaders from time at on:
+// every pending transaction is dropped from their proposals (they keep
+// proposing, so only the bucket-aging censorship detector — not the crash
+// detector — can catch them and rotate the view).
+func (b *Builder) CensorAt(at time.Duration, nodes ...int) *Builder {
+	b.s.Events = append(b.s.Events, Event{At: at, Kind: Censor, Nodes: nodes})
+	return b
+}
+
+// MuteLeaderAt silences the given replicas' leader roles from time at on:
+// proposals and NewView messages are swallowed while votes continue, so
+// every instance they lead undergoes a view change. Muting several
+// replicas at one time is the view-change-storm attack.
+func (b *Builder) MuteLeaderAt(at time.Duration, nodes ...int) *Builder {
+	b.s.Events = append(b.s.Events, Event{At: at, Kind: MuteLeader, Nodes: nodes})
+	return b
+}
+
 // Build finalizes the scenario: events are stably sorted by time (ties keep
 // insertion order) and the result must not be mutated afterwards.
 func (b *Builder) Build() *Scenario {
@@ -180,48 +222,62 @@ func (b *Builder) Build() *Scenario {
 
 // Validate checks the scenario against a cluster of n replicas: event
 // times must be non-negative, node indices in [0, n), partition groups
-// disjoint and in range, straggle scales positive, load multipliers in
-// (0, 100], and Crash/Straggle node lists non-empty. cluster.Run
-// validates before starting.
+// non-empty, disjoint and in range, straggle scales positive, load
+// multipliers in (0, 100], and Crash/Straggle/attack node lists non-empty.
+// Every failure wraps errs.ErrInvalidConfig, the same sentinel the
+// scenariodsl parser uses, so one errors.Is check covers a scenario however
+// it was built. cluster.Run validates before starting.
 func (s *Scenario) Validate(n int) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: scenario %q: %s", errs.ErrInvalidConfig, s.Name, fmt.Sprintf(format, args...))
+	}
 	for i, e := range s.Events {
 		if e.At < 0 {
-			return fmt.Errorf("scenario %q: event %d (%s) has negative time", s.Name, i, e)
+			return fail("event %d (%s) has negative time", i, e)
 		}
 		switch e.Kind {
-		case Crash, Recover, Straggle:
+		case Crash, Recover, Straggle, Equivocate, Censor, MuteLeader:
 			if len(e.Nodes) == 0 {
-				return fmt.Errorf("scenario %q: event %d (%s) names no nodes", s.Name, i, e)
+				return fail("event %d (%s) names no nodes", i, e)
 			}
 			for _, id := range e.Nodes {
 				if id < 0 || id >= n {
-					return fmt.Errorf("scenario %q: event %d (%s) targets node %d outside [0,%d)", s.Name, i, e, id, n)
+					return fail("event %d (%s) targets node %d outside [0,%d)", i, e, id, n)
 				}
 			}
 			if e.Kind == Straggle && e.Scale <= 0 {
-				return fmt.Errorf("scenario %q: event %d (%s) has non-positive scale", s.Name, i, e)
+				return fail("event %d (%s) has non-positive scale", i, e)
 			}
 		case Partition:
+			// The same shape checks the DSL parser enforces: at least one
+			// group, no empty groups. (A single non-empty group is a real
+			// cut — the unlisted nodes form the implicit other side.)
+			if len(e.Groups) == 0 {
+				return fail("event %d (%s) names no groups", i, e)
+			}
 			seen := make(map[int]bool)
 			for _, g := range e.Groups {
+				if len(g) == 0 {
+					return fail("event %d (%s) has an empty group", i, e)
+				}
 				for _, id := range g {
 					if id < 0 || id >= n {
-						return fmt.Errorf("scenario %q: event %d (%s) targets node %d outside [0,%d)", s.Name, i, e, id, n)
+						return fail("event %d (%s) targets node %d outside [0,%d)", i, e, id, n)
 					}
 					if seen[id] {
-						return fmt.Errorf("scenario %q: event %d (%s) lists node %d in two groups", s.Name, i, e, id)
+						return fail("event %d (%s) lists node %d in two groups", i, e, id)
 					}
 					seen[id] = true
 				}
 			}
 		case LoadSurge:
 			if e.Scale <= 0 || e.Scale > 100 {
-				return fmt.Errorf("scenario %q: event %d (%s) has load multiplier outside (0,100]", s.Name, i, e)
+				return fail("event %d (%s) has load multiplier outside (0,100]", i, e)
 			}
 		case Heal:
 			// no operands
 		default:
-			return fmt.Errorf("scenario %q: event %d has unknown kind %d", s.Name, i, int(e.Kind))
+			return fail("event %d has unknown kind %d", i, int(e.Kind))
 		}
 	}
 	return nil
@@ -243,6 +299,12 @@ type Hooks struct {
 	Heal func()
 	// LoadFactor rescales the client submission rate; 1 restores it.
 	LoadFactor func(mult float64)
+	// Equivocate switches replica node to equivocating-leader behavior.
+	Equivocate func(node int)
+	// Censor switches replica node to censoring-leader behavior.
+	Censor func(node int)
+	// MuteLeader silences replica node's leader role.
+	MuteLeader func(node int)
 }
 
 // Apply schedules every event on the simulator at its virtual time,
@@ -283,6 +345,24 @@ func (s *Scenario) Apply(sim *simnet.Sim, h Hooks) {
 			case LoadSurge:
 				if h.LoadFactor != nil {
 					h.LoadFactor(e.Scale)
+				}
+			case Equivocate:
+				if h.Equivocate != nil {
+					for _, id := range e.Nodes {
+						h.Equivocate(id)
+					}
+				}
+			case Censor:
+				if h.Censor != nil {
+					for _, id := range e.Nodes {
+						h.Censor(id)
+					}
+				}
+			case MuteLeader:
+				if h.MuteLeader != nil {
+					for _, id := range e.Nodes {
+						h.MuteLeader(id)
+					}
 				}
 			}
 		})

@@ -1,11 +1,13 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
 	"time"
 
+	"repro/internal/errs"
 	"repro/internal/simnet"
 )
 
@@ -89,6 +91,61 @@ func TestBuildSortsAndValidates(t *testing.T) {
 			wantOrder: []Kind{LoadSurge},
 			wantErr:   true,
 		},
+		{
+			// The builder/DSL validation-skew regression: the DSL always
+			// rejected a partition with no groups; the builder must too.
+			name:      "partition with zero groups rejected",
+			build:     func() *Scenario { return New("x").PartitionAt(time.Second).Build() },
+			wantOrder: []Kind{Partition},
+			wantErr:   true,
+		},
+		{
+			name: "partition with an empty group rejected",
+			build: func() *Scenario {
+				return New("x").PartitionAt(time.Second, []int{1, 2}, nil).Build()
+			},
+			wantOrder: []Kind{Partition},
+			wantErr:   true,
+		},
+		{
+			// A single non-empty group is a real cut: the unlisted replicas
+			// form the implicit other side (the partition-heal preset
+			// depends on this shape).
+			name: "partition with one non-empty group accepted",
+			build: func() *Scenario {
+				return New("x").PartitionAt(time.Second, []int{1, 2}).Build()
+			},
+			wantOrder: []Kind{Partition},
+		},
+		{
+			name: "attack verbs accepted",
+			build: func() *Scenario {
+				return New("x").
+					EquivocateAt(1*time.Second, 1).
+					CensorAt(2*time.Second, 2).
+					MuteLeaderAt(3*time.Second, 3, 4).
+					Build()
+			},
+			wantOrder: []Kind{Equivocate, Censor, MuteLeader},
+		},
+		{
+			name:      "equivocate without nodes rejected",
+			build:     func() *Scenario { return New("x").EquivocateAt(time.Second).Build() },
+			wantOrder: []Kind{Equivocate},
+			wantErr:   true,
+		},
+		{
+			name:      "censor with out-of-range node rejected",
+			build:     func() *Scenario { return New("x").CensorAt(time.Second, 7).Build() },
+			wantOrder: []Kind{Censor},
+			wantErr:   true,
+		},
+		{
+			name:      "mute-leader without nodes rejected",
+			build:     func() *Scenario { return New("x").MuteLeaderAt(time.Second).Build() },
+			wantOrder: []Kind{MuteLeader},
+			wantErr:   true,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -100,8 +157,13 @@ func TestBuildSortsAndValidates(t *testing.T) {
 			if !reflect.DeepEqual(order, tc.wantOrder) {
 				t.Fatalf("event order %v, want %v", order, tc.wantOrder)
 			}
-			if err := s.Validate(7); (err != nil) != tc.wantErr {
+			err := s.Validate(7)
+			if (err != nil) != tc.wantErr {
 				t.Fatalf("Validate(7) = %v, wantErr=%v", err, tc.wantErr)
+			}
+			// Builder validation speaks the same typed error as the DSL.
+			if err != nil && !errors.Is(err, errs.ErrInvalidConfig) {
+				t.Fatalf("Validate(7) error %v does not wrap errs.ErrInvalidConfig", err)
 			}
 		})
 	}
@@ -117,6 +179,9 @@ func TestApplyDispatchesInOrder(t *testing.T) {
 		HealAt(4*time.Second).
 		LoadSurgeAt(5*time.Second, 2).
 		RecoverAt(6*time.Second, 5, 6).
+		EquivocateAt(7*time.Second, 1).
+		CensorAt(8*time.Second, 2).
+		MuteLeaderAt(9*time.Second, 3, 4).
 		Build()
 
 	sim := simnet.New(1)
@@ -131,6 +196,9 @@ func TestApplyDispatchesInOrder(t *testing.T) {
 		Partition:  func(groups [][]int) { log("partition %v", groups) },
 		Heal:       func() { log("heal") },
 		LoadFactor: func(mult float64) { log("load x%g", mult) },
+		Equivocate: func(id int) { log("equivocate %d", id) },
+		Censor:     func(id int) { log("censor %d", id) },
+		MuteLeader: func(id int) { log("mute-leader %d", id) },
 	})
 	sim.RunAll(0)
 
@@ -143,6 +211,10 @@ func TestApplyDispatchesInOrder(t *testing.T) {
 		"5s load x2",
 		"6s recover 5",
 		"6s recover 6",
+		"7s equivocate 1",
+		"8s censor 2",
+		"9s mute-leader 3",
+		"9s mute-leader 4",
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("hook trace:\n%v\nwant:\n%v", got, want)
@@ -192,7 +264,7 @@ func TestPhasesEventAtZero(t *testing.T) {
 // TestPresetsDeterministicAndValid: every preset validates against its
 // cluster size and is reproducible from its seed.
 func TestPresetsDeterministicAndValid(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range append(Names(), AttackNames()...) {
 		for _, n := range []int{4, 7, 16} {
 			a, err := Preset(name, n, 10*time.Second, 42)
 			if err != nil {

@@ -108,6 +108,13 @@ type Config struct {
 	EpochLen     uint64
 	ViewTimeout  time.Duration
 	TxSize       int
+	// CensorshipBlocks is the censorship detector's patience in delivered
+	// blocks: a replica that watches a feasible transaction stay unproposed
+	// while this many blocks deliver in its bucket complains and votes the
+	// leader out. 0 takes the engine default (64). Lower it when a run
+	// censors leaders (the Censor scenario verb or the censorship preset)
+	// so detection fits the run's length.
+	CensorshipBlocks uint64
 
 	// AnalyticSB swaps message-level PBFT for the closed-form quorum-time
 	// model (fault-free runs only; stragglers are supported).
@@ -225,6 +232,14 @@ func WithViewTimeout(d time.Duration) Option { return func(c *Config) { c.ViewTi
 
 // WithTxSize sets the modeled transaction size in bytes.
 func WithTxSize(bytes int) Option { return func(c *Config) { c.TxSize = bytes } }
+
+// WithCensorshipDetection sets the censorship detector's patience in
+// delivered blocks (0 keeps the engine default of 64). Pair it with the
+// Censor scenario verb or the censorship preset so the detector fires
+// within the run.
+func WithCensorshipDetection(blocks uint64) Option {
+	return func(c *Config) { c.CensorshipBlocks = blocks }
+}
 
 // WithAccounts sizes the synthetic workload's account population.
 func WithAccounts(n int) Option { return func(c *Config) { c.Accounts = n } }
@@ -453,22 +468,23 @@ func (c Config) clusterConfig() cluster.Config {
 		Scenario:           c.Scenario,
 		// The field shares the workload generator's convention directly:
 		// 0 = paper default, negative = all-contract.
-		Workload:     workload.Config{Seed: c.Seed, Accounts: c.Accounts, PaymentFraction: c.PaymentFraction},
-		LoadTPS:      c.LoadTPS,
-		TotalTxs:     c.TotalTxs,
-		Duration:     c.Duration,
-		Warmup:       c.Warmup,
-		Drain:        c.Drain,
-		BatchSize:    c.BatchSize,
-		BatchTimeout: c.BatchTimeout,
-		Window:       c.Window,
-		EpochLen:     c.EpochLen,
-		ViewTimeout:  c.ViewTimeout,
-		TxSize:       c.TxSize,
-		AnalyticSB:   c.AnalyticSB,
-		NIC:          !c.DisableNIC && !c.AnalyticSB,
-		Seed:         c.Seed,
-		CaptureState: c.CaptureState,
+		Workload:         workload.Config{Seed: c.Seed, Accounts: c.Accounts, PaymentFraction: c.PaymentFraction},
+		LoadTPS:          c.LoadTPS,
+		TotalTxs:         c.TotalTxs,
+		Duration:         c.Duration,
+		Warmup:           c.Warmup,
+		Drain:            c.Drain,
+		BatchSize:        c.BatchSize,
+		BatchTimeout:     c.BatchTimeout,
+		Window:           c.Window,
+		EpochLen:         c.EpochLen,
+		ViewTimeout:      c.ViewTimeout,
+		TxSize:           c.TxSize,
+		CensorshipBlocks: c.CensorshipBlocks,
+		AnalyticSB:       c.AnalyticSB,
+		NIC:              !c.DisableNIC && !c.AnalyticSB,
+		Seed:             c.Seed,
+		CaptureState:     c.CaptureState,
 	}
 	// Each run gets its own copies of scripted or replayed transactions:
 	// the harness stamps per-run fields (submit time, cached digest) on

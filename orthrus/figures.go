@@ -31,6 +31,10 @@ func FigureIDs() []string { return experiments.FigureIDs() }
 // order (see also scenariodsl.Presets).
 func ScenarioPresets() []string { return experiments.ScenarioNames() }
 
+// AttackPresets lists the S2 adversary suite's Byzantine attack preset
+// names in figure order (see also scenariodsl.AttackPresets).
+func AttackPresets() []string { return experiments.AttackNames() }
+
 // FigureOptions tunes a RunFigures call.
 type FigureOptions struct {
 	// Scenarios restricts the S1 scenario suite to the named presets; nil

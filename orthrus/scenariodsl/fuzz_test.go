@@ -22,6 +22,11 @@ func FuzzScenarioDSL(f *testing.F) {
 	f.Add("bogus line")
 	f.Add("1s crash -1")
 	f.Add("\x00\xff")
+	f.Add("3s equivocate 2\n")
+	f.Add("3s censor 3\n5s censor 3 4\n")
+	f.Add("2s mute-leader 1 2 3\n0s mute-leader 5\n")
+	f.Add("1s equivocate\n") // attack verbs need nodes: parse error
+	f.Add("1s mute-leader x2\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := Parse("fuzz", src)
 		if err != nil {

@@ -26,6 +26,13 @@ var ErrInvalidConfig = errs.ErrInvalidConfig
 //	4s   load-surge x2.5        # multiply the client load by 2.5
 //	5s   partition 0 1 2 | 3 4  # cut groups apart ('|' separates groups)
 //	8s   heal                   # remove every link cut
+//	7s   equivocate 2           # replica 2 leads with conflicting proposals
+//	7s   censor 3               # replica 3 drops all txs it should propose
+//	7s   mute-leader 4 5        # replicas 4 and 5 go silent as leaders
+//
+// The attack verbs are one-way switches: the view-change machinery, not a
+// later timeline event, ends an attack by rotating the victims out of
+// their leader roles.
 //
 // Blank lines and '#' comments are ignored; events may appear in any
 // order (the scenario sorts by time). Parse checks syntax only — node
@@ -98,8 +105,21 @@ func Parse(name, src string) (*Scenario, error) {
 				return nil, lineErr(ln, "heal takes no operands, got %v", args)
 			}
 			b.HealAt(at)
+		case "equivocate", "censor", "mute-leader":
+			nodes, err := parseNodes(ln, kind, args)
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case "equivocate":
+				b.EquivocateAt(at, nodes...)
+			case "censor":
+				b.CensorAt(at, nodes...)
+			default:
+				b.MuteLeaderAt(at, nodes...)
+			}
 		default:
-			return nil, lineErr(ln, "unknown event kind %q (want crash, recover, straggle, load-surge, partition or heal)", kind)
+			return nil, lineErr(ln, "unknown event kind %q (want crash, recover, straggle, load-surge, partition, heal, equivocate, censor or mute-leader)", kind)
 		}
 	}
 	return b.Build(), nil

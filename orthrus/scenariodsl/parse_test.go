@@ -16,6 +16,9 @@ func TestParseFullVocabulary(t *testing.T) {
 6s    recover 5 6
 6500ms load-surge x2.5
 8s    heal
+9s    equivocate 2
+10s   censor 3
+11s   mute-leader 4 5
 `
 	s, err := Parse("demo", src)
 	if err != nil {
@@ -24,7 +27,7 @@ func TestParseFullVocabulary(t *testing.T) {
 	if s.Name != "demo" {
 		t.Fatalf("name = %q", s.Name)
 	}
-	wantKinds := []Kind{Straggle, Crash, Partition, Recover, LoadSurge, Heal}
+	wantKinds := []Kind{Straggle, Crash, Partition, Recover, LoadSurge, Heal, Equivocate, Censor, MuteLeader}
 	if len(s.Events) != len(wantKinds) {
 		t.Fatalf("parsed %d events, want %d: %v", len(s.Events), len(wantKinds), s.Events)
 	}
@@ -91,6 +94,9 @@ func TestParseErrorsAreTyped(t *testing.T) {
 		{"1s partition", "names no groups"},
 		{"1s partition 0 1 |", "empty group"},
 		{"1s partition a b", "bad node index"},
+		{"1s equivocate", "names no nodes"},
+		{"1s censor -2", "bad node index"},
+		{"1s mute-leader x2", "bad node index"},
 	}
 	for _, c := range cases {
 		_, err := Parse("bad", c.src)

@@ -48,14 +48,20 @@ type Kind = scenario.Kind
 
 // The event vocabulary: Crash/Recover act on replicas, Partition/Heal on
 // links, Straggle rescales a node's egress delay and proposal pulse, and
-// LoadSurge rescales the open-loop client submission rate.
+// LoadSurge rescales the open-loop client submission rate. The last three
+// are one-way Byzantine attacks — equivocating, censoring and silent
+// leaders — ended by the protocol's own view changes, not by a timeline
+// event.
 const (
-	Crash     = scenario.Crash
-	Recover   = scenario.Recover
-	Partition = scenario.Partition
-	Heal      = scenario.Heal
-	Straggle  = scenario.Straggle
-	LoadSurge = scenario.LoadSurge
+	Crash      = scenario.Crash
+	Recover    = scenario.Recover
+	Partition  = scenario.Partition
+	Heal       = scenario.Heal
+	Straggle   = scenario.Straggle
+	LoadSurge  = scenario.LoadSurge
+	Equivocate = scenario.Equivocate
+	Censor     = scenario.Censor
+	MuteLeader = scenario.MuteLeader
 )
 
 // New starts building a scenario with the given name; the name appears in
@@ -74,6 +80,11 @@ func Preset(name string, n int, dur time.Duration, seed int64) (*Scenario, error
 // Presets returns the preset scenario names in S1 figure order:
 // crash-recover, rolling-stragglers, partition-heal, flash-crowd.
 func Presets() []string { return scenario.Names() }
+
+// AttackPresets returns the Byzantine attack preset names in S2 figure
+// order: equivocation, censorship, silent-leader, view-change-storm. They
+// build through Preset exactly like the S1 presets.
+func AttackPresets() []string { return scenario.AttackNames() }
 
 // Describe returns a one-line description of a preset for listings;
 // unknown names describe as the empty string.
