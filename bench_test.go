@@ -9,6 +9,7 @@ package repro
 // paper plots, so regressions in protocol behavior show up directly.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -299,6 +300,81 @@ func BenchmarkScale(b *testing.B) {
 	}
 }
 
+// scaleKernelCfg is the fixed configuration of the BenchmarkScaleParallel
+// cells and the orthrus-bench kernel-tier cells: message-level PBFT with
+// the NIC model off — the regime the parallel kernel accepts — at a load
+// and window small enough that the serial/parallel pair fits the CI smoke
+// budget even at n = 100. It matches perfConfig's "kernel" tier so the
+// BENCH_scale.json parallel columns and these sub-benchmarks measure the
+// same work.
+func scaleKernelCfg(mode core.Mode, n int) cluster.Config {
+	return cluster.Config{
+		N:            n,
+		Protocol:     mode,
+		Net:          cluster.WAN,
+		Workload:     workload.Config{Accounts: 4000, Seed: 42},
+		LoadTPS:      500,
+		Duration:     1 * time.Second,
+		Warmup:       250 * time.Millisecond,
+		Drain:        1 * time.Second,
+		BatchSize:    1024,
+		BatchTimeout: 250 * time.Millisecond,
+		EpochLen:     128,
+		ViewTimeout:  10 * time.Second,
+		Seed:         42,
+	}
+}
+
+// BenchmarkScaleParallel pits the conservative parallel kernel against the
+// serial reference on the message-level NIC-off cells, asserting
+// bit-identical results while it measures: the serial/parallel ns/op ratio
+// is the kernel's speedup (≈1x on a single-core runner by construction —
+// the conservative windows add only barrier overhead there). The n = 100
+// pair dominates the sub-benchmark's wall clock and is trimmed under
+// -short.
+func BenchmarkScaleParallel(b *testing.B) {
+	ns := []int{50, 100}
+	if testing.Short() {
+		ns = []int{50}
+	}
+	for _, n := range ns {
+		n := n
+		serial := cluster.Run(scaleKernelCfg(core.OrthrusMode(), n))
+		for _, kern := range []cluster.Kernel{cluster.KernelSerial, cluster.KernelParallel} {
+			kern := kern
+			b.Run(kern.String()+"/n="+itoa(n), func(b *testing.B) {
+				b.ReportAllocs()
+				var events uint64
+				var shards int
+				for i := 0; i < b.N; i++ {
+					cfg := scaleKernelCfg(core.OrthrusMode(), n)
+					cfg.Kernel = kern
+					if kern == cluster.KernelParallel {
+						// Floor at two workers so a single-core runner still
+						// exercises the sharded path rather than the serial
+						// fallback.
+						if cfg.Workers = runtime.GOMAXPROCS(0); cfg.Workers < 2 {
+							cfg.Workers = 2
+						}
+					}
+					res := cluster.Run(cfg)
+					if res.Confirmed != serial.Confirmed || res.Events != serial.Events {
+						b.Fatalf("%s kernel diverged at n=%d: confirmed %d events %d, serial saw %d/%d",
+							kern, n, res.Confirmed, res.Events, serial.Confirmed, serial.Events)
+					}
+					events += res.Events
+					shards = res.Shards
+					reportCluster(b, res)
+				}
+				b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "sim-events/s")
+				if kern == cluster.KernelParallel {
+					b.ReportMetric(float64(shards), "shards")
+				}
+			})
+		}
+	}
+}
+
 // --- ablations (DESIGN.md Sec. 4) ---
 
 // BenchmarkAblationOrdering swaps Orthrus's dynamic glog for the
@@ -430,7 +506,7 @@ func BenchmarkPBFTRound(b *testing.B) {
 					delivered++
 				}
 			}}
-		engines[i] = pbft.New(cfg, benchTransport{nw: nw, id: i}, sim)
+		engines[i] = pbft.New(cfg, benchTransport{nw: nw, id: i}, simnet.On(sim, i))
 		nw.Register(i, func(from int, msg any) { engines[i].Handle(from, msg.(pbft.Message)) })
 	}
 	blk := &types.Block{Instance: 0}

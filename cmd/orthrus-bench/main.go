@@ -119,8 +119,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jsonPath := fs.String("json", "", "write structured results to this path (e.g. BENCH_results.json; with -bench, defaults to BENCH_scale.json)")
 	quiet := fs.Bool("q", false, "suppress the text rendering (useful with -json)")
 	list := fs.Bool("list", false, "list registered protocols, figures and scenario presets, then exit")
-	bench := fs.Bool("bench", false, "run the hot-path perf harness instead of figures and write the orthrus-bench-perf/v1 artifact")
-	compare := fs.String("compare", "", "with -bench: print a per-cell delta table (ns/op, allocs/op, events/s) against this orthrus-bench-perf/v1 artifact")
+	bench := fs.Bool("bench", false, "run the hot-path perf harness instead of figures and write the orthrus-bench-perf/v2 artifact")
+	compare := fs.String("compare", "", "with -bench: print a per-cell delta table (ns/op, allocs/op, events/s) against this orthrus-bench-perf/v2 artifact")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -153,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		})
 	}
 	if *compare != "" {
-		return fmt.Errorf("orthrus-bench: -compare requires -bench (it diffs orthrus-bench-perf/v1 artifacts)")
+		return fmt.Errorf("orthrus-bench: -compare requires -bench (it diffs orthrus-bench-perf/v2 artifacts)")
 	}
 
 	// Reject rather than clamp out-of-range scales: the artifact records

@@ -40,7 +40,7 @@ func TestPerfBenchArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if doc.Schema != "orthrus-bench-perf/v1" {
+	if doc.Schema != "orthrus-bench-perf/v2" {
 		t.Fatalf("schema = %q", doc.Schema)
 	}
 	if len(doc.Cells) != len(perfGrid()) {
@@ -48,15 +48,44 @@ func TestPerfBenchArtifact(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, c := range doc.Cells {
-		seen[c.Protocol+"/"+itoa(c.N)] = true
+		tier := c.Tier
+		if tier == "" {
+			tier = "base"
+		}
+		seen[c.Protocol+"/"+itoa(c.N)+"/"+tier] = true
 		if c.SimEvents != 100000 || c.NsPerOp <= 0 || c.SimEventsPerSec <= 0 {
 			t.Fatalf("cell %s/n=%d not measured: %+v", c.Protocol, c.N, c)
 		}
-		if (c.N >= 32) != c.AnalyticSB {
-			t.Fatalf("cell %s/n=%d analytic flag wrong", c.Protocol, c.N)
+		switch c.Tier {
+		case "kernel":
+			// Message-level kernel-pair cell: parallel columns measured.
+			if c.AnalyticSB {
+				t.Fatalf("kernel cell %s/n=%d marked analytic", c.Protocol, c.N)
+			}
+			if c.ParallelNsPerOp <= 0 || c.ParallelWorkers < 2 || c.ParallelSpeedup <= 0 {
+				t.Fatalf("kernel cell %s/n=%d missing parallel columns: %+v", c.Protocol, c.N, c)
+			}
+		case "fscale":
+			if !c.AnalyticSB {
+				t.Fatalf("fscale cell %s/n=%d not analytic", c.Protocol, c.N)
+			}
+			if c.ParallelNsPerOp != 0 {
+				t.Fatalf("fscale cell %s/n=%d has parallel columns: %+v", c.Protocol, c.N, c)
+			}
+		default:
+			if (c.N >= 32) != c.AnalyticSB {
+				t.Fatalf("cell %s/n=%d analytic flag wrong", c.Protocol, c.N)
+			}
+			if c.ParallelNsPerOp != 0 {
+				t.Fatalf("base cell %s/n=%d has parallel columns: %+v", c.Protocol, c.N, c)
+			}
 		}
 	}
-	for _, want := range []string{"Orthrus/10", "ISS/25", "Ladon/4", "Orthrus/100"} {
+	for _, want := range []string{
+		"Orthrus/10/base", "ISS/25/base", "Ladon/4/base", "Orthrus/100/base",
+		"Orthrus/50/kernel", "Orthrus/100/kernel",
+		"Orthrus/250/fscale", "Orthrus/500/fscale", "Orthrus/1000/fscale",
+	} {
 		if !seen[want] {
 			t.Fatalf("grid missing cell %s (have %v)", want, seen)
 		}
@@ -106,7 +135,7 @@ func TestPerfBenchCompare(t *testing.T) {
 			continue // exercise the new-cell path
 		}
 		base.Cells = append(base.Cells, perfCell{
-			Protocol: c.protocol, N: c.n,
+			Protocol: c.protocol, N: c.n, Tier: c.tier,
 			NsPerOp:         int64(2000000 * (i + 1)),
 			AllocsPerOp:     1000,
 			SimEventsPerSec: 50000,

@@ -59,6 +59,9 @@ func run(args []string, w, stderr io.Writer) error {
 	payments := fs.Float64("payments", 0.46, "payment transaction fraction (0 uses the paper default; negative means all-contract)")
 	batch := fs.Int("batch", 4096, "batch size (txs per block)")
 	analytic := fs.Bool("analytic", false, "use the analytic quorum-time SB (fault-free only)")
+	kernel := fs.String("kernel", "serial", "discrete-event kernel: serial or parallel (parallel needs -nic=false)")
+	workers := fs.Int("workers", 0, "parallel-kernel worker pool size (0 = GOMAXPROCS)")
+	nic := fs.Bool("nic", true, "model the shared 1 Gbps per-node NIC (message-level runs)")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +81,15 @@ func run(args []string, w, stderr io.Writer) error {
 	}
 	if (*scn != "" || *scnFile != "") && *analytic {
 		return fmt.Errorf("scenarios require message-level PBFT; drop -analytic")
+	}
+	if *kernel != "serial" && *kernel != "parallel" {
+		return fmt.Errorf("unknown kernel %q (want serial or parallel)", *kernel)
+	}
+	if *kernel == "parallel" && *nic {
+		return fmt.Errorf("the parallel kernel does not model the shared NIC; add -nic=false")
+	}
+	if *kernel == "parallel" && *analytic {
+		return fmt.Errorf("the parallel kernel requires message-level PBFT; drop -analytic")
 	}
 	net := orthrus.WAN
 	if *netName == "lan" {
@@ -106,6 +118,10 @@ func run(args []string, w, stderr io.Writer) error {
 	}
 	if *analytic {
 		opts = append(opts, orthrus.WithAnalyticSB())
+	}
+	opts = append(opts, orthrus.WithNIC(*nic))
+	if *kernel == "parallel" {
+		opts = append(opts, orthrus.WithKernel(orthrus.KernelParallel), orthrus.WithWorkers(*workers))
 	}
 	scnLabel := *scn
 	if *scn != "" {
@@ -140,6 +156,9 @@ func run(args []string, w, stderr io.Writer) error {
 	fmt.Fprintf(w, "latency      %s\n", res.Latency.String())
 	fmt.Fprintf(w, "view changes %d\n", res.ViewChanges)
 	fmt.Fprintf(w, "sim events   %d\n", res.SimEvents)
+	if res.Kernel == "parallel" {
+		fmt.Fprintf(w, "kernel       parallel, %d shards\n", res.Shards)
+	}
 	if len(res.Phases) > 0 {
 		fmt.Fprintf(w, "phases       (%s scenario windows)\n", scnLabel)
 		for _, p := range res.Phases {

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -126,6 +127,39 @@ type Config struct {
 	// meaningful for fault-free runs: crashed or partitioned replicas miss
 	// blocks (no state transfer is modeled) and will report divergence.
 	CaptureState bool
+
+	// Kernel selects the engine executing the discrete-event simulation:
+	// the serial reference loop (default) or the conservative sharded
+	// parallel kernel, which partitions replicas across a worker pool and
+	// produces bit-identical results (the kernel-differential suite pins
+	// this). Parallel requires message-level PBFT without the NIC model,
+	// and every straggler scale must be >= 1 (speed-ups would undercut the
+	// lookahead). Topologies that cannot shard usefully fall back to the
+	// serial loop.
+	Kernel Kernel
+	// Workers bounds the parallel kernel's worker pool and shard count;
+	// 0 uses GOMAXPROCS. Measured results are identical for every value.
+	Workers int
+}
+
+// Kernel selects the engine that executes the simulation.
+type Kernel int
+
+const (
+	// KernelSerial is the reference single-threaded event loop.
+	KernelSerial Kernel = iota
+	// KernelParallel is the conservative sharded kernel (simnet.Kernel):
+	// WAN runs shard by region, LAN runs stripe round-robin, and shards
+	// execute lookahead-bounded windows concurrently between barriers.
+	KernelParallel
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	if k == KernelParallel {
+		return "parallel"
+	}
+	return "serial"
 }
 
 func (c Config) withDefaults() Config {
@@ -237,6 +271,14 @@ type Result struct {
 	// figure divides it by Confirmed for messages-per-commit.
 	Messages uint64
 
+	// Kernel names the engine that executed the run ("serial" or
+	// "parallel"), and Shards the parallel kernel's shard count (0 for
+	// serial, including parallel requests that fell back). Engine choice
+	// never changes measured results — these exist for bench reporting and
+	// for tests to assert a parallel request actually sharded.
+	Kernel string
+	Shards int
+
 	// Halted reports the run was stopped early by Config.Halt; the
 	// measurements cover only the virtual time before the stop.
 	Halted bool
@@ -300,6 +342,30 @@ type txMeta struct {
 	done    bool
 }
 
+// hookRec is one deferred measurement-hook firing under the parallel
+// kernel. Shared accounting (confirmation counters, series bins, user
+// observers) cannot run on shard goroutines, so replica hooks append
+// these to their shard's log — stamped with the executing event's virtual
+// time and canonical key — and the coordinator replays the merged logs at
+// every barrier in exactly the order the serial loop would have fired
+// them.
+type hookRec struct {
+	at       simnet.Time
+	ord      uint64 // executing event's canonical key (simnet.Sim.ExecOrd)
+	tx       *types.Transaction
+	block    *types.Block
+	replica  int32
+	instance int32
+	success  bool
+	kind     uint8
+}
+
+// hookRec kinds.
+const (
+	hookConfirm uint8 = iota
+	hookBlock
+)
+
 // simPool recycles simulators across runs: Sim.Reset reuses the event
 // pool, queue buckets and scratch arenas a previous run grew, so
 // benchmark iterations and RunMany sweeps stop re-growing megabytes of
@@ -320,6 +386,24 @@ func Run(cfg Config) *Result {
 		}
 		if err := cfg.Scenario.Validate(cfg.N); err != nil {
 			panic("cluster: " + err.Error())
+		}
+	}
+	if cfg.Kernel == KernelParallel {
+		if cfg.AnalyticSB {
+			panic("cluster: the parallel kernel requires message-level PBFT; disable AnalyticSB")
+		}
+		if cfg.NIC {
+			panic("cluster: the NIC bandwidth model requires the serial kernel")
+		}
+		if cfg.StragglerFactor < 1 {
+			panic("cluster: straggler speed-ups (factor < 1) require the serial kernel")
+		}
+		if cfg.Scenario != nil {
+			for _, e := range cfg.Scenario.Events {
+				if e.Kind == scenario.Straggle && e.Scale < 1 {
+					panic("cluster: scenario speed-ups (straggle scale < 1) require the serial kernel")
+				}
+			}
 		}
 	}
 	n := cfg.N
@@ -346,8 +430,35 @@ func Run(cfg Config) *Result {
 		nw.SetNICBps(1e9)
 	}
 
+	// Engine selection: the sharded kernel executes the identical event
+	// schedule, so everything below is kernel-agnostic; the only parallel
+	// specialization is deferring shared-state measurement hooks into
+	// per-shard logs replayed at barriers. When the topology cannot shard
+	// usefully (one worker, too few nodes), fall back to the serial loop.
+	var kern *simnet.Kernel
+	var shardOf []int
+	nodeOn := func(i int) simnet.NodeSim { return simnet.On(sim, i) }
+	client := simnet.On(sim, n)
+	if cfg.Kernel == KernelParallel {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if plan, nshards := nw.PlanShards(workers); plan != nil {
+			kern = simnet.NewKernel(sim, nw, plan, nshards, n, workers)
+			shardOf = plan
+			nodeOn = kern.NodeOn
+			client = kern.ClientOn()
+		}
+	}
+
 	res := &Result{Protocol: cfg.Protocol.Name, Net: cfg.Net.String(), N: n,
-		Series: metrics.NewTimeSeries(500 * time.Millisecond), Breakdown: &metrics.Breakdown{}}
+		Series: metrics.NewTimeSeries(500 * time.Millisecond), Breakdown: &metrics.Breakdown{},
+		Kernel: KernelSerial.String()}
+	if kern != nil {
+		res.Kernel = KernelParallel.String()
+		res.Shards = kern.NumShards()
+	}
 	var gen workload.Source = cfg.Source
 	if gen == nil {
 		gen = workload.New(cfg.Workload)
@@ -390,6 +501,50 @@ func Run(cfg Config) *Result {
 	}
 
 	windowEnd := simnet.Time(cfg.Duration)
+	// applyConfirm is the client-side confirmation accounting: the
+	// (f+1)-th replica reply makes a transaction client-visible. Serial
+	// runs call it straight from the replica's hook; parallel runs log
+	// hook firings per shard and replay them through this same function at
+	// kernel barriers, merged in canonical (at, ord) order — the exact
+	// serial call sequence.
+	applyConfirm := func(i int, tx *types.Transaction, success bool, at simnet.Time) {
+		if tx.Idx == 0 || tx.Idx > uint64(len(meta)) {
+			return
+		}
+		m := &meta[tx.Idx-1]
+		if m.done {
+			return
+		}
+		m.replies++
+		if m.replies < int32(f+1) {
+			return
+		}
+		m.done = true
+		reply := at + simnet.Time(nw.BaseDelay(i, int(m.home), 256))
+		m.reply = reply
+		lat := time.Duration(reply - m.submit)
+		res.Latency.Add(lat)
+		res.Series.Record(reply, lat)
+		if pt != nil {
+			pt.record(reply, lat)
+		}
+		if !success {
+			res.Aborted++
+		}
+		if reply >= simnet.Time(cfg.Warmup) && reply <= windowEnd {
+			res.Confirmed++
+		}
+		if cfg.OnConfirm != nil {
+			cfg.OnConfirm(tx, success, reply)
+		}
+	}
+	// Per-shard measurement logs for the parallel kernel: each shard's
+	// worker is the only writer of its log, and the coordinator drains
+	// them at barriers (see replayHooks below).
+	var hookLogs [][]hookRec
+	if kern != nil {
+		hookLogs = make([][]hookRec, kern.NumShards())
+	}
 	replicas := make([]*core.Replica, n)
 	for i := 0; i < n; i++ {
 		i := i
@@ -406,35 +561,7 @@ func Run(cfg Config) *Result {
 			Genesis:          genesis,
 			TraceStages:      i == 0,
 			OnConfirm: func(tx *types.Transaction, success bool, at simnet.Time) {
-				if tx.Idx == 0 || tx.Idx > uint64(len(meta)) {
-					return
-				}
-				m := &meta[tx.Idx-1]
-				if m.done {
-					return
-				}
-				m.replies++
-				if m.replies < int32(f+1) {
-					return
-				}
-				m.done = true
-				reply := at + simnet.Time(nw.BaseDelay(i, int(m.home), 256))
-				m.reply = reply
-				lat := time.Duration(reply - m.submit)
-				res.Latency.Add(lat)
-				res.Series.Record(reply, lat)
-				if pt != nil {
-					pt.record(reply, lat)
-				}
-				if !success {
-					res.Aborted++
-				}
-				if reply >= simnet.Time(cfg.Warmup) && reply <= windowEnd {
-					res.Confirmed++
-				}
-				if cfg.OnConfirm != nil {
-					cfg.OnConfirm(tx, success, reply)
-				}
+				applyConfirm(i, tx, success, at)
 			},
 			OnViewChange: func(instance int, view uint64, at simnet.Time) {
 				if i == 0 {
@@ -445,6 +572,27 @@ func Run(cfg Config) *Result {
 		if cfg.OnBlockDeliver != nil {
 			ccfg.OnBlockDeliver = func(instance int, b *types.Block) {
 				cfg.OnBlockDeliver(i, instance, b)
+			}
+		}
+		if kern != nil {
+			// Shared-state hooks fire on shard goroutines under the parallel
+			// kernel: defer them into the shard's log instead, stamped with
+			// the executing event's canonical key for barrier replay.
+			sh := shardOf[i]
+			ssim := nodeOn(i).S
+			ccfg.OnConfirm = func(tx *types.Transaction, success bool, at simnet.Time) {
+				hookLogs[sh] = append(hookLogs[sh], hookRec{
+					at: at, ord: ssim.ExecOrd(), tx: tx,
+					replica: int32(i), success: success, kind: hookConfirm,
+				})
+			}
+			if cfg.OnBlockDeliver != nil {
+				ccfg.OnBlockDeliver = func(instance int, b *types.Block) {
+					hookLogs[sh] = append(hookLogs[sh], hookRec{
+						at: ssim.Now(), ord: ssim.ExecOrd(), block: b,
+						replica: int32(i), instance: int32(instance), kind: hookBlock,
+					})
+				}
 			}
 		}
 		// Straggled instances are led by the highest-index replicas.
@@ -467,7 +615,51 @@ func Run(cfg Config) *Result {
 				return inst.Port(i, hooks.OnDeliver)
 			}
 		}
-		replicas[i] = core.NewReplica(ccfg, sim, nw)
+		replicas[i] = core.NewReplica(ccfg, nodeOn(i), nw)
+	}
+	// Barrier replay for the parallel kernel: drain the per-shard hook
+	// logs in canonical (at, ord) order — a k-way merge of already-sorted
+	// logs — through the identical accounting the serial loop runs inline.
+	// Entries within one event (a block delivery followed by confirmations)
+	// share a key and replay in logged order.
+	var replayHooks func(simnet.Time)
+	if kern != nil {
+		replayIdx := make([]int, len(hookLogs))
+		replayHooks = func(simnet.Time) {
+			for {
+				best := -1
+				for s := range hookLogs {
+					if replayIdx[s] >= len(hookLogs[s]) {
+						continue
+					}
+					e := &hookLogs[s][replayIdx[s]]
+					if best == -1 {
+						best = s
+						continue
+					}
+					be := &hookLogs[best][replayIdx[best]]
+					if e.at < be.at || (e.at == be.at && e.ord < be.ord) {
+						best = s
+					}
+				}
+				if best == -1 {
+					break
+				}
+				e := hookLogs[best][replayIdx[best]]
+				replayIdx[best]++
+				switch e.kind {
+				case hookConfirm:
+					applyConfirm(int(e.replica), e.tx, e.success, e.at)
+				case hookBlock:
+					cfg.OnBlockDeliver(int(e.replica), int(e.instance), e.block)
+				}
+			}
+			for s := range hookLogs {
+				hookLogs[s] = hookLogs[s][:0]
+				replayIdx[s] = 0
+			}
+		}
+		kern.SetBarrierHook(replayHooks)
 	}
 	// Straggler network scaling: everything the straggled replicas send is
 	// slowed, modeling an instance that runs 10x slower end to end.
@@ -530,21 +722,26 @@ func Run(cfg Config) *Result {
 	targetBuf := make([]int, 0, 2*(f+1)+1)
 	targetSeen := make([]bool, n)
 	leaders := &leaderCache{n: n, m: make(map[types.Key]int, 1024)}
+	// The client rides its own scheduling affinity (node id n — a pure
+	// source, never a delivery target): under the parallel kernel the
+	// whole submission chain runs on the client shard and its cross-node
+	// hops merge into the replica shards, and under the serial loop the
+	// identical stamping keeps the canonical event keys kernel-independent.
 	var submitNext func(at simnet.Time)
 	submitNext = func(at simnet.Time) {
 		if at > windowEnd || (cfg.TotalTxs > 0 && submitted >= cfg.TotalTxs) {
 			return
 		}
-		sim.At(at, func() {
+		client.At(at, func() {
 			tx := gen.Next()
-			tx.SubmitNS = int64(sim.Now())
+			tx.SubmitNS = int64(client.Now())
 			home := submitted % n
 			tx.Idx = uint64(submitted + 1) // dense run index for slice-addressed state
-			meta = append(meta, txMeta{id: tx.ID(), submit: sim.Now(), home: int32(home)})
+			meta = append(meta, txMeta{id: tx.ID(), submit: client.Now(), home: int32(home)})
 			targetBuf = appendSubmitTargets(targetBuf[:0], targetSeen, leaders, tx, n, f)
 			for _, target := range targetBuf {
 				d := nw.BaseDelay(home, target, cfg.TxSize)
-				sim.CallAfter(d, submitToReplica, replicas[target], tx)
+				client.CallAtNode(target, client.Now()+simnet.Time(d), submitToReplica, replicas[target], tx)
 			}
 			submitted++
 			res.Submitted = submitted
@@ -593,8 +790,15 @@ func Run(cfg Config) *Result {
 		tick(1)
 	}
 
-	sim.Run(windowEnd + simnet.Time(cfg.Drain))
-	res.Events = sim.EventsProcessed()
+	if kern != nil {
+		kern.Run(windowEnd + simnet.Time(cfg.Drain))
+		// The horizon window takes no barrier; drain hooks it logged.
+		replayHooks(0)
+		res.Events = kern.EventsProcessed()
+	} else {
+		sim.Run(windowEnd + simnet.Time(cfg.Drain))
+		res.Events = sim.EventsProcessed()
+	}
 	res.Messages = nw.Messages()
 
 	// A halted run measures only the elapsed virtual time: divide the

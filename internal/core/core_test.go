@@ -46,7 +46,7 @@ func newTestCluster(t *testing.T, n int, mode core.Mode, genesis func(*ledger.St
 		if mutate != nil {
 			mutate(i, &cfg)
 		}
-		c.replicas = append(c.replicas, core.NewReplica(cfg, c.sim, c.nw))
+		c.replicas = append(c.replicas, core.NewReplica(cfg, simnet.On(c.sim, i), c.nw))
 	}
 	for _, r := range c.replicas {
 		r.Start()

@@ -27,7 +27,7 @@ func newBareReplica(t *testing.T, mode Mode) *Replica {
 			st.Credit("bob", 50)
 		},
 	}
-	return NewReplica(cfg, sim, nw)
+	return NewReplica(cfg, simnet.On(sim, cfg.ID), nw)
 }
 
 func TestRouteOfSplitVsNoSplit(t *testing.T) {
@@ -151,7 +151,7 @@ func TestByzantinePulseInterval(t *testing.T) {
 	cfg := Config{N: 4, F: 1, ID: 2, M: 4, Mode: OrthrusMode(),
 		BatchTimeout: 10 * time.Millisecond, ViewTimeout: time.Second,
 		ByzantineMute: true}
-	r := NewReplica(cfg, sim, nw)
+	r := NewReplica(cfg, simnet.On(sim, cfg.ID), nw)
 	r.Start()
 	// Over 2 virtual seconds a Byzantine replica proposing at 0.8x the
 	// view timeout makes at most ~3 proposals in its own instance, versus

@@ -50,7 +50,7 @@ func TestPulseStaleWakeupAfterRecover(t *testing.T) {
 				Mode:         Mode{Name: "stub", NewGlobal: func(m int) GlobalOrdering { return WorkerOrdering{Ord: nil} }},
 				BatchTimeout: 100 * time.Millisecond,
 				SB:           func(instance int, hooks SBHooks) SB { return sb },
-			}, sim, nw)
+			}, simnet.On(sim, 0), nw)
 			r.Start() // first pulse at t=100ms
 			sim.Run(simnet.Time(150 * time.Millisecond))
 			if sb.proposed != 1 {

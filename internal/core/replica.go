@@ -95,7 +95,10 @@ type CheckpointMsg struct {
 // resulting partial and global logs.
 type Replica struct {
 	cfg Config
-	sim *simnet.Sim
+	// sim is the replica's node-pinned scheduling view (simnet.On(sim,
+	// ID)): proposal pulses and timers stamp this node's canonical key and
+	// execute on its shard under the parallel kernel.
+	sim simnet.NodeSim
 	nw  *simnet.Network
 
 	sbs []SB // M worker SB instances (+1 sequencer if enabled)
@@ -194,7 +197,7 @@ type pulseSlot struct {
 
 // NewReplica builds a replica attached to a simulated network. Call Start
 // to begin proposing. The same Config (except ID) must be used everywhere.
-func NewReplica(cfg Config, sim *simnet.Sim, nw *simnet.Network) *Replica {
+func NewReplica(cfg Config, sim simnet.NodeSim, nw *simnet.Network) *Replica {
 	if cfg.M <= 0 {
 		cfg.M = cfg.N
 	}

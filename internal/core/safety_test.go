@@ -291,7 +291,7 @@ func newTestClusterSeed(t *testing.T, n int, mode core.Mode, genesis func(*ledge
 		if mutate != nil {
 			mutate(i, &cfg)
 		}
-		c.replicas = append(c.replicas, core.NewReplica(cfg, c.sim, c.nw))
+		c.replicas = append(c.replicas, core.NewReplica(cfg, simnet.On(c.sim, i), c.nw))
 	}
 	for _, r := range c.replicas {
 		r.Start()

@@ -51,6 +51,10 @@ func (e *Engine) equivocating() bool {
 // minority keeps accumulating votes for the twin chain.
 func (e *Engine) equivocate(m *PrePrepare) {
 	twinBlock := e.cfg.MakeNoop(m.Seq)
+	// Digest before sending (see Propose): the twin goes to several
+	// replicas that may process it concurrently on different kernel
+	// shards.
+	twinBlock.Digest()
 	twin := &PrePrepare{Instance: e.cfg.Instance, View: m.View, Seq: m.Seq, Block: twinBlock}
 	half := e.cfg.N / 2
 	for to := 0; to < e.cfg.N; to++ {

@@ -226,7 +226,10 @@ func (r *slotRing) advanceBase() {
 type Engine struct {
 	cfg Config
 	tr  Transport
-	sim *simnet.Sim
+	// sim is the replica's node-pinned scheduling view: timers and
+	// deadline wakeups stamp this node's canonical key and execute on its
+	// shard under the parallel kernel.
+	sim simnet.NodeSim
 
 	view         uint64
 	viewChanging bool
@@ -282,7 +285,7 @@ type retainedEntry struct {
 
 // New creates an engine. The transport must deliver broadcast messages back
 // to the sender (self-delivery), which simnet.Network does.
-func New(cfg Config, tr Transport, sim *simnet.Sim) *Engine {
+func New(cfg Config, tr Transport, sim simnet.NodeSim) *Engine {
 	if cfg.Window <= 0 {
 		cfg.Window = 4
 	}
@@ -384,6 +387,10 @@ func (e *Engine) Propose(b *types.Block) error {
 		return fmt.Errorf("pbft: proposal SN %d != next %d", b.SN, e.nextPropose)
 	}
 	e.nextPropose++
+	// Digest before broadcast: receivers may process the shared block
+	// concurrently from different kernel shards, and the lazy digest
+	// cache write would race.
+	b.Digest()
 	m := &PrePrepare{Instance: e.cfg.Instance, View: e.view, Seq: b.SN, Block: b}
 	switch {
 	case e.leaderMuted():
@@ -728,6 +735,10 @@ func (e *Engine) sendNewView(view uint64, votes map[int]*ViewChange) {
 		} else {
 			continue // delivered somewhere, unprovable here: leave the gap
 		}
+		// Digest before broadcast (see Propose): fresh noop fills would
+		// otherwise be digested concurrently by receivers on different
+		// kernel shards.
+		b.Digest()
 		nv.Reproposals = append(nv.Reproposals, &PrePrepare{
 			Instance: e.cfg.Instance, View: view, Seq: seq, Block: b,
 		})

@@ -43,7 +43,7 @@ func newHarness(t *testing.T, n, f int, mutate func(i int, cfg *Config)) *harnes
 		if mutate != nil {
 			mutate(i, &cfg)
 		}
-		h.engines[i] = New(cfg, &netTransport{nw: h.nw, id: i}, h.sim)
+		h.engines[i] = New(cfg, &netTransport{nw: h.nw, id: i}, simnet.On(h.sim, i))
 		h.nw.Register(i, func(from int, msg any) {
 			h.engines[i].Handle(from, msg.(Message))
 		})
@@ -131,7 +131,7 @@ func TestAgreementUnderWANJitter(t *testing.T) {
 		i := i
 		cfg := Config{N: 4, F: 1, ID: i, Instance: 0, Timeout: 10 * time.Second,
 			OnDeliver: func(b *types.Block) { delivered[i] = append(delivered[i], b) }}
-		engines[i] = New(cfg, &netTransport{nw: nw, id: i}, sim)
+		engines[i] = New(cfg, &netTransport{nw: nw, id: i}, simnet.On(sim, i))
 		nw.Register(i, func(from int, msg any) { engines[i].Handle(from, msg.(Message)) })
 	}
 	for sn := uint64(0); sn < 3; sn++ {
@@ -329,7 +329,7 @@ func TestDeterministicRuns(t *testing.T) {
 						ids = append(ids, b.Digest())
 					}
 				}}
-			engines[i] = New(cfg, &netTransport{nw: nw, id: i}, sim)
+			engines[i] = New(cfg, &netTransport{nw: nw, id: i}, simnet.On(sim, i))
 			nw.Register(i, func(from int, msg any) { engines[i].Handle(from, msg.(Message)) })
 		}
 		for sn := uint64(0); sn < 3; sn++ {

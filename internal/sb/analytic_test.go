@@ -104,7 +104,7 @@ func TestAnalyticMatchesMessageLevelPBFT(t *testing.T) {
 		i := i
 		cfg := pbft.Config{N: n, F: f, ID: i, Instance: 0, Timeout: time.Hour,
 			OnDeliver: func(b *types.Block) { pbftTimes = append(pbftTimes, simA.Now()) }}
-		engines[i] = pbft.New(cfg, &loopTransport{nw: nwA, id: i}, simA)
+		engines[i] = pbft.New(cfg, &loopTransport{nw: nwA, id: i}, simnet.On(simA, i))
 		nwA.Register(i, func(from int, msg any) { engines[i].Handle(from, msg.(pbft.Message)) })
 	}
 	if err := engines[0].Propose(mkBlock(0, 0, 3)); err != nil {
@@ -159,7 +159,7 @@ func TestAnalyticMatchesPBFTOnWAN(t *testing.T) {
 		i := i
 		cfg := pbft.Config{N: n, F: f, ID: i, Instance: 0, Timeout: time.Hour,
 			OnDeliver: func(b *types.Block) { pbftTimes[i] = simA.Now() }}
-		engines[i] = pbft.New(cfg, &loopTransport{nw: nwA, id: i}, simA)
+		engines[i] = pbft.New(cfg, &loopTransport{nw: nwA, id: i}, simnet.On(simA, i))
 		nwA.Register(i, func(from int, msg any) { engines[i].Handle(from, msg.(pbft.Message)) })
 	}
 	if err := engines[0].Propose(mkBlock(0, 0, 4)); err != nil {

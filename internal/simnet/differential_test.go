@@ -8,45 +8,63 @@ import (
 )
 
 // Differential tests: the timing-wheel queue and the reference heap must
-// produce the identical pop order for every (at, seq) workload — the
+// produce the identical pop order for every (at, ord) workload — the
 // wheel's whole correctness argument reduces to "indistinguishable from
-// the heap".
+// the heap". The canonical ord key is not monotone in push order, so the
+// workloads deliberately interleave sources and affinities to hit the
+// wheel's in-lane ordered-insert paths (head replacement, mid-lane, tail
+// append).
 
-// popAll drains q and returns the (at, seq) sequence observed.
-func popAll(q eventQueue) [][2]int64 {
-	var out [][2]int64
+// popAll drains q and returns the (at, ord) sequence observed.
+func popAll(q eventQueue) [][2]uint64 {
+	var out [][2]uint64
 	for {
 		e := q.pop()
 		if e == nil {
 			return out
 		}
-		out = append(out, [2]int64{int64(e.at), int64(e.seq)})
+		out = append(out, [2]uint64{uint64(e.at), e.ord})
 	}
+}
+
+// ordGen hands out canonical keys the way a multi-node simulation does:
+// random (dst, src) affinities with a strictly increasing per-source
+// count, so keys are globally unique but arrive out of order.
+type ordGen struct {
+	rng  *rand.Rand
+	cnts [9]uint64
+}
+
+func (g *ordGen) next() uint64 {
+	src := g.rng.Intn(9) - 1
+	dst := g.rng.Intn(9) - 1
+	g.cnts[src+1]++
+	return makeOrd(dst, src, g.cnts[src+1])
 }
 
 // TestQueueDifferentialPopOrder drives both queue implementations through
 // identical randomized push/pop interleavings — clustered timestamps,
-// same-timestamp FIFO runs, sparse far-future outliers that force the
-// wheel's year wraparound, and mid-stream pops — and asserts the popped
-// (at, seq) sequences match element for element.
+// same-timestamp lanes with out-of-order keys, sparse far-future outliers
+// that force the wheel's year wraparound, and mid-stream pops — and
+// asserts the popped (at, ord) sequences match element for element.
 func TestQueueDifferentialPopOrder(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		wheel := newWheelQueue()
 		ref := &heapQueue{}
-		var seq uint64
+		gen := &ordGen{rng: rng}
 		var clock Time
 		n := 200 + rng.Intn(800)
 		push := func(at Time) {
-			seq++
-			wheel.push(&event{at: at, seq: seq})
-			ref.push(&event{at: at, seq: seq})
+			ord := gen.next()
+			wheel.push(&event{at: at, ord: ord})
+			ref.push(&event{at: at, ord: ord})
 		}
 		for i := 0; i < n; i++ {
 			switch rng.Intn(10) {
 			case 0: // far-future outlier (timer-like): exercises year wrap
 				push(clock + Time(rng.Int63n(int64(20*time.Second))))
-			case 1, 2: // same-timestamp FIFO lane
+			case 1, 2: // same-timestamp lane with interleaved sources
 				at := clock + Time(rng.Intn(1000))
 				for j := 0; j < 1+rng.Intn(5); j++ {
 					push(at)
@@ -60,9 +78,9 @@ func TestQueueDifferentialPopOrder(t *testing.T) {
 					if we == nil {
 						break
 					}
-					if we.at != he.at || we.seq != he.seq {
+					if we.at != he.at || we.ord != he.ord {
 						t.Fatalf("seed %d: pop diverged: wheel (%d,%d) heap (%d,%d)",
-							seed, we.at, we.seq, he.at, he.seq)
+							seed, we.at, we.ord, he.at, he.ord)
 					}
 					if we.at > clock {
 						clock = we.at
@@ -95,17 +113,17 @@ func TestQueueDifferentialQuick(t *testing.T) {
 	f := func(offsets []uint32, popEvery uint8) bool {
 		wheel := newWheelQueue()
 		ref := &heapQueue{}
-		var seq uint64
+		gen := &ordGen{rng: rand.New(rand.NewSource(int64(popEvery)))}
 		var clock Time
 		step := int(popEvery%7) + 2
 		for i, off := range offsets {
 			at := clock + Time(uint64(off)*uint64(1+i%3))
-			seq++
-			wheel.push(&event{at: at, seq: seq})
-			ref.push(&event{at: at, seq: seq})
+			ord := gen.next()
+			wheel.push(&event{at: at, ord: ord})
+			ref.push(&event{at: at, ord: ord})
 			if i%step == 0 {
 				we, he := wheel.pop(), ref.pop()
-				if we == nil || he == nil || we.at != he.at || we.seq != he.seq {
+				if we == nil || he == nil || we.at != he.at || we.ord != he.ord {
 					return false
 				}
 				if we.at > clock {
@@ -129,18 +147,26 @@ func TestQueueDifferentialQuick(t *testing.T) {
 	}
 }
 
+// traceStamp is one executed event in a scheduler trace: the virtual time,
+// the running event count, and the affinity the event executed under.
+type traceStamp struct {
+	at     Time
+	events uint64
+	node   int
+}
+
 // simTrace runs a deterministic mixed workload — network deliveries with
-// reentrant sends, plain callbacks, cancelled timers, a mid-run Halt with
-// resumption, and a Reset that reuses pooled nodes for a second round —
-// and returns the (at, seq) execution trace.
-func simTrace(kind QueueKind, seed int64) [][2]int64 {
-	var trace [][2]int64
+// reentrant sends, node-pinned scheduling, plain callbacks, cancelled
+// timers, a mid-run Halt with resumption, and a Reset that reuses pooled
+// nodes for a second round — and returns the execution trace.
+func simTrace(kind QueueKind, seed int64) []traceStamp {
+	var trace []traceStamp
 	s := NewWithQueue(seed, kind)
 	for round := 0; round < 2; round++ {
 		s.Reset(seed + int64(round))
 		rng := rand.New(rand.NewSource(seed*31 + int64(round)))
 		nw := NewNetwork(s, 4, FixedModel{D: time.Millisecond})
-		record := func() { trace = append(trace, [2]int64{int64(s.Now()), int64(s.seq)}) }
+		record := func() { trace = append(trace, traceStamp{s.Now(), s.events, s.cur}) }
 		for i := 0; i < 4; i++ {
 			nw.Register(i, func(from int, msg any) {
 				record()
@@ -153,7 +179,7 @@ func simTrace(kind QueueKind, seed int64) [][2]int64 {
 		haltAt := rng.Intn(n)
 		for i := 0; i < n; i++ {
 			i := i
-			switch rng.Intn(4) {
+			switch rng.Intn(5) {
 			case 0:
 				nw.Send(rng.Intn(4), rng.Intn(4), 128, rng.Intn(8))
 			case 1:
@@ -168,6 +194,8 @@ func simTrace(kind QueueKind, seed int64) [][2]int64 {
 				if rng.Intn(3) == 0 {
 					tm.Stop()
 				}
+			case 3:
+				On(s, rng.Intn(4)).After(Duration(rng.Intn(1500)), record)
 			default:
 				s.CallAfter(Duration(rng.Intn(100)), func(a, b any) { record() }, nil, nil)
 			}
@@ -180,9 +208,9 @@ func simTrace(kind QueueKind, seed int64) [][2]int64 {
 }
 
 // TestSimDifferentialTrace pins the scheduler end to end: the same seeded
-// workload — including Halt mid-run, resumption, and pooled-node reuse
-// across a Reset — executes in the identical (at, seq) order on the wheel
-// and on the reference heap.
+// workload — including Halt mid-run, resumption, node-pinned scheduling,
+// and pooled-node reuse across a Reset — executes in the identical order
+// on the wheel and on the reference heap.
 func TestSimDifferentialTrace(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		w := simTrace(QueueWheel, seed)
@@ -192,8 +220,8 @@ func TestSimDifferentialTrace(t *testing.T) {
 		}
 		for i := range w {
 			if w[i] != h[i] {
-				t.Fatalf("seed %d: trace diverged at %d: wheel (%d,%d) heap (%d,%d)",
-					seed, i, w[i][0], w[i][1], h[i][0], h[i][1])
+				t.Fatalf("seed %d: trace diverged at %d: wheel %+v heap %+v",
+					seed, i, w[i], h[i])
 			}
 		}
 	}

@@ -3,7 +3,7 @@ package simnet
 import "container/heap"
 
 // eventQueue is the scheduler's priority-queue seam: implementations must
-// pop events in exactly the total order (at, seq). Sim selects one at
+// pop events in exactly the total order (at, ord). Sim selects one at
 // construction (NewWithQueue); the calendar/timing-wheel queue is the
 // default and the binary heap is kept as the reference implementation the
 // differential property tests compare it against.
@@ -19,7 +19,7 @@ type eventQueue interface {
 	reset() // drop every event, keeping capacity for reuse
 }
 
-// eventHeap is a min-heap over (at, seq) — the reference queue.
+// eventHeap is a min-heap over (at, ord) — the reference queue.
 type eventHeap []*event
 
 func (q eventHeap) Len() int { return len(q) }
@@ -27,7 +27,7 @@ func (q eventHeap) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
-	return q[i].seq < q[j].seq
+	return q[i].ord < q[j].ord
 }
 func (q eventHeap) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 func (q *eventHeap) Push(x any)   { *q = append(*q, x.(*event)) }

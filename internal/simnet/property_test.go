@@ -11,7 +11,7 @@ import (
 // (sim.go, ARCHITECTURE.md "Performance model"): an event is owned by the
 // queue from schedule until its callback returns, then by the free pool;
 // released events are zeroed; no event is ever in the queue and the pool
-// at once. Execution order is the total order (at, seq) — identical for
+// at once. Execution order is the total order (at, ord) — identical for
 // the timing-wheel queue and the reference heap, which the differential
 // tests below pin against each other.
 
@@ -35,7 +35,7 @@ func checkQueue(t *testing.T, q eventQueue) {
 			for _, c := range []int{2*i + 1, 2*i + 2} {
 				if c < len(q.h) && q.h.Less(c, i) {
 					t.Fatalf("heap invariant violated at parent %d child %d: (%d,%d) > (%d,%d)",
-						i, c, q.h[i].at, q.h[i].seq, q.h[c].at, q.h[c].seq)
+						i, c, q.h[i].at, q.h[i].ord, q.h[c].at, q.h[c].ord)
 				}
 			}
 		}
@@ -48,14 +48,14 @@ func checkQueue(t *testing.T, q eventQueue) {
 			for e := b.head; e != nil; e = e.next {
 				n++
 				if idx := int(uint64(e.at)>>q.shift) & q.mask; idx != i {
-					t.Fatalf("wheel event (%d,%d) filed in bucket %d, belongs in %d", e.at, e.seq, i, idx)
+					t.Fatalf("wheel event (%d,%d) filed in bucket %d, belongs in %d", e.at, e.ord, i, idx)
 				}
 				if prev != nil && !before(prev, e) {
 					t.Fatalf("wheel bucket %d unsorted: (%d,%d) !< (%d,%d)",
-						i, prev.at, prev.seq, e.at, e.seq)
+						i, prev.at, prev.ord, e.at, e.ord)
 				}
 				if e.at < curStart {
-					t.Fatalf("wheel cursor (start %d) passed queued event (%d,%d)", curStart, e.at, e.seq)
+					t.Fatalf("wheel cursor (start %d) passed queued event (%d,%d)", curStart, e.at, e.ord)
 				}
 				if e.next == nil && b.tail != e {
 					t.Fatalf("wheel bucket %d tail pointer out of sync", i)
@@ -72,14 +72,14 @@ func checkQueue(t *testing.T, q eventQueue) {
 			for r := b.head; r != nil; r = r.skip {
 				rt := r.runTail
 				if rt == nil {
-					t.Fatalf("wheel bucket %d lane head (%d,%d) missing runTail", i, r.at, r.seq)
+					t.Fatalf("wheel bucket %d lane head (%d,%d) missing runTail", i, r.at, r.ord)
 				}
 				for m := r; ; m = m.next {
 					if m.at != r.at {
-						t.Fatalf("wheel bucket %d lane (at=%d) contains (%d,%d)", i, r.at, m.at, m.seq)
+						t.Fatalf("wheel bucket %d lane (at=%d) contains (%d,%d)", i, r.at, m.at, m.ord)
 					}
 					if m != r && (m.skip != nil || m.runTail != nil) {
-						t.Fatalf("wheel bucket %d lane member (%d,%d) carries head links", i, m.at, m.seq)
+						t.Fatalf("wheel bucket %d lane member (%d,%d) carries head links", i, m.at, m.ord)
 					}
 					if m == rt {
 						break
@@ -117,7 +117,7 @@ func checkQueue(t *testing.T, q eventQueue) {
 // eventZeroed reports whether a released event carries no stale state
 // (funcs are not comparable, so the struct is checked field by field).
 func eventZeroed(e *event) bool {
-	return e.at == 0 && e.seq == 0 && e.call == nil &&
+	return e.at == 0 && e.ord == 0 && e.call == nil &&
 		e.argA == nil && e.argB == nil && e.nw == nil &&
 		e.from == 0 && e.to == 0 && e.size == 0 && e.msg == nil &&
 		e.next == nil && e.skip == nil && e.runTail == nil
@@ -148,8 +148,9 @@ func checkDisjoint(t *testing.T, s *Sim) {
 // TestSchedulerTotalOrder drives random event loads — seeded sweeps over
 // mixed At/After/CallAt/AfterTimer scheduling, including events scheduled
 // from inside callbacks — and asserts every execution trace is totally
-// ordered by (at, seq), with seq reflecting scheduling order. Both queue
-// implementations are swept.
+// ordered by (at, ord). Every event here carries the global affinity, so
+// its canonical key reduces to the global per-source count and must
+// reflect scheduling order exactly. Both queue implementations are swept.
 func TestSchedulerTotalOrder(t *testing.T) {
 	for _, qk := range queueKinds {
 		t.Run(qk.name, func(t *testing.T) {
@@ -158,33 +159,42 @@ func TestSchedulerTotalOrder(t *testing.T) {
 				s := NewWithQueue(seed, qk.kind)
 				type stamp struct {
 					at  Time
-					seq uint64
+					ord uint64
+				}
+				// nextOrd predicts the key the scheduler will assign to the
+				// next globally scheduled event.
+				nextOrd := func() uint64 {
+					var cnt uint64 = 1
+					if len(s.ordCnt) > 0 {
+						cnt = s.ordCnt[0] + 1
+					}
+					return makeOrd(NodeNone, NodeNone, cnt)
 				}
 				var trace []stamp
 				n := 50 + rng.Intn(200)
 				var schedule func(depth int)
 				schedule = func(depth int) {
 					at := s.Now() + Time(rng.Intn(1000))
-					seq := s.seq + 1 // the stamp the scheduler will assign next
+					ord := nextOrd() // the stamp the scheduler will assign next
 					switch rng.Intn(4) {
 					case 0:
 						s.At(at, func() {
-							trace = append(trace, stamp{s.Now(), seq})
+							trace = append(trace, stamp{s.Now(), ord})
 							if depth < 3 && rng.Intn(2) == 0 {
 								schedule(depth + 1)
 							}
 						})
 					case 1:
 						s.After(Duration(rng.Intn(1000)), func() {
-							trace = append(trace, stamp{s.Now(), seq})
+							trace = append(trace, stamp{s.Now(), ord})
 						})
 					case 2:
 						s.CallAt(at, func(a, b any) {
-							trace = append(trace, stamp{s.Now(), seq})
+							trace = append(trace, stamp{s.Now(), ord})
 						}, nil, nil)
 					default:
 						tm := s.AfterTimer(Duration(rng.Intn(1000)), func() {
-							trace = append(trace, stamp{s.Now(), seq})
+							trace = append(trace, stamp{s.Now(), ord})
 						})
 						if rng.Intn(4) == 0 {
 							tm.Stop()
@@ -200,9 +210,9 @@ func TestSchedulerTotalOrder(t *testing.T) {
 				}
 				for i := 1; i < len(trace); i++ {
 					a, b := trace[i-1], trace[i]
-					if a.at > b.at || (a.at == b.at && a.seq >= b.seq) {
-						t.Fatalf("seed %d: execution order violated (at,seq): (%d,%d) before (%d,%d)",
-							seed, a.at, a.seq, b.at, b.seq)
+					if a.at > b.at || (a.at == b.at && a.ord >= b.ord) {
+						t.Fatalf("seed %d: execution order violated (at,ord): (%d,%d) before (%d,%d)",
+							seed, a.at, a.ord, b.at, b.ord)
 					}
 				}
 			}

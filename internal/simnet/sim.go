@@ -4,15 +4,21 @@
 // clock with delays drawn from a configurable latency model (4-region WAN
 // or single-site LAN), and fault/straggler injection perturbs delivery.
 //
-// Determinism: events at equal virtual times are processed in scheduling
-// order (a monotone sequence number breaks ties), and all randomness flows
-// through a seeded generator, so every experiment is exactly reproducible.
+// Determinism: events at equal virtual times are processed in the
+// canonical order (destination node, source node, per-source count) — a
+// tie-break that is a pure function of the workload, not of the engine
+// that executes it — and all randomness flows through seeded generators,
+// so every experiment is exactly reproducible. Because the canonical
+// order is engine-independent, the conservative parallel kernel
+// (kernel.go) executes the identical schedule the serial loop does, and
+// measured results are bit-identical across kernels (the differential
+// tests pin this).
 //
 // Scheduling: the event queue is an O(1)-amortized calendar/timing-wheel
 // queue (wheel.go); the original binary min-heap survives as the
 // reference implementation (heap.go, QueueHeap) that the differential
 // property tests compare the wheel against. Both pop in the identical
-// total order (at, seq), so results never depend on the choice.
+// total order (at, ord), so results never depend on the choice.
 //
 // Allocation model: events are pooled. An executed event returns to a free
 // list the moment its callback finishes, and the next At/Send reuses it, so
@@ -52,13 +58,13 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 // ordering key on its first cache line, and the whole event in two.
 type event struct {
 	at  Time
-	seq uint64
+	ord uint64
 
 	// next, skip and runTail chain events inside one timing-wheel bucket
 	// (wheel.go): the wheel queues pooled events intrusively, so
 	// scheduling allocates no container nodes at all. next links the full
-	// (at, seq) order; skip links the heads of same-timestamp runs (the
-	// FIFO lanes) so an insert hops over a lane in one step; runTail, on a
+	// (at, ord) order; skip links the heads of same-timestamp runs (the
+	// lanes) so an insert hops over a lane in one step; runTail, on a
 	// lane's head, points at its last member for O(1) lane appends. All
 	// three are owned by the queue and nil outside it. They sit next to
 	// the ordering key so the queue's pop/insert path touches one cache
@@ -80,6 +86,42 @@ type event struct {
 	from, to int32
 	size     int32
 	msg      any
+}
+
+// The canonical tie-break key. Events at equal virtual times execute in
+// (dst, src, cnt) order: dst is the node the event targets (its affinity —
+// the node whose state the callback touches), src is the node whose event
+// scheduled it, and cnt is a per-source counter. The key is a pure
+// function of the simulated workload — node i's k-th scheduling call
+// produces the same key no matter which engine runs the simulation or in
+// what real-time order independent nodes execute — which is what lets the
+// sharded kernel reproduce the serial schedule exactly. Node -1 (NodeNone)
+// is the global affinity: events scheduled outside any node context
+// (setup code, scenario timelines, measurement ticks); it sorts before
+// every real node at equal times, preserving the convention that
+// timeline mutations apply before same-instant deliveries.
+//
+// Packing: dst and src ride as node+1 in 15 bits each, cnt in 34 bits
+// (a single source schedules < 2^34 events per run; the scheduler panics
+// on overflow rather than wrapping the order).
+const (
+	// NodeNone is the global affinity: no owning node.
+	NodeNone = -1
+
+	ordNodeBits = 15
+	ordCntBits  = 34
+	ordNodeMax  = 1<<ordNodeBits - 2 // ids are packed as node+1
+	ordCntMax   = 1<<ordCntBits - 1
+)
+
+// makeOrd packs the canonical tie-break key.
+func makeOrd(dst, src int, cnt uint64) uint64 {
+	return uint64(dst+1)<<(ordNodeBits+ordCntBits) | uint64(src+1)<<ordCntBits | cnt
+}
+
+// ordDst unpacks the destination affinity (NodeNone for global events).
+func ordDst(ord uint64) int {
+	return int(ord>>(ordNodeBits+ordCntBits)) - 1
 }
 
 // runFunc adapts a plain closure to the two-operand callback form (the
@@ -109,11 +151,34 @@ const (
 
 // Sim is the discrete-event engine.
 type Sim struct {
-	now    Time
-	seq    uint64
-	q      eventQueue
-	pool   []*event // free list of released events
-	rng    *rand.Rand
+	now  Time
+	q    eventQueue
+	pool []*event // free list of released events
+	rng  *rand.Rand
+	seed int64
+	// cur is the affinity of the currently executing event (NodeNone
+	// between events and during setup). Scheduling calls without an
+	// explicit destination inherit it as both halves of the canonical key;
+	// curOrd is the executing event's own key (0 between events), exposed
+	// so barrier-replay accounting can merge per-shard logs in exact
+	// serial order.
+	cur    int
+	curOrd uint64
+	// ordCnt holds the per-source schedule counters behind the canonical
+	// tie-break, indexed by node+1. Each shard simulator of a sharded
+	// kernel carries its own slice, pre-sized so it never grows (only the
+	// slots of nodes the shard hosts are ever written — node i's counter
+	// advances identically to the serial run's, because node i makes the
+	// same scheduling calls in the same order on any kernel); ordFixed
+	// marks that mode, where growth and global-affinity sources panic
+	// instead of racing.
+	ordCnt   []uint64
+	ordFixed bool
+	kind     QueueKind
+	// route, when set, intercepts events whose destination lives on
+	// another shard (kernel.go); it returns true when it consumed the
+	// event into an outbox.
+	route  func(e *event, dst int) bool
 	events uint64 // total events processed, for accounting
 	halted bool
 }
@@ -126,7 +191,7 @@ func New(seed int64) *Sim {
 
 // NewWithQueue creates a simulator backed by the given queue
 // implementation. Both implementations pop events in the identical total
-// order (at, seq) — pinned by the differential property tests — so results
+// order (at, ord) — pinned by the differential property tests — so results
 // never depend on the choice; only performance does.
 func NewWithQueue(seed int64, kind QueueKind) *Sim {
 	var q eventQueue
@@ -135,7 +200,7 @@ func NewWithQueue(seed int64, kind QueueKind) *Sim {
 	} else {
 		q = newWheelQueue()
 	}
-	return &Sim{q: q, rng: rand.New(rand.NewSource(seed))}
+	return &Sim{q: q, rng: rand.New(rand.NewSource(seed)), seed: seed, cur: NodeNone, kind: kind}
 }
 
 // Reset returns the simulator to its just-constructed state — clock at
@@ -153,11 +218,17 @@ func (s *Sim) Reset(seed int64) {
 	})
 	s.q.reset()
 	s.now = 0
-	s.seq = 0
+	clear(s.ordCnt)
+	s.cur = NodeNone
 	s.events = 0
 	s.halted = false
+	s.route = nil // a pooled sim must not keep a previous kernel's router
+	s.seed = seed
 	s.rng.Seed(seed)
 }
+
+// Seed returns the seed the simulator was constructed or last Reset with.
+func (s *Sim) Seed() int64 { return s.seed }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
@@ -192,22 +263,61 @@ func (s *Sim) release(e *event) {
 	s.pool = append(s.pool, e)
 }
 
-// schedule stamps (at, seq) onto e and pushes it on the queue, clamping
-// past times to now.
-func (s *Sim) schedule(e *event, t Time) {
+// nextCnt returns the next per-source schedule count for src (packed as
+// src+1). The counter slice grows on demand for standalone sims; sharded
+// sims pre-size it (growing concurrently would race across shards) and
+// reject global-affinity sources, which would duplicate the serial run's
+// global counter across shards.
+func (s *Sim) nextCnt(src int) uint64 {
+	idx := src + 1
+	if idx >= len(s.ordCnt) {
+		if s.ordFixed {
+			panic(fmt.Sprintf("simnet: node %d outside the sharded kernel's node range", src))
+		}
+		grown := make([]uint64, idx+8)
+		copy(grown, s.ordCnt)
+		s.ordCnt = grown
+	}
+	if s.ordFixed && src == NodeNone {
+		panic("simnet: global-affinity scheduling on a shard simulator; use a NodeSim")
+	}
+	s.ordCnt[idx]++
+	if s.ordCnt[idx] > ordCntMax {
+		panic(fmt.Sprintf("simnet: node %d exceeded %d scheduled events", src, uint64(ordCntMax)))
+	}
+	return s.ordCnt[idx]
+}
+
+// schedule stamps (at, ord) onto e for destination affinity dst and source
+// src, and pushes it on the queue, clamping past times to now. When a
+// shard router is installed and dst lives on another shard, the event is
+// diverted to that shard's inbox instead (kernel.go).
+func (s *Sim) schedule(e *event, t Time, dst, src int) {
 	if t < s.now {
 		t = s.now
 	}
-	s.seq++
-	e.at, e.seq = t, s.seq
+	if dst > ordNodeMax || dst < NodeNone {
+		panic(fmt.Sprintf("simnet: node %d outside the schedulable range [-1,%d]", dst, ordNodeMax))
+	}
+	e.at = t
+	e.ord = makeOrd(dst, src, s.nextCnt(src))
+	if s.route != nil && s.route(e, dst) {
+		return
+	}
 	s.q.push(e)
 }
 
-// At schedules fn at absolute virtual time t (clamped to now).
-func (s *Sim) At(t Time, fn func()) {
+// At schedules fn at absolute virtual time t (clamped to now) with the
+// affinity of the currently executing event (global outside any event).
+func (s *Sim) At(t Time, fn func()) { s.AtNode(s.cur, t, fn) }
+
+// AtNode schedules fn at absolute virtual time t with an explicit node
+// affinity: the canonical order groups the event under dst, and a sharded
+// kernel executes it on dst's shard. Use NodeNone for global events.
+func (s *Sim) AtNode(dst int, t Time, fn func()) {
 	e := s.alloc()
 	e.call, e.argA = runFunc, fn
-	s.schedule(e, t)
+	s.schedule(e, t, dst, s.cur)
 }
 
 // After schedules fn d after the current time.
@@ -217,11 +327,17 @@ func (s *Sim) After(d Duration, fn func()) { s.At(s.now+Time(d), fn) }
 // now). Unlike At, a top-level fn plus pointer-shaped operands allocates
 // nothing: the operands ride in the pooled event. This is the hot-path
 // scheduling primitive — client submissions, analytic SB deliveries and
-// consensus timer wakeups use it.
+// consensus timer wakeups use it. The affinity is inherited from the
+// currently executing event.
 func (s *Sim) CallAt(t Time, fn func(a, b any), argA, argB any) {
+	s.CallAtNode(s.cur, t, fn, argA, argB)
+}
+
+// CallAtNode is CallAt with an explicit node affinity (see AtNode).
+func (s *Sim) CallAtNode(dst int, t Time, fn func(a, b any), argA, argB any) {
 	e := s.alloc()
 	e.call, e.argA, e.argB = fn, argA, argB
-	s.schedule(e, t)
+	s.schedule(e, t, dst, s.cur)
 }
 
 // CallAfter schedules fn(argA, argB) d after the current time.
@@ -242,10 +358,16 @@ func (t *Timer) Stopped() bool { return t.stopped }
 
 // AfterTimer schedules fn after d and returns a handle that can cancel it.
 func (s *Sim) AfterTimer(d Duration, fn func()) *Timer {
+	return s.AfterTimerNode(s.cur, d, fn)
+}
+
+// AfterTimerNode is AfterTimer with an explicit node affinity (see
+// AtNode).
+func (s *Sim) AfterTimerNode(dst int, d Duration, fn func()) *Timer {
 	t := &Timer{}
 	e := s.alloc()
 	e.call, e.argA, e.argB = runTimer, fn, t
-	s.schedule(e, s.now+Time(d))
+	s.schedule(e, s.now+Time(d), dst, s.cur)
 	return t
 }
 
@@ -262,16 +384,26 @@ func (s *Sim) Step() bool {
 	return true
 }
 
-// dispatch runs an event's callback. The event is still owned by the
-// caller (Step), which releases it afterwards; callbacks never see the
-// event itself, so they cannot retain it past release.
+// dispatch runs an event's callback with s.cur set to the event's
+// affinity, so everything the callback schedules is stamped with the
+// correct canonical source. The event is still owned by the caller
+// (Step), which releases it afterwards; callbacks never see the event
+// itself, so they cannot retain it past release.
 func (s *Sim) dispatch(e *event) {
+	s.cur, s.curOrd = ordDst(e.ord), e.ord
 	if e.nw != nil {
 		e.nw.deliver(int(e.from), int(e.to), int(e.size), e.msg)
 	} else if e.call != nil {
 		e.call(e.argA, e.argB)
 	}
+	s.cur, s.curOrd = NodeNone, 0
 }
+
+// ExecOrd returns the canonical key of the currently executing event (0
+// between events). Together with Now it totally orders observations made
+// from inside callbacks — the sharded kernel's barrier replay merges
+// per-shard logs stamped with (Now, ExecOrd) back into exact serial order.
+func (s *Sim) ExecOrd() uint64 { return s.curOrd }
 
 // Halt stops the engine: Run and RunAll return after the event that called
 // Halt, leaving queued events unprocessed and the clock where it stopped.
@@ -315,12 +447,82 @@ func (s *Sim) RunAll(maxEvents uint64) uint64 {
 	return s.events - start
 }
 
+// NodeSim is a node-pinned view of a simulator: every scheduling call
+// stamps the node as both halves of the event's canonical key —
+// destination affinity and source — rather than inheriting the executing
+// event's. Replicas hold one (cluster constructs them with their own id),
+// so state-machine timers and pulses always land on the owning node's
+// shard and always draw from the node's own schedule counter — including
+// when they are armed from outside the node's own events (setup, scenario
+// recovery hooks at a kernel barrier), which keeps the canonical key a
+// pure function of the workload on every kernel. The zero value is
+// unusable; build one with On.
+type NodeSim struct {
+	S    *Sim
+	Node int
+}
+
+// On pins sim to node: the returned view stamps node as the destination
+// affinity and source of everything scheduled through it.
+func On(sim *Sim, node int) NodeSim { return NodeSim{S: sim, Node: node} }
+
+// Now returns the current virtual time.
+func (n NodeSim) Now() Time { return n.S.Now() }
+
+// At schedules fn at absolute time t on the pinned node.
+func (n NodeSim) At(t Time, fn func()) {
+	e := n.S.alloc()
+	e.call, e.argA = runFunc, fn
+	n.S.schedule(e, t, n.Node, n.Node)
+}
+
+// After schedules fn d after the current time on the pinned node.
+func (n NodeSim) After(d Duration, fn func()) { n.At(n.S.now+Time(d), fn) }
+
+// CallAt schedules fn(argA, argB) at absolute time t on the pinned node.
+func (n NodeSim) CallAt(t Time, fn func(a, b any), argA, argB any) {
+	e := n.S.alloc()
+	e.call, e.argA, e.argB = fn, argA, argB
+	n.S.schedule(e, t, n.Node, n.Node)
+}
+
+// CallAfter schedules fn(argA, argB) d after the current time on the
+// pinned node.
+func (n NodeSim) CallAfter(d Duration, fn func(a, b any), argA, argB any) {
+	n.CallAt(n.S.now+Time(d), fn, argA, argB)
+}
+
+// CallAtNode schedules fn(argA, argB) at absolute time t with an explicit
+// destination affinity, keeping the pinned node as the source — the
+// client-shard primitive for cross-node hops (submissions to replicas).
+func (n NodeSim) CallAtNode(dst int, t Time, fn func(a, b any), argA, argB any) {
+	e := n.S.alloc()
+	e.call, e.argA, e.argB = fn, argA, argB
+	n.S.schedule(e, t, dst, n.Node)
+}
+
+// AfterTimer schedules fn after d on the pinned node and returns a handle
+// that can cancel it.
+func (n NodeSim) AfterTimer(d Duration, fn func()) *Timer {
+	t := &Timer{}
+	e := n.S.alloc()
+	e.call, e.argA, e.argB = runTimer, fn, t
+	n.S.schedule(e, n.S.now+Time(d), n.Node, n.Node)
+	return t
+}
+
 // Handler consumes a message delivered to a node.
 type Handler func(from int, msg any)
 
 // Network delivers messages between registered nodes over a latency model.
 type Network struct {
-	sim      *Sim
+	sim *Sim
+	// sims, when non-nil, maps each node to the shard simulator that
+	// executes its events (kernel.go); nil means every node runs on sim.
+	// Send reads the clock of — and schedules through — the sender's sim,
+	// so the same Network serves both the serial loop and the sharded
+	// kernel.
+	sims     []*Sim
 	model    LatencyModel
 	handlers []Handler
 	// Latency fast path: when the model is a *GeoModel, the per-link base
@@ -333,6 +535,13 @@ type Network struct {
 	// NewNetwork.
 	geo      *GeoModel
 	pairBase []Duration
+	// jit holds one counter-based jitter stream per directed link
+	// (jit[from*n+to]), seeded from the run seed and the link identity.
+	// Jitter is a pure function of (seed, from, to, per-link send count) —
+	// not of the global event interleaving — so the serial and sharded
+	// kernels sample identical delays for every message. Each stream's
+	// single writer is the sender's shard. Allocated for every geo model.
+	jit []uint64
 	// outScale multiplies all delays for messages *sent by* a node; used to
 	// model a straggler whose instance runs 10x slower (Sec. VII-A).
 	outScale []float64
@@ -355,9 +564,12 @@ type Network struct {
 	nicBps      float64
 	egressFree  []Time
 	ingressFree []Time
-	// Stats
-	msgs  uint64
-	bytes uint64
+	// Stats: delivered messages and bytes are counted per destination node
+	// (single-writer under the sharded kernel — a node's deliveries all
+	// execute on its own shard) and summed on read; modeled traffic
+	// (AddModeled) is folded into the slot of node 0.
+	msgsN  []uint64
+	bytesN []uint64
 }
 
 // NewNetwork creates a network for n nodes over the given latency model.
@@ -369,6 +581,8 @@ func NewNetwork(sim *Sim, n int, model LatencyModel) *Network {
 		handlers: make([]Handler, n),
 		outScale: onesVec(n),
 		down:     make([]bool, n),
+		msgsN:    make([]uint64, n),
+		bytesN:   make([]uint64, n),
 	}
 	if g, ok := model.(*GeoModel); ok {
 		nw.geo = g
@@ -387,8 +601,35 @@ func NewNetwork(sim *Sim, n int, model LatencyModel) *Network {
 				nw.pairBase[from*n+to] = base
 			}
 		}
+		nw.jit = make([]uint64, n*n)
+		for l := range nw.jit {
+			nw.jit[l] = jitSeed(sim.seed, l)
+		}
 	}
 	return nw
+}
+
+// jitSeed derives the initial stream state for one directed link from the
+// run seed (splitmix64 of the mixed pair; distinct links never share a
+// stream).
+func jitSeed(seed int64, link int) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(link+1)
+	return splitmix64(&x)
+}
+
+// splitmix64 advances the state and returns the next value of the stream
+// (Steele et al., the standard 64-bit mixer).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// jitFloat draws the next uniform [0,1) sample from a link stream.
+func jitFloat(state *uint64) float64 {
+	return float64(splitmix64(state)>>11) / (1 << 53)
 }
 
 func onesVec(n int) []float64 {
@@ -485,19 +726,33 @@ func (nw *Network) Heal() {
 	}
 }
 
-// Messages returns the count of messages delivered.
-func (nw *Network) Messages() uint64 { return nw.msgs }
+// Messages returns the count of messages delivered (summed over the
+// per-node counters; call only with all shards quiesced).
+func (nw *Network) Messages() uint64 {
+	var total uint64
+	for _, m := range nw.msgsN {
+		total += m
+	}
+	return total
+}
 
-// Bytes returns the total payload bytes delivered.
-func (nw *Network) Bytes() uint64 { return nw.bytes }
+// Bytes returns the total payload bytes delivered (summed over the
+// per-node counters; call only with all shards quiesced).
+func (nw *Network) Bytes() uint64 {
+	var total uint64
+	for _, b := range nw.bytesN {
+		total += b
+	}
+	return total
+}
 
 // AddModeled folds messages that a closed-form layer models without
 // simulating (the analytic SB's pre-prepare/prepare/commit traffic) into
 // the delivery statistics, so Messages and Bytes stay comparable between
 // message-level and analytic runs.
 func (nw *Network) AddModeled(msgs, bytes uint64) {
-	nw.msgs += msgs
-	nw.bytes += bytes
+	nw.msgsN[0] += msgs
+	nw.bytesN[0] += bytes
 }
 
 // SetNICBps enables the shared-NIC model with the given per-node bandwidth
@@ -524,13 +779,15 @@ func (nw *Network) fastBase(from, to, size int) Duration {
 
 // Delay returns the modeled propagation delay for a message of size bytes
 // from -> to, including the sender's straggler scaling (NIC queueing is
-// applied separately in Send). Exposed for the analytic SB.
+// applied separately in Send). Exposed for the analytic SB. On the geo
+// fast path the jitter sample advances the per-link stream, so the k-th
+// send over a link draws the same jitter in every kernel.
 func (nw *Network) Delay(from, to, size int) Duration {
 	var d Duration
 	if nw.geo != nil {
 		d = nw.fastBase(from, to, size)
 		if jf := nw.geo.JitterFrac; jf > 0 {
-			d += Duration(nw.sim.rng.Float64() * jf * float64(d))
+			d += Duration(jitFloat(&nw.jit[from*len(nw.handlers)+to]) * jf * float64(d))
 		}
 	} else {
 		d = nw.model.Delay(from, to, size, nw.sim.rng)
@@ -566,14 +823,15 @@ func (nw *Network) Send(from, to, size int, msg any) {
 	if nw.down[from] || nw.down[to] || nw.LinkBlocked(from, to) {
 		return
 	}
-	if nw.dropRate > 0 && nw.sim.rng.Float64() < nw.dropRate {
+	sim := nw.simFor(from)
+	if nw.dropRate > 0 && sim.rng.Float64() < nw.dropRate {
 		return
 	}
 	prop := nw.Delay(from, to, size)
 	var deliverAt Time
 	if nw.nicBps > 0 && from != to {
 		ser := nw.serTime(size)
-		start := nw.sim.now
+		start := sim.now
 		if nw.egressFree[from] > start {
 			start = nw.egressFree[from]
 		}
@@ -587,11 +845,59 @@ func (nw *Network) Send(from, to, size int, msg any) {
 		deliverAt = recvStart + ser
 		nw.ingressFree[to] = deliverAt
 	} else {
-		deliverAt = nw.sim.now + Time(prop)
+		deliverAt = sim.now + Time(prop)
 	}
-	e := nw.sim.alloc()
+	e := sim.alloc()
 	e.nw, e.from, e.to, e.size, e.msg = nw, int32(from), int32(to), int32(size), msg
-	nw.sim.schedule(e, deliverAt)
+	sim.schedule(e, deliverAt, to, from)
+}
+
+// simFor returns the simulator that executes node's events: the node's
+// shard under the sharded kernel, the single engine otherwise.
+func (nw *Network) simFor(node int) *Sim {
+	if nw.sims != nil {
+		return nw.sims[node]
+	}
+	return nw.sim
+}
+
+// SetSharded installs the node -> shard-simulator map (kernel.go). The
+// NIC model and message dropping read and mutate cross-node state at send
+// time, so both are serial-only; the kernel's validation rejects them
+// before ever getting here, and this panics as a backstop.
+func (nw *Network) SetSharded(sims []*Sim) {
+	if nw.nicBps > 0 || nw.dropRate > 0 {
+		panic("simnet: NIC model and drop rate require the serial kernel")
+	}
+	if len(sims) != len(nw.handlers) {
+		panic(fmt.Sprintf("simnet: shard map covers %d of %d nodes", len(sims), len(nw.handlers)))
+	}
+	nw.sims = sims
+}
+
+// MinCrossBase returns the minimum jitter-free propagation delay over all
+// directed links that cross shards under the given node -> shard
+// assignment (0 when no link crosses). This is the conservative kernel's
+// lookahead: every cross-shard send adds at least this much to the
+// sender's clock, because jitter only adds and outScale ≥ 1 is enforced by
+// the kernel's validation. Requires the geo fast path.
+func (nw *Network) MinCrossBase(shardOf []int) Duration {
+	n := len(nw.handlers)
+	if nw.pairBase == nil {
+		panic("simnet: lookahead requires a GeoModel latency matrix")
+	}
+	var min Duration
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if shardOf[from] == shardOf[to] {
+				continue
+			}
+			if b := nw.pairBase[from*n+to]; min == 0 || b < min {
+				min = b
+			}
+		}
+	}
+	return min
 }
 
 // deliver lands a message at its destination, re-checking liveness and
@@ -600,8 +906,8 @@ func (nw *Network) deliver(from, to, size int, msg any) {
 	if nw.down[to] || nw.LinkBlocked(from, to) || nw.handlers[to] == nil {
 		return
 	}
-	nw.msgs++
-	nw.bytes += uint64(size)
+	nw.msgsN[to]++
+	nw.bytesN[to] += uint64(size)
 	nw.handlers[to](from, msg)
 }
 

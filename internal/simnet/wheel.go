@@ -7,7 +7,7 @@ import (
 
 // wheelQueue is the default scheduler queue: a calendar queue (a
 // self-resizing single-level timing wheel, Brown 1988) over the total event
-// order (at, seq). The virtual time axis is divided into power-of-two
+// order (at, ord). The virtual time axis is divided into power-of-two
 // buckets of width 1<<shift nanoseconds; bucket index is
 // (at>>shift)&mask, so one "year" spans len(buckets)<<shift nanoseconds
 // and far-future events wrap around and share buckets with near ones.
@@ -16,10 +16,10 @@ import (
 // events themselves (event.next), so the wheel allocates no container
 // nodes: scheduling an event never allocates, and Sim.Reset keeps the
 // bucket array as part of the simulator's arena. Each bucket's list is
-// kept sorted by (at, seq); the same-timestamp FIFO property is structural
-// — equal timestamps always map to the same bucket and arrive in
-// increasing seq, so the tail-append fast path preserves their lane order
-// without any walk.
+// kept sorted by (at, ord). The canonical ord key is not monotone in push
+// order (a later push can carry a smaller key), so same-timestamp lanes
+// are maintained by ordered insertion — with an O(1) append fast path for
+// the common case of a push that sorts after the lane tail.
 //
 // A scan cursor (cur, curEnd) walks bucket windows in time order. The
 // queue maintains the invariant that no queued event is earlier than the
@@ -55,18 +55,31 @@ type wheelQueue struct {
 	sample  []Time
 }
 
-// wheelBucket is one calendar bucket: a (at, seq)-sorted intrusive list
-// organized as same-timestamp runs (FIFO lanes). head/tail bound the full
+// wheelBucket is one calendar bucket: a (at, ord)-sorted intrusive list
+// organized as same-timestamp runs (lanes). head/tail bound the full
 // next-linked order; tailRun is the head of the last lane. headAt mirrors
 // head.at so the scan never dereferences a cold event just to decide
 // whether a bucket's turn has come; it is meaningless when head is nil.
 // Two buckets can never share a headAt (equal timestamps always land in
 // the same bucket), so headAt alone orders bucket heads.
+//
+// lastIns is the in-lane insertion finger: the event most recently placed
+// by laneInsert's interior walk, valid while it is still queued at
+// lastInsAt. Lockstep workloads (n replicas x m instances rescheduling
+// aligned proposal pulses) insert thousands of events into one lane in
+// ascending ord order; once any higher-ord event sits in that lane the
+// O(1) tail append no longer applies and each insert would walk the lane
+// from its head — quadratic in the lane length. Resuming from the finger
+// makes an ascending burst O(1) amortized again. The finger is a pure
+// search hint: it never changes where an event lands, only how the spot
+// is found, so pop order — and determinism — are unaffected.
 type wheelBucket struct {
 	head, tail *event
 	tailRun    *event
+	lastIns    *event
 	headAt     Time
 	tailAt     Time // mirrors tail.at; meaningless when tail is nil
+	lastInsAt  Time // mirrors lastIns.at; meaningless when lastIns is nil
 }
 
 const (
@@ -94,14 +107,15 @@ func before(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.ord < b.ord
 }
 
-// insert links e into its bucket, keeping the list sorted by (at, seq).
+// insert links e into its bucket, keeping the list sorted by (at, ord).
 // The walk steps over whole same-timestamp lanes via the skip chain, so
 // its cost is the number of distinct timestamps in the bucket, not the
 // number of events — a thousand-event lockstep lane (replica pulse
-// batches) is one hop.
+// batches) is one hop, plus an in-lane walk only when e sorts strictly
+// inside an existing lane.
 func (w *wheelQueue) insert(e *event) {
 	idx := int(uint64(e.at)>>w.shift) & w.mask
 	b := &w.buckets[idx]
@@ -114,9 +128,7 @@ func (w *wheelQueue) insert(e *event) {
 		return
 	}
 	if e.at > b.tailAt {
-		// New latest lane (same-at-as-tail appends join the tail lane
-		// below; seq is monotone, so e never sorts before an equal-at
-		// tail).
+		// New latest lane.
 		e.next, e.skip, e.runTail = nil, nil, e
 		b.tail.next = e
 		b.tailRun.skip = e
@@ -124,8 +136,9 @@ func (w *wheelQueue) insert(e *event) {
 		b.tailAt = e.at
 		return
 	}
-	if e.at == b.tailAt {
-		// Append to the tail lane: O(1) — the FIFO fast path.
+	if e.at == b.tailAt && e.ord > b.tail.ord {
+		// Append to the tail lane: O(1) — the common fast path (b.tail
+		// carries the lane's largest key).
 		e.next, e.skip, e.runTail = nil, nil, nil
 		b.tail.next = e
 		b.tail = e
@@ -139,27 +152,71 @@ func (w *wheelQueue) insert(e *event) {
 		b.headAt = e.at
 		return
 	}
-	// Walk lane heads for e's position. The loop terminates before the
-	// tail lane: e.at < b.tailAt was established above.
+	// Walk lane heads for e's position.
 	var prev *event
 	r := b.head
 	for r.at < e.at {
 		prev = r
 		r = r.skip
 	}
-	if r.at == e.at {
-		// Join lane r at its tail.
-		rt := r.runTail
+	if r.at != e.at {
+		// New lane between prev and r (prev is non-nil: e.at > b.headAt
+		// was established above).
+		pt := prev.runTail
+		e.next, e.skip, e.runTail = pt.next, r, e
+		pt.next = e
+		prev.skip = e
+		return
+	}
+	w.laneInsert(b, prev, r, e)
+}
+
+// laneInsert places e inside lane r (whose events share e.at), keeping the
+// lane sorted by ord. prev is the head of the preceding lane, nil when r
+// heads the bucket. ord keys are globally unique, so strict comparisons
+// partition every case.
+func (w *wheelQueue) laneInsert(b *wheelBucket, prev, r, e *event) {
+	rt := r.runTail
+	if e.ord > rt.ord {
+		// Append at the lane tail.
 		e.next, e.skip, e.runTail = rt.next, nil, nil
 		rt.next = e
 		r.runTail = e
+		if b.tail == rt {
+			b.tail = e
+		}
 		return
 	}
-	// New lane between prev and r.
-	pt := prev.runTail
-	e.next, e.skip, e.runTail = pt.next, r, e
-	pt.next = e
-	prev.skip = e
+	if e.ord < r.ord {
+		// e becomes the lane head, inheriting r's head links (rt is still
+		// the lane's last member — it equals r for a single-member lane).
+		e.next, e.skip, e.runTail = r, r.skip, rt
+		r.skip, r.runTail = nil, nil
+		if prev == nil {
+			b.head = e
+		} else {
+			prev.skip = e
+			prev.runTail.next = e
+		}
+		if b.tailRun == r {
+			b.tailRun = e
+		}
+		return
+	}
+	// Strictly inside the lane: walk to the insertion point, resuming
+	// from the last interior insertion when it lies at or before e's spot
+	// in this same lane. The loop terminates before rt (rt.ord > e.ord
+	// was established above).
+	m := r
+	if b.lastIns != nil && b.lastInsAt == e.at && b.lastIns.ord < e.ord {
+		m = b.lastIns
+	}
+	for m.next.ord < e.ord {
+		m = m.next
+	}
+	e.next, e.skip, e.runTail = m.next, nil, nil
+	m.next = e
+	b.lastIns, b.lastInsAt = e, e.at
 }
 
 // push inserts e and maintains the cursor invariant.
@@ -194,7 +251,7 @@ func (w *wheelQueue) nextOccupied(i int) int {
 
 // findMin positions the cursor on the bucket holding the earliest queued
 // event and reports whether the queue is non-empty. After it returns true,
-// buckets[cur].head is the (at, seq)-minimum.
+// buckets[cur].head is the (at, ord)-minimum.
 func (w *wheelQueue) findMin() bool {
 	if w.n == 0 {
 		return false
@@ -269,6 +326,10 @@ func (w *wheelQueue) remove(b *wheelBucket) *event {
 	w.ready = false
 	e := b.head
 	nh := e.next
+	if b.lastIns == e {
+		// The insertion finger leaves the queue; drop the hint.
+		b.lastIns = nil
+	}
 	if e.runTail != e && nh != nil {
 		// e headed a multi-event lane: promote the next member to lane
 		// head, inheriting the lane tail and skip link.

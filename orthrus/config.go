@@ -34,11 +34,36 @@ func (n Net) String() string {
 	return "WAN"
 }
 
-// MaxReplicas is the largest supported cluster size: the paper's largest
-// evaluated configuration (n = 128, m = n instances) and the bound the
-// consensus engines' vote tracking and the F-scale sweep are validated
-// to. Validate rejects larger values.
-const MaxReplicas = 128
+// MaxReplicas is the largest supported cluster size: the bound the
+// consensus engines' vote tracking and the F-scale sweep (n up to 1000,
+// beyond the paper's largest evaluated n = 128) are validated to.
+// Validate rejects larger values.
+const MaxReplicas = 1024
+
+// Kernel selects the discrete-event engine that executes a run.
+type Kernel int
+
+const (
+	// KernelSerial is the reference single-threaded kernel: one event
+	// queue, one clock. Every configuration supports it.
+	KernelSerial Kernel = iota
+	// KernelParallel shards replicas across a worker pool and
+	// synchronizes on conservative lookahead windows derived from the
+	// network's base-delay matrix. Measured results are bit-identical to
+	// KernelSerial for the same seed. It requires message-level PBFT
+	// (AnalyticSB false), DisableNIC true, and no slowdown factors below
+	// 1 (speed-ups would undercut the lookahead); Validate enforces all
+	// three. Clusters too small to shard fall back to the serial kernel.
+	KernelParallel
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	if k == KernelParallel {
+		return "parallel"
+	}
+	return "serial"
+}
 
 // Config describes one run. Build it with NewConfig and functional
 // options, or fill the fields directly; zero tuning knobs (durations,
@@ -122,6 +147,14 @@ type Config struct {
 	// DisableNIC turns off the shared 1 Gbps per-node bandwidth model,
 	// which is otherwise active on every message-level run.
 	DisableNIC bool
+
+	// Kernel selects the discrete-event engine: KernelSerial (default) or
+	// KernelParallel. The parallel kernel reproduces the serial kernel's
+	// results bit-for-bit; see Kernel for its configuration requirements.
+	Kernel Kernel
+	// Workers bounds the parallel kernel's worker pool; 0 means
+	// GOMAXPROCS. Ignored by the serial kernel.
+	Workers int
 
 	// Seed drives every random choice (network jitter, workload, preset
 	// victim selection); equal seeds reproduce runs exactly. NewConfig
@@ -274,6 +307,17 @@ func WithAnalyticSB() Option { return func(c *Config) { c.AnalyticSB = true } }
 // only; on by default).
 func WithNIC(enabled bool) Option { return func(c *Config) { c.DisableNIC = !enabled } }
 
+// WithKernel selects the discrete-event engine. KernelParallel requires
+// message-level PBFT with the NIC model off (WithNIC(false)) and no
+// slowdown factors below 1; Validate reports violations before anything
+// runs. Results are bit-identical across kernels for the same seed.
+func WithKernel(k Kernel) Option { return func(c *Config) { c.Kernel = k } }
+
+// WithWorkers bounds the parallel kernel's worker pool; 0 means
+// GOMAXPROCS. The worker count never changes results, only wall-clock
+// speed.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
 // WithSeed sets the simulation seed; equal seeds reproduce runs exactly.
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 
@@ -420,6 +464,30 @@ func (c Config) Validate() error {
 	if c.AnalyticSB && c.Scenario != nil {
 		bad("Scenario", "scenarios require message-level PBFT; drop WithAnalyticSB")
 	}
+	if c.Kernel != KernelSerial && c.Kernel != KernelParallel {
+		bad("Kernel", "must be KernelSerial or KernelParallel, got Kernel(%d)", int(c.Kernel))
+	}
+	if c.Workers < 0 {
+		bad("Workers", "must be non-negative (0 means GOMAXPROCS), got %d", c.Workers)
+	}
+	if c.Kernel == KernelParallel {
+		if c.AnalyticSB {
+			bad("Kernel", "the parallel kernel requires message-level PBFT; drop WithAnalyticSB")
+		}
+		if !c.DisableNIC && !c.AnalyticSB {
+			bad("Kernel", "the parallel kernel does not model the shared NIC; add WithNIC(false)")
+		}
+		if c.StragglerFactor > 0 && c.StragglerFactor < 1 {
+			bad("Kernel", "the parallel kernel's lookahead assumes no link runs faster than its base delay; StragglerFactor %g speeds links up", c.StragglerFactor)
+		}
+		if c.Scenario != nil {
+			for i, e := range c.Scenario.Events {
+				if e.Kind == scenariodsl.Straggle && e.Scale < 1 {
+					bad("Kernel", "scenario event %d straggles with scale %g < 1; the parallel kernel's lookahead forbids link speed-ups", i, e.Scale)
+				}
+			}
+		}
+	}
 	if c.Scenario != nil && c.Replicas >= 1 {
 		if err := c.Scenario.Validate(c.Replicas); err != nil {
 			bad("Scenario", "%v", err)
@@ -483,8 +551,12 @@ func (c Config) clusterConfig() cluster.Config {
 		CensorshipBlocks: c.CensorshipBlocks,
 		AnalyticSB:       c.AnalyticSB,
 		NIC:              !c.DisableNIC && !c.AnalyticSB,
+		Workers:          c.Workers,
 		Seed:             c.Seed,
 		CaptureState:     c.CaptureState,
+	}
+	if c.Kernel == KernelParallel {
+		ccfg.Kernel = cluster.KernelParallel
 	}
 	// Each run gets its own copies of scripted or replayed transactions:
 	// the harness stamps per-run fields (submit time, cached digest) on

@@ -1,0 +1,130 @@
+package orthrus
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/orthrus/scenariodsl"
+)
+
+// corpusDir is FuzzScenarioDSL's checked-in seed corpus: every file is a
+// go-fuzz v1 entry holding one DSL source string, including deliberately
+// malformed ones.
+const corpusDir = "scenariodsl/testdata/fuzz/FuzzScenarioDSL"
+
+// decodeCorpusEntry extracts the fuzzed source string from a go-fuzz v1
+// corpus file ("go test fuzz v1\nstring(<quoted>)\n").
+func decodeCorpusEntry(t *testing.T, path string) (string, bool) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(raw), "\n", 3)
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		t.Fatalf("%s: not a go-fuzz v1 corpus entry", path)
+	}
+	body := strings.TrimSpace(lines[1])
+	if !strings.HasPrefix(body, "string(") || !strings.HasSuffix(body, ")") {
+		return "", false // non-string corpus entry; nothing to replay
+	}
+	src, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(body, "string("), ")"))
+	if err != nil {
+		t.Fatalf("%s: bad quoted literal: %v", path, err)
+	}
+	return src, true
+}
+
+// TestKernelScenarioCorpusDifferential replays every parseable
+// FuzzScenarioDSL seed as a full cluster run under the serial and the
+// parallel kernel and requires bit-identical Results. The fuzz target
+// proves Parse never panics; this test proves the *timelines* the corpus
+// encodes — crashes, recoveries, partitions, heals, stragglers, attack
+// verbs, duplicate and zero-time events — cannot drive the two kernels
+// apart. Entries the SDK rejects (unknown nodes for this cluster size,
+// or straggle factors below 1, which the parallel kernel refuses) are
+// skipped with a note rather than failed: the corpus exists to exercise
+// edge cases, not to stay runnable forever.
+func TestKernelScenarioCorpusDifferential(t *testing.T) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("empty fuzz corpus at %s", corpusDir)
+	}
+	dur := 3 * time.Second
+	budget := len(names)
+	if testing.Short() {
+		// The race-stress CI matrix runs this at three GOMAXPROCS
+		// settings; a trimmed window and corpus keep each leg cheap.
+		dur, budget = 2*time.Second, 3
+	}
+	ran := 0
+	for _, name := range names {
+		if ran >= budget {
+			break
+		}
+		src, ok := decodeCorpusEntry(t, filepath.Join(corpusDir, name))
+		if !ok {
+			continue
+		}
+		s, err := scenariodsl.Parse(name, src)
+		if err != nil {
+			continue // the corpus keeps parse-error seeds on purpose
+		}
+		// Seven replicas cover the highest node index the seed corpus
+		// references; the window spans most event times, and the NIC is
+		// off because the parallel kernel requires it.
+		opts := []Option{
+			WithReplicas(7), WithNet(LAN), WithLoad(400),
+			WithDuration(dur), WithWarmup(500 * time.Millisecond), WithDrain(dur),
+			WithBatching(64, 20*time.Millisecond), WithSeed(1),
+			WithNIC(false), WithScenario(s),
+		}
+		serial, err := Run(context.Background(), opts...)
+		if errors.Is(err, ErrInvalidConfig) {
+			t.Logf("%s: skipped, rejected by Validate: %v", name, err)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: serial run failed: %v", name, err)
+		}
+		parallel, err := Run(context.Background(),
+			append(opts, WithKernel(KernelParallel), WithWorkers(2))...)
+		if errors.Is(err, ErrInvalidConfig) {
+			t.Logf("%s: skipped, parallel kernel rejects this timeline: %v", name, err)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: parallel run failed: %v", name, err)
+		}
+		if parallel.Kernel != "parallel" || parallel.Shards < 2 {
+			t.Fatalf("%s: parallel run did not shard: kernel=%q shards=%d", name, parallel.Kernel, parallel.Shards)
+		}
+		serial.Kernel, serial.Shards = parallel.Kernel, parallel.Shards
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("%s: kernels diverged on corpus timeline:\n  source   %q\n  serial   %v\n  parallel %v",
+				name, src, serial, parallel)
+		}
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no corpus entry survived to a differential run; the corpus or the skips are broken")
+	}
+}

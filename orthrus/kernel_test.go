@@ -1,0 +1,121 @@
+package orthrus
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/orthrus/scenariodsl"
+)
+
+// parallelOpts is smallOpts lowered onto the parallel kernel: the NIC
+// model off (the parallel kernel rejects it) and an explicit worker
+// count so the test does not depend on the host's GOMAXPROCS.
+func parallelOpts(workers int) []Option {
+	return append(smallOpts(),
+		WithNIC(false), WithKernel(KernelParallel), WithWorkers(workers))
+}
+
+// TestKernelParallelMatchesSerial pins the SDK contract stated on
+// WithKernel: for the same seed, the parallel kernel's Result is
+// bit-identical to the serial kernel's on every measured field.
+func TestKernelParallelMatchesSerial(t *testing.T) {
+	serial, err := Run(context.Background(), append(smallOpts(), WithNIC(false))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), parallelOpts(2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Kernel != "parallel" || parallel.Shards < 2 {
+		t.Fatalf("parallel run did not shard: kernel=%q shards=%d", parallel.Kernel, parallel.Shards)
+	}
+	if serial.Kernel != "serial" || serial.Shards != 0 {
+		t.Fatalf("serial run mislabeled: kernel=%q shards=%d", serial.Kernel, serial.Shards)
+	}
+	// Every measured field must agree; only the kernel labels differ.
+	serial.Kernel, serial.Shards = parallel.Kernel, parallel.Shards
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("kernels diverged:\n  serial   %v\n  parallel %v", serial, parallel)
+	}
+}
+
+// TestKernelWorkersNeverChangeResults runs the same configuration at
+// several worker counts: wall-clock may differ, measurements may not.
+func TestKernelWorkersNeverChangeResults(t *testing.T) {
+	base, err := Run(context.Background(), parallelOpts(2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{3, 4} {
+		res, err := Run(context.Background(), parallelOpts(w)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Shards < 2 {
+			t.Fatalf("workers=%d did not shard: shards=%d", w, res.Shards)
+		}
+		// More workers may mean more shards; the measurements still match.
+		res.Shards = base.Shards
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d diverged from workers=2:\n  %v\n  %v", w, base, res)
+		}
+	}
+}
+
+// TestKernelValidation pins the fail-fast rules on WithKernel: the
+// parallel kernel rejects the analytic model, the NIC model, and any
+// slowdown factor below 1 — each as an ErrInvalidConfig naming Kernel,
+// before anything runs.
+func TestKernelValidation(t *testing.T) {
+	cases := map[string][]Option{
+		"analytic": {WithKernel(KernelParallel), WithNIC(false), WithAnalyticSB()},
+		"nic":      {WithKernel(KernelParallel)},
+		"straggler-speedup": {
+			WithKernel(KernelParallel), WithNIC(false),
+			WithStragglers(1, 0.5),
+		},
+		"scenario-speedup": {
+			WithKernel(KernelParallel), WithNIC(false),
+			WithScenario(scenariodsl.New("speedup").StraggleAt(time.Second, 0.5, 0).Build()),
+		},
+		"bad-kernel":  {WithKernel(Kernel(7)), WithNIC(false)},
+		"bad-workers": {WithKernel(KernelParallel), WithNIC(false), WithWorkers(-1)},
+	}
+	for name, opts := range cases {
+		err := NewConfig(opts...).Validate()
+		if err == nil {
+			t.Fatalf("%s: expected validation error", name)
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("%s: %v does not wrap ErrInvalidConfig", name, err)
+		}
+	}
+	// The serial kernel keeps accepting all of the above configurations.
+	ok := NewConfig(WithStragglers(1, 0.5), WithAnalyticSB())
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("serial kernel rejected a valid config: %v", err)
+	}
+}
+
+// TestKernelFallbackSerial pins the too-small-to-shard escape hatch: one
+// replica cannot split across workers, so the run executes serially and
+// says so on the Result.
+func TestKernelFallbackSerial(t *testing.T) {
+	res, err := Run(context.Background(),
+		WithReplicas(1), WithNet(LAN), WithLoad(200),
+		WithDuration(1*time.Second), WithWarmup(200*time.Millisecond), WithDrain(1*time.Second),
+		WithNIC(false), WithKernel(KernelParallel), WithWorkers(4), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != "serial" || res.Shards != 0 {
+		t.Fatalf("1-replica cluster should fall back: kernel=%q shards=%d", res.Kernel, res.Shards)
+	}
+	if res.Confirmed == 0 {
+		t.Fatalf("fallback run made no progress: %v", res)
+	}
+}

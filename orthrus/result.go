@@ -68,6 +68,14 @@ type Result struct {
 	ViewChanges int
 	SimEvents   uint64
 
+	// Kernel names the discrete-event engine that executed the run
+	// ("serial" or "parallel"), and Shards the number of replica shards
+	// the parallel kernel used (0 under the serial kernel — including
+	// when a parallel request fell back because the cluster was too small
+	// to shard). Results never differ across kernels.
+	Kernel string
+	Shards int
+
 	// Halted reports the run was stopped early by context cancellation;
 	// the measurements cover only the virtual time before the stop.
 	Halted bool
@@ -131,6 +139,8 @@ func fromCluster(res *cluster.Result) *Result {
 		},
 		ViewChanges: res.ViewChanges,
 		SimEvents:   res.Events,
+		Kernel:      res.Kernel,
+		Shards:      res.Shards,
 		Halted:      res.Halted,
 		Converged:   res.Converged,
 		state:       res.State,
