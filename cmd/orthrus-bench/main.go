@@ -87,6 +87,8 @@ func printList(w io.Writer) {
 	for _, f := range orthrus.Figures() {
 		fmt.Fprintf(w, "  %-3s %s\n", f.ID, f.Title)
 	}
+	xv := orthrus.XValInfo()
+	fmt.Fprintf(w, "  %-3s %s (wall-clock; excluded from \"all\")\n", xv.ID, xv.Title)
 	fmt.Fprintln(w, "\nscenarios (-scenario, figure S1 only):")
 	for _, name := range orthrus.ScenarioPresets() {
 		fmt.Fprintf(w, "  %-19s %s\n", name, scenariodsl.Describe(name))
@@ -112,7 +114,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("orthrus-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "comma-separated figures to regenerate: "+strings.Join(orthrus.FigureIDs(), ", ")+", or all")
+	fig := fs.String("fig", "all", "comma-separated figures to regenerate: "+strings.Join(orthrus.FigureIDs(), ", ")+", "+orthrus.XValID+", or all (which excludes the wall-clock "+orthrus.XValID+")")
 	scn := fs.String("scenario", "", "comma-separated S1 scenarios to run: "+strings.Join(orthrus.ScenarioPresets(), ", ")+" (default all; only affects fig S1)")
 	scale := fs.Float64("scale", 0.25, "experiment scale in (0,1]; 1 = paper-sized")
 	parallel := fs.Int("parallel", 0, "worker pool size: 0 = all cores, 1 = serial")
@@ -175,11 +177,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// The X-val figure runs outside the deterministic suite (its
+	// real-measured cells are wall-clock experiments), so it dispatches
+	// through RunXVal; the remaining ids go through RunFigures as one
+	// suite. Results reassemble in the order requested.
+	simIDs := make([]string, 0, len(ids))
+	runXVal := false
+	for _, id := range ids {
+		if id == orthrus.XValID {
+			runXVal = true
+			continue
+		}
+		simIDs = append(simIDs, id)
+	}
+
 	start := time.Now()
-	results, err := orthrus.RunFigures(context.Background(), ids,
-		orthrus.FigureOptions{Scenarios: scenarios, Workers: *parallel, Scale: *scale})
-	if err != nil {
-		return err
+	var results []orthrus.FigureResult
+	if len(simIDs) > 0 {
+		var err error
+		results, err = orthrus.RunFigures(context.Background(), simIDs,
+			orthrus.FigureOptions{Scenarios: scenarios, Workers: *parallel, Scale: *scale})
+		if err != nil {
+			return err
+		}
+	}
+	if runXVal {
+		xv, err := orthrus.RunXVal(context.Background(), *scale)
+		if err != nil {
+			return err
+		}
+		// Reinsert at the position -fig requested it.
+		ordered := make([]orthrus.FigureResult, 0, len(results)+1)
+		rest := results
+		for _, id := range ids {
+			if id == orthrus.XValID {
+				ordered = append(ordered, xv)
+				continue
+			}
+			ordered = append(ordered, rest[0])
+			rest = rest[1:]
+		}
+		results = ordered
 	}
 	if !*quiet {
 		for _, f := range results {

@@ -1,0 +1,337 @@
+// Command orthrus-node runs one consensus replica as a long-lived daemon
+// over the real TCP transport: length-prefixed wire frames, lazy dials
+// with reconnect backoff, and the unchanged core state machines driven by
+// wall-clock timers. Start one process per replica with the same peer
+// table and seed; peers may come up in any order.
+//
+// Usage (a local n=4 cluster):
+//
+//	PEERS=127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	orthrus-node -id 0 -peers $PEERS -load 200 &
+//	orthrus-node -id 1 -peers $PEERS &
+//	orthrus-node -id 2 -peers $PEERS &
+//	orthrus-node -id 3 -peers $PEERS &
+//
+// Every replica must share -peers, -protocol, -seed and -accounts (they
+// determine the genesis ledger and bucket assignment). Enable the
+// built-in open-loop client (-load) on exactly one node: the workload
+// generator is deterministic per seed, so two client nodes would submit
+// identical transactions. The daemon logs structured per-replica lines
+// (event=start|net|stats|view-change|stop) to stdout and shuts down
+// cleanly on SIGINT/SIGTERM or after -duration.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	_ "repro/internal/baseline" // register the comparison protocols
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// nodeOptions is the parsed configuration of one daemon process. Tests
+// construct it directly (with an injected Listener and stop channel);
+// run() builds it from flags and signals.
+type nodeOptions struct {
+	id       int
+	peers    []string
+	listen   string // listen address override; "" uses peers[id]
+	protocol string
+	seed     int64
+	accounts int
+
+	load     float64       // built-in open-loop client rate; 0 disables
+	duration time.Duration // 0 runs until the stop channel fires
+	stats    time.Duration // stats log line period
+
+	batchSize    int
+	batchTimeout time.Duration
+	viewTimeout  time.Duration
+	epochLen     uint64
+
+	listener net.Listener // test injection; nil listens on listen/peers[id]
+}
+
+// syncWriter serializes log lines from the node loop, the client
+// goroutine and the transport's connectivity callbacks.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) logf(format string, args ...any) {
+	s.mu.Lock()
+	fmt.Fprintf(s.w, format+"\n", args...)
+	s.mu.Unlock()
+}
+
+// errAlreadyReported marks failures the FlagSet already printed.
+var errAlreadyReported = errors.New("orthrus-node: flag parsing failed")
+
+func main() {
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, stop); err != nil {
+		if !errors.Is(err, errAlreadyReported) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+}
+
+// run parses flags and drives one replica until stop fires or -duration
+// elapses. Split from main for tests.
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("orthrus-node", flag.ContinueOnError)
+	id := fs.Int("id", -1, "replica id (index into -peers)")
+	peers := fs.String("peers", "", "comma-separated host:port peer table, one per replica, index = id")
+	listen := fs.String("listen", "", "listen address override (default: the -peers entry for -id)")
+	protocol := fs.String("protocol", "Orthrus", "protocol to run: "+strings.Join(registry.Names(), ", "))
+	seed := fs.Int64("seed", 42, "genesis/workload seed; must match on every replica")
+	accounts := fs.Int("accounts", 0, "genesis account population (0 = workload default); must match on every replica")
+	load := fs.Float64("load", 0, "built-in open-loop client rate in tx/s (enable on exactly one node; 0 disables)")
+	duration := fs.Duration("duration", 0, "run length; 0 runs until SIGINT/SIGTERM")
+	stats := fs.Duration("stats", time.Second, "period of event=stats log lines")
+	batch := fs.Int("batch", 0, "batch size (0 = engine default 4096)")
+	batchTimeout := fs.Duration("batch-timeout", 0, "proposal pulse period (0 = engine default 100ms)")
+	viewTimeout := fs.Duration("view-timeout", 0, "view-change timeout (0 = engine default 10s)")
+	epochLen := fs.Uint64("epoch", 0, "checkpoint epoch length in blocks (0 = engine default 32)")
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errAlreadyReported
+	}
+	o := nodeOptions{
+		id:           *id,
+		listen:       *listen,
+		protocol:     *protocol,
+		seed:         *seed,
+		accounts:     *accounts,
+		load:         *load,
+		duration:     *duration,
+		stats:        *stats,
+		batchSize:    *batch,
+		batchTimeout: *batchTimeout,
+		viewTimeout:  *viewTimeout,
+		epochLen:     *epochLen,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				o.peers = append(o.peers, p)
+			}
+		}
+	}
+	return runNode(o, stdout, stderr, stop)
+}
+
+// runNode validates the options, assembles transport + replica, and runs
+// until the stop channel fires or the duration elapses.
+func runNode(o nodeOptions, stdout, stderr io.Writer, stop <-chan struct{}) error {
+	n := len(o.peers)
+	if n < 1 {
+		return fmt.Errorf("orthrus-node: -peers must list at least one host:port")
+	}
+	if o.id < 0 || o.id >= n {
+		return fmt.Errorf("orthrus-node: -id %d outside the %d-entry peer table", o.id, n)
+	}
+	proto, err := registry.Lookup(o.protocol)
+	if err != nil {
+		return fmt.Errorf("orthrus-node: %w", err)
+	}
+	if o.load < 0 {
+		return fmt.Errorf("orthrus-node: -load must be non-negative, got %g", o.load)
+	}
+	if o.stats <= 0 {
+		o.stats = time.Second
+	}
+	f := (n - 1) / 3
+
+	out := &syncWriter{w: stdout}
+	logf := func(event, format string, args ...any) {
+		out.logf("orthrus-node id=%d event=%s "+format, append([]any{o.id, event}, args...)...)
+	}
+
+	if o.listen != "" && o.listener == nil {
+		// Listen on the override (e.g. 0.0.0.0:port behind NAT) while
+		// peers keep dialing the advertised -peers entry.
+		ln, err := net.Listen("tcp", o.listen)
+		if err != nil {
+			return fmt.Errorf("orthrus-node: listen %s: %w", o.listen, err)
+		}
+		o.listener = ln
+	}
+	node := transport.NewNode(o.id)
+	tcp, err := transport.NewTCP(o.id, o.peers, node, transport.TCPOptions{
+		Listener: o.listener,
+		Logf:     func(format string, args ...any) { logf("net", format, args...) },
+	})
+	if err != nil {
+		return fmt.Errorf("orthrus-node: %w", err) // node loop not started yet; nothing to stop
+	}
+	defer func() {
+		tcp.Close()
+		node.Stop()
+	}()
+
+	gen := workload.New(workload.Config{Seed: o.seed, Accounts: o.accounts})
+
+	// Counters below are touched only on the node's event-loop goroutine
+	// (replica hooks and the stats timer both run there); the final stop
+	// line reads them after node.Stop, when the loop is gone.
+	var blocks, confirmed, aborted uint64
+	ccfg := core.Config{
+		N: n, F: f, ID: o.id, M: n,
+		Mode:         proto.New(),
+		BatchSize:    o.batchSize,
+		BatchTimeout: o.batchTimeout,
+		ViewTimeout:  o.viewTimeout,
+		EpochLen:     o.epochLen,
+		Genesis:      gen.Genesis(),
+		OnBlockDeliver: func(instance int, b *types.Block) {
+			blocks++
+		},
+		OnConfirm: func(tx *types.Transaction, success bool, at simnet.Time) {
+			confirmed++
+			if !success {
+				aborted++
+			}
+		},
+		OnViewChange: func(instance int, view uint64, at simnet.Time) {
+			logf("view-change", "instance=%d view=%d", instance, view)
+		},
+	}
+	replica := core.NewReplica(ccfg, node.Sim(), tcp)
+
+	// Recurring stats line, scheduled on the node's own timer queue so it
+	// reads the counters race-free on the loop goroutine.
+	sim := node.Sim()
+	var statsTick func()
+	statsTick = func() {
+		sim.After(simnet.Duration(o.stats), func() {
+			logf("stats", "blocks=%d confirmed=%d aborted=%d msgs=%d bytes=%d",
+				blocks, confirmed, aborted, tcp.Messages(), tcp.Bytes())
+			statsTick()
+		})
+	}
+	statsTick()
+
+	logf("start", "protocol=%s n=%d f=%d addr=%s seed=%d load=%g",
+		o.protocol, n, f, tcp.Addr(), o.seed, o.load)
+	replica.Start()
+	node.Start(time.Now())
+
+	// Built-in open-loop client: submit each transaction to the leaders
+	// of its payer buckets plus the next f replicas (the censorship-
+	// resistant policy of Sec. V-B), over the same wire frames as
+	// protocol traffic.
+	clientQuit := make(chan struct{})
+	var clientWG sync.WaitGroup
+	if o.load > 0 {
+		clientWG.Add(1)
+		go func() {
+			defer clientWG.Done()
+			interval := time.Duration(float64(time.Second) / o.load)
+			epoch := time.Now()
+			targets := make([]int, 0, 2*(f+1)+1)
+			seen := make([]bool, n)
+			for k := 0; ; k++ {
+				select {
+				case <-clientQuit:
+					return
+				default:
+				}
+				if d := time.Until(epoch.Add(time.Duration(k) * interval)); d > 0 {
+					select {
+					case <-clientQuit:
+						return
+					case <-time.After(d):
+					}
+				}
+				tx := gen.Next()
+				tx.SubmitNS = int64(time.Since(epoch))
+				targets = submitTargets(targets[:0], seen, tx, n, f)
+				for _, target := range targets {
+					tcp.Send(o.id, target, 0, &core.SubmitMsg{Tx: tx})
+				}
+			}
+		}()
+	}
+
+	// Block until told to stop.
+	reason := "signal"
+	if o.duration > 0 {
+		select {
+		case <-stop:
+		case <-time.After(o.duration):
+			reason = "duration"
+		}
+	} else {
+		<-stop
+	}
+	close(clientQuit)
+	clientWG.Wait()
+	tcp.Close()
+	node.Stop()
+	logf("stop", "reason=%s blocks=%d confirmed=%d aborted=%d msgs=%d bytes=%d",
+		reason, blocks, confirmed, aborted, tcp.Messages(), tcp.Bytes())
+	return nil
+}
+
+// submitTargets appends the replicas a client sends tx to, mirroring the
+// simulated harness's policy: replica 0, plus each payer bucket's initial
+// leader and the f replicas after it (m = n, so instance i's initial
+// leader is replica i). seen is scratch of length n, false on entry,
+// cleared again on return.
+func submitTargets(dst []int, seen []bool, tx *types.Transaction, n, f int) []int {
+	add := func(r int) {
+		r %= n
+		if !seen[r] {
+			seen[r] = true
+			dst = append(dst, r)
+		}
+	}
+	add(0)
+	hasPayer := false
+	for _, op := range tx.Ops {
+		if !op.IsPayerOp() {
+			continue
+		}
+		hasPayer = true
+		lead := core.BucketOf(op.Key, n)
+		for k := 0; k <= f; k++ {
+			add(lead + k)
+		}
+	}
+	if !hasPayer { // no payer ops: route by client
+		lead := core.BucketOf(tx.Client, n)
+		for k := 0; k <= f; k++ {
+			add(lead + k)
+		}
+	}
+	for _, r := range dst {
+		seen[r] = false
+	}
+	return dst
+}

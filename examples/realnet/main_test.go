@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun executes the sim-vs-real walkthrough at reduced scale and
+// checks both backends report measurements.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a wall-clock real-transport cluster")
+	}
+	var out bytes.Buffer
+	run(&out, 0.3)
+	s := out.String()
+	for _, marker := range []string{
+		"sim-predicted vs real-measured",
+		"simulated", "kernel=serial",
+		"real", "kernel=real",
+		"tps", "p99",
+	} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, s)
+		}
+	}
+}

@@ -90,6 +90,26 @@ type CheckpointMsg struct {
 	Replica int
 }
 
+// SubmitMsg carries a client transaction over a transport to a replica's
+// message handler. The simulated cluster bypasses it (clients invoke
+// SubmitTx through scheduled events); real transports, where clients are
+// separate goroutines or processes, deliver submissions like any other
+// message so they serialize with the replica's event loop.
+type SubmitMsg struct {
+	Tx *types.Transaction
+}
+
+// Network is the transport seam a replica drives: handler registration and
+// fire-and-forget sends with a modeled size hint. *simnet.Network satisfies
+// it natively; internal/transport provides wall-clock implementations that
+// carry messages over goroutine channels or TCP, ignoring the size hint in
+// favor of actual encoded wire sizes.
+type Network interface {
+	Register(id int, h simnet.Handler)
+	Send(from, to, size int, msg any)
+	Broadcast(from, size int, msg any)
+}
+
 // Replica is one Multi-BFT node: it participates in all SB instances,
 // leads the instance(s) whose current view maps to it, and executes the
 // resulting partial and global logs.
@@ -99,7 +119,7 @@ type Replica struct {
 	// ID)): proposal pulses and timers stamp this node's canonical key and
 	// execute on its shard under the parallel kernel.
 	sim simnet.NodeSim
-	nw  *simnet.Network
+	nw  Network
 
 	sbs []SB // M worker SB instances (+1 sequencer if enabled)
 	// sbHandle caches each SB's message handler (nil when the SB is not
@@ -195,9 +215,10 @@ type pulseSlot struct {
 	instance int
 }
 
-// NewReplica builds a replica attached to a simulated network. Call Start
-// to begin proposing. The same Config (except ID) must be used everywhere.
-func NewReplica(cfg Config, sim simnet.NodeSim, nw *simnet.Network) *Replica {
+// NewReplica builds a replica attached to a network transport (simulated
+// or real; see Network). Call Start to begin proposing. The same Config
+// (except ID) must be used everywhere.
+func NewReplica(cfg Config, sim simnet.NodeSim, nw Network) *Replica {
 	if cfg.M <= 0 {
 		cfg.M = cfg.N
 	}
@@ -312,7 +333,7 @@ func (r *Replica) pbftBuilder() SBBuilder {
 
 // instanceTransport adapts the shared network endpoint to pbft.Transport.
 type instanceTransport struct {
-	nw *simnet.Network
+	nw Network
 	id int
 }
 
@@ -334,6 +355,8 @@ func (r *Replica) handle(from int, msg any) {
 		}
 	case *CheckpointMsg:
 		r.onCheckpoint(m)
+	case *SubmitMsg:
+		_ = r.SubmitTx(m.Tx)
 	}
 }
 

@@ -242,6 +242,17 @@ func (s *Sim) EventsProcessed() uint64 { return s.events }
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return s.q.len() }
 
+// NextAt returns the timestamp of the earliest queued event, or false when
+// the queue is empty. Real-transport node loops use it to sleep exactly
+// until the next due timer instead of polling the wall clock.
+func (s *Sim) NextAt() (Time, bool) {
+	e := s.q.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
+
 // alloc takes an event from the pool (or allocates the pool's first use of
 // this slot). The returned event is zeroed except for pooling bookkeeping.
 func (s *Sim) alloc() *event {

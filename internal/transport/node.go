@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// inMsg is one delivered message waiting for a node's event loop.
+type inMsg struct {
+	from int
+	msg  any
+}
+
+// Node is one replica's wall-clock event loop: a private simnet.Sim used
+// as a timer queue (the unchanged core/pbft state machines schedule
+// against simnet.NodeSim), an inbox real transports enqueue decoded
+// messages into, and a goroutine that alternates between running due
+// timers and dispatching inbox messages. All replica code executes on
+// that goroutine.
+//
+// Lifecycle: NewNode, build the replica against Sim(), Register a handler
+// through the owning transport, then Start. Stop waits for the loop to
+// exit, after which no replica code runs.
+type Node struct {
+	id  int
+	sim *simnet.Sim
+
+	mu      sync.Mutex
+	inbox   []inMsg
+	standby []inMsg // swap buffer: drain without holding the lock
+	handler simnet.Handler
+
+	wake chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	epoch time.Time
+}
+
+// NewNode builds a node loop for replica id. The seed only affects the
+// private simulator's jitter RNG, which real transports never consult.
+func NewNode(id int) *Node {
+	return &Node{
+		id:   id,
+		sim:  simnet.New(int64(id) + 1),
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// ID returns the replica id this node loop serves.
+func (n *Node) ID() int { return n.id }
+
+// Sim returns the node-pinned scheduling view replica constructors expect.
+// Before Start, the underlying clock reads zero; after Start it tracks
+// wall-clock time elapsed since the epoch passed to Start.
+func (n *Node) Sim() simnet.NodeSim { return simnet.On(n.sim, n.id) }
+
+// setHandler installs the replica's message handler (called by the owning
+// transport's Register).
+func (n *Node) setHandler(h simnet.Handler) {
+	n.mu.Lock()
+	n.handler = h
+	n.mu.Unlock()
+}
+
+// enqueue hands a decoded inbound message to the node's event loop. Safe
+// from any goroutine; messages from one sender are dispatched in enqueue
+// order.
+func (n *Node) enqueue(from int, msg any) {
+	n.mu.Lock()
+	n.inbox = append(n.inbox, inMsg{from: from, msg: msg})
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Start launches the event loop. The epoch anchors virtual time zero: all
+// nodes of one cluster share it so their clocks agree, which keeps
+// wall-clock timer deadlines (BatchTimeout pulses, view-change timeouts)
+// aligned the way the shared simulator aligns them in simulation.
+func (n *Node) Start(epoch time.Time) {
+	n.epoch = epoch
+	go n.loop()
+}
+
+// Stop terminates the event loop and waits for it to exit. Idempotent
+// after the first call returns; enqueues after Stop are dropped silently.
+func (n *Node) Stop() {
+	select {
+	case <-n.quit:
+	default:
+		close(n.quit)
+	}
+	<-n.done
+}
+
+// idleWait bounds the sleep when no timer is queued: a replica always has
+// a pulse timer pending, so this only covers startup and shutdown races.
+const idleWait = 10 * time.Millisecond
+
+// loop is the node's scheduler: advance the private simulator to the wall
+// clock (running every due timer), dispatch buffered inbound messages,
+// then sleep until the next timer deadline or an inbox signal.
+func (n *Node) loop() {
+	defer close(n.done)
+	timer := time.NewTimer(idleWait)
+	defer timer.Stop()
+	for {
+		now := simnet.Time(time.Since(n.epoch))
+		n.sim.Run(now)
+
+		n.mu.Lock()
+		pending := n.inbox
+		n.inbox = n.standby[:0]
+		handler := n.handler
+		n.mu.Unlock()
+		for _, m := range pending {
+			if handler != nil {
+				handler(m.from, m.msg)
+			}
+		}
+		n.standby = pending[:0]
+
+		wait := idleWait
+		if next, ok := n.sim.NextAt(); ok {
+			wait = time.Duration(next - simnet.Time(time.Since(n.epoch)))
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-n.quit:
+			return
+		case <-n.wake:
+		case <-timer.C:
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pbft"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// collector records deliveries on a node's event loop.
+type collector struct {
+	mu   sync.Mutex
+	msgs []inMsg
+}
+
+func (c *collector) handle(from int, msg any) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, inMsg{from: from, msg: msg})
+	c.mu.Unlock()
+}
+
+func (c *collector) snapshot() []inMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]inMsg(nil), c.msgs...)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
+
+// TestProcDelivery pins the transport contract: messages arrive at the
+// registered handler as decoded copies (never the sender's pointer), in
+// per-sender order, and Broadcast self-delivers.
+func TestProcDelivery(t *testing.T) {
+	p := NewProc(3)
+	cols := make([]*collector, 3)
+	for i := range cols {
+		cols[i] = &collector{}
+		p.Register(i, cols[i].handle)
+	}
+	p.Start(time.Now())
+	defer p.Stop()
+
+	sent := &pbft.Prepare{Instance: 1, View: 2, Seq: 3, Digest: types.BlockID{9}, Replica: 0}
+	p.Send(0, 1, 96, sent)
+	p.Send(0, 1, 96, &pbft.Commit{Instance: 1, Seq: 3, Replica: 0})
+	p.Broadcast(2, 96, &pbft.Prepare{Instance: 0, Seq: 1, Replica: 2})
+
+	waitFor(t, func() bool { return len(cols[1].snapshot()) == 3 })
+	waitFor(t, func() bool { return len(cols[2].snapshot()) == 1 })
+
+	got := cols[1].snapshot()
+	first, ok := got[0].msg.(*pbft.Prepare)
+	if !ok || got[0].from != 0 {
+		t.Fatalf("delivery 0 = %T from %d, want *pbft.Prepare from 0", got[0].msg, got[0].from)
+	}
+	if first == sent {
+		t.Fatal("receiver got the sender's pointer, not a decoded copy")
+	}
+	if *first != *sent {
+		t.Fatalf("decoded copy differs: %+v != %+v", first, sent)
+	}
+	if _, ok := got[1].msg.(*pbft.Commit); !ok {
+		t.Fatalf("per-sender order violated: second delivery is %T", got[1].msg)
+	}
+	// Broadcast reached all three nodes, including the sender.
+	waitFor(t, func() bool { return len(cols[0].snapshot()) == 1 })
+}
+
+// TestProcCountersUseEncodedSizes pins the satellite contract: Messages
+// and Bytes reflect actual wire encodings, not the callers' size hints.
+func TestProcCountersUseEncodedSizes(t *testing.T) {
+	p := NewProc(2)
+	for i := 0; i < 2; i++ {
+		p.Register(i, func(int, any) {})
+	}
+	p.Start(time.Now())
+	defer p.Stop()
+
+	msg := &pbft.Prepare{Instance: 1, View: 0, Seq: 2, Replica: 0}
+	enc, err := wire.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bogusHint = 123456
+	p.Send(0, 1, bogusHint, msg)
+	p.Broadcast(0, bogusHint, msg) // 2 more deliveries of the same encoding
+	if got, want := p.Messages(), uint64(3); got != want {
+		t.Fatalf("Messages = %d, want %d", got, want)
+	}
+	if got, want := p.Bytes(), uint64(3*len(enc)); got != want {
+		t.Fatalf("Bytes = %d, want %d (3 deliveries x %d encoded bytes)", got, want, len(enc))
+	}
+}
+
+// TestNodeTimers pins the wall-clock slaving: a timer scheduled through
+// the node's NodeSim fires on the loop goroutine no earlier than its
+// wall-clock deadline, and virtual Now() tracks elapsed time since the
+// epoch at that moment.
+func TestNodeTimers(t *testing.T) {
+	type firing struct {
+		at   simnet.Time
+		wall time.Duration
+	}
+	n := NewNode(0)
+	sim := n.Sim()
+	fired := make(chan firing, 1)
+	start := time.Now()
+	sim.After(simnet.Duration(30*time.Millisecond), func() {
+		fired <- firing{at: sim.Now(), wall: time.Since(start)}
+	})
+	n.Start(start)
+	defer n.Stop()
+	select {
+	case f := <-fired:
+		if f.wall < 30*time.Millisecond {
+			t.Fatalf("timer fired after %s wall time, before its 30ms deadline", f.wall)
+		}
+		if f.at < simnet.Time(30*time.Millisecond) {
+			t.Fatalf("virtual Now() = %d at firing, before the 30ms deadline", f.at)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}

@@ -1,0 +1,395 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Frame format: a 4-byte big-endian payload length, then the
+// wire-encoded message. A connection opens with a hello frame whose
+// payload is the 4-byte big-endian sender replica id.
+const (
+	frameHeaderLen = 4
+	// maxFrameLen bounds a single message (64 MiB): far above any real
+	// batch, low enough that a corrupt length prefix cannot OOM the node.
+	maxFrameLen = 64 << 20
+)
+
+// TCPOptions tunes a TCP transport; the zero value is usable.
+type TCPOptions struct {
+	// Listener overrides listening on the peer table's own address —
+	// tests reserve ephemeral ports this way. Closed by Close.
+	Listener net.Listener
+	// WriteTimeout bounds each frame write (default 5s); a peer that
+	// stalls longer gets its connection dropped and redialed.
+	WriteTimeout time.Duration
+	// DialBackoffMax caps the exponential redial backoff (default 1s).
+	DialBackoffMax time.Duration
+	// Logf, when set, receives one line per connectivity event (connects,
+	// disconnects, redials) — the daemon wires its structured logger here.
+	Logf func(format string, args ...any)
+}
+
+// TCP carries replica messages over real sockets: one outbound connection
+// per peer (dialed lazily, redialed with exponential backoff), length-
+// prefixed frames, write timeouts, and an accept loop feeding decoded
+// messages to the local Node's event loop.
+//
+// Each process hosts one replica, so Register accepts only the local id
+// and the traffic counters cover locally delivered messages (the
+// per-destination view, matching what simnet counts per node).
+type TCP struct {
+	id    int
+	peers []string
+	node  *Node
+	opts  TCPOptions
+
+	ln net.Listener
+
+	mu    sync.Mutex
+	out   map[int]*peerQueue
+	conns map[net.Conn]struct{} // live inbound connections, closed by Close
+	close sync.Once
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+}
+
+// peerQueue is the unbounded outbound buffer for one peer, drained by a
+// dedicated writer goroutine. Unbounded because the sender is the replica
+// event loop: blocking it on a slow peer would stall consensus with the
+// fast ones, and bounded-drop would silently break the reliable-channel
+// assumption between correct replicas.
+type peerQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames [][]byte
+	closed bool
+}
+
+func newPeerQueue() *peerQueue {
+	q := &peerQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *peerQueue) push(frame []byte) {
+	q.mu.Lock()
+	if !q.closed {
+		q.frames = append(q.frames, frame)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a frame is available or the queue closes.
+func (q *peerQueue) pop() ([]byte, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.frames) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.frames) == 0 {
+		return nil, false
+	}
+	f := q.frames[0]
+	q.frames = q.frames[1:]
+	return f, true
+}
+
+func (q *peerQueue) shut() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// NewTCP builds the transport for replica id of the cluster described by
+// peers (index = replica id, value = host:port). It starts listening on
+// peers[id] (or opts.Listener) immediately; outbound connections are
+// dialed on first send and redialed with backoff on failure, so peer
+// processes may start in any order.
+func NewTCP(id int, peers []string, node *Node, opts TCPOptions) (*TCP, error) {
+	if id < 0 || id >= len(peers) {
+		return nil, fmt.Errorf("transport: id %d outside peer table of %d", id, len(peers))
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 5 * time.Second
+	}
+	if opts.DialBackoffMax <= 0 {
+		opts.DialBackoffMax = time.Second
+	}
+	t := &TCP{
+		id:    id,
+		peers: peers,
+		node:  node,
+		opts:  opts,
+		out:   make(map[int]*peerQueue),
+		conns: make(map[net.Conn]struct{}),
+		quit:  make(chan struct{}),
+	}
+	t.ln = opts.Listener
+	if t.ln == nil {
+		ln, err := net.Listen("tcp", peers[id])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", peers[id], err)
+		}
+		t.ln = ln
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's listening address.
+func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
+
+func (t *TCP) logf(format string, args ...any) {
+	if t.opts.Logf != nil {
+		t.opts.Logf(format, args...)
+	}
+}
+
+// Register implements Transport for the one local replica.
+func (t *TCP) Register(id int, h simnet.Handler) {
+	if id != t.id {
+		panic(fmt.Sprintf("transport: Register(%d) on the replica-%d TCP endpoint", id, t.id))
+	}
+	t.node.setHandler(h)
+}
+
+// Send implements Transport. Local delivery short-circuits through an
+// encode/decode copy (identical observable behavior to a socket hop);
+// remote frames are queued to the peer's writer.
+func (t *TCP) Send(from, to, size int, msg any) {
+	enc, err := wire.Encode(msg)
+	if err != nil {
+		panic(fmt.Sprintf("transport: %v", err))
+	}
+	t.send(from, to, enc)
+}
+
+// Broadcast implements Transport: one encode, every peer plus self.
+func (t *TCP) Broadcast(from, size int, msg any) {
+	enc, err := wire.Encode(msg)
+	if err != nil {
+		panic(fmt.Sprintf("transport: %v", err))
+	}
+	for to := range t.peers {
+		t.send(from, to, enc)
+	}
+}
+
+func (t *TCP) send(from, to int, enc []byte) {
+	if to == t.id {
+		msg, err := wire.Decode(enc)
+		if err != nil {
+			panic(fmt.Sprintf("transport: decode of own encoding failed: %v", err))
+		}
+		t.msgs.Add(1)
+		t.bytes.Add(uint64(len(enc)))
+		t.node.enqueue(from, msg)
+		return
+	}
+	if to < 0 || to >= len(t.peers) {
+		return
+	}
+	frame := make([]byte, frameHeaderLen+len(enc))
+	binary.BigEndian.PutUint32(frame, uint32(len(enc)))
+	copy(frame[frameHeaderLen:], enc)
+	t.queueFor(to).push(frame)
+}
+
+// queueFor returns the outbound queue for a peer, spawning its writer on
+// first use.
+func (t *TCP) queueFor(to int) *peerQueue {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	q, ok := t.out[to]
+	if !ok {
+		q = newPeerQueue()
+		t.out[to] = q
+		t.wg.Add(1)
+		go t.writeLoop(to, q)
+	}
+	return q
+}
+
+// writeLoop drains one peer's queue: dial (with exponential backoff and a
+// hello frame identifying this replica), then write frames under the
+// write timeout; any error drops the connection and redials, retrying the
+// failed frame.
+func (t *TCP) writeLoop(to int, q *peerQueue) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := 25 * time.Millisecond
+	for {
+		frame, ok := q.pop()
+		if !ok {
+			return
+		}
+		for {
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", t.peers[to], t.opts.WriteTimeout)
+				if err == nil {
+					var hello [frameHeaderLen + 4]byte
+					binary.BigEndian.PutUint32(hello[:], 4)
+					binary.BigEndian.PutUint32(hello[frameHeaderLen:], uint32(t.id))
+					c.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+					if _, werr := c.Write(hello[:]); werr != nil {
+						err = werr
+						c.Close()
+					}
+					if err == nil {
+						conn = c
+						backoff = 25 * time.Millisecond
+						t.logf("connected to peer %d at %s", to, t.peers[to])
+					}
+				}
+				if conn == nil {
+					t.logf("dial peer %d (%s) failed: %v; retrying in %s", to, t.peers[to], err, backoff)
+					select {
+					case <-t.quit:
+						return
+					case <-time.After(backoff):
+					}
+					if backoff *= 2; backoff > t.opts.DialBackoffMax {
+						backoff = t.opts.DialBackoffMax
+					}
+					continue
+				}
+			}
+			conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+			if _, err := conn.Write(frame); err != nil {
+				t.logf("write to peer %d failed: %v; reconnecting", to, err)
+				conn.Close()
+				conn = nil
+				select {
+				case <-t.quit:
+					return
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// acceptLoop admits inbound connections: read the hello frame naming the
+// peer, then feed its frames to the node loop until the connection dies.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.quit:
+				return
+			default:
+			}
+			t.logf("accept failed: %v", err)
+			return
+		}
+		t.mu.Lock()
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	hello, err := readFrame(conn)
+	if err != nil || len(hello) != 4 {
+		t.logf("inbound connection rejected: bad hello (%v)", err)
+		return
+	}
+	from := int(binary.BigEndian.Uint32(hello))
+	t.logf("peer %d connected from %s", from, conn.RemoteAddr())
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			if err != io.EOF {
+				t.logf("read from peer %d failed: %v", from, err)
+			}
+			return
+		}
+		msg, err := wire.Decode(payload)
+		if err != nil {
+			t.logf("malformed frame from peer %d dropped: %v", from, err)
+			continue
+		}
+		t.msgs.Add(1)
+		t.bytes.Add(uint64(len(payload)))
+		t.node.enqueue(from, msg)
+	}
+}
+
+// readFrame reads one length-prefixed frame, bounding the claimed length.
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("frame of %d bytes exceeds the %d-byte bound", n, maxFrameLen)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Messages implements Transport: messages delivered to the local replica.
+func (t *TCP) Messages() uint64 { return t.msgs.Load() }
+
+// Bytes implements Transport: encoded bytes delivered to the local replica.
+func (t *TCP) Bytes() uint64 { return t.bytes.Load() }
+
+// Close shuts the transport down: the listener stops, outbound queues
+// close after draining nothing further, and all connection goroutines
+// exit before Close returns. The node loop is not touched — stop it
+// separately so in-flight handler work finishes first.
+func (t *TCP) Close() {
+	t.close.Do(func() {
+		close(t.quit)
+		t.ln.Close()
+		t.mu.Lock()
+		for _, q := range t.out {
+			q.shut()
+		}
+		for c := range t.conns {
+			c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+	})
+}
+
+var _ Transport = (*TCP)(nil)

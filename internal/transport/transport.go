@@ -1,0 +1,55 @@
+// Package transport defines the seam between the replica state machines
+// and whatever carries their messages, and implements it three ways:
+//
+//   - the deterministic simulator (*simnet.Network satisfies Transport
+//     natively — the seam's method set is exactly the one replicas already
+//     drive);
+//   - Proc, an in-process transport that moves wire-encoded messages
+//     between per-replica goroutines under real wall-clock time;
+//   - TCP, the same replicas over real sockets with length-prefixed
+//     framing, per-peer reconnect with backoff, and write timeouts.
+//
+// The unchanged core/pbft state machines schedule timers against
+// simnet.NodeSim. Real transports keep that contract with a Node per
+// replica: a private simnet.Sim used purely as a timer queue, slaved to
+// the wall clock by the node's event-loop goroutine. Everything a replica
+// does — timer callbacks and message handling — runs on that single
+// goroutine, preserving the simulator's single-threaded replica model, so
+// no replica state needs locks.
+//
+// Determinism caveat: under real transports, virtual time is the wall
+// clock. Two runs interleave differently, so event-level determinism is
+// gone; what survives is protocol-level agreement, which the sim-vs-real
+// cross-validation harness (internal/cluster.RunReal and the X-val figure)
+// pins by comparing committed block digests.
+package transport
+
+import (
+	"repro/internal/simnet"
+)
+
+// Transport is the full transport seam: handler registration,
+// fire-and-forget sends, and delivered-traffic counters. The size argument
+// is the simulator's modeled wire size; real transports ignore it and
+// count actual encoded bytes (internal/wire), keeping Messages and Bytes
+// comparable across backends by construction rather than by estimate.
+type Transport interface {
+	// Register installs the message handler for a replica id. Handlers run
+	// on the destination replica's event-loop goroutine.
+	Register(id int, h simnet.Handler)
+	// Send carries msg from replica `from` to replica `to`. The size hint
+	// is only meaningful to the simulator's bandwidth model.
+	Send(from, to, size int, msg any)
+	// Broadcast sends msg from -> every replica including the sender
+	// (protocols self-deliver, matching simnet.Network.Broadcast).
+	Broadcast(from, size int, msg any)
+	// Messages returns the number of messages delivered so far.
+	Messages() uint64
+	// Bytes returns the total delivered payload bytes: modeled sizes for
+	// the simulator, actual encoded wire sizes for real transports.
+	Bytes() uint64
+}
+
+// The simulator's network is a Transport as-is: the seam was extracted
+// from its method set.
+var _ Transport = (*simnet.Network)(nil)

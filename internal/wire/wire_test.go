@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pbft"
+	"repro/internal/types"
+)
+
+// sampleTx builds a transaction exercising every field, including a
+// negative-capable condition and an opaque payload.
+func sampleTx(nonce uint64) types.Transaction {
+	return types.Transaction{
+		Ops: []types.Op{
+			{Key: "alice", Type: types.Owned, Kind: types.OpDecrement, Amount: 30, Con: 0},
+			{Key: "bob", Type: types.Owned, Kind: types.OpIncrement, Amount: 30},
+			{Key: "counter", Type: types.Shared, Kind: types.OpAssign, Amount: 7, Con: -1},
+		},
+		Client:   "alice",
+		Nonce:    nonce,
+		Sig:      []byte{1, 2, 3},
+		Payload:  bytes.Repeat([]byte{0xAB}, 16),
+		SubmitNS: 12345,
+	}
+}
+
+func sampleBlock() *types.Block {
+	return &types.Block{
+		Instance:  2,
+		SN:        7,
+		Rank:      9,
+		State:     types.StateVector{1, 0, 4, 2},
+		Txs:       []types.Transaction{sampleTx(1), sampleTx(2)},
+		Refs:      []types.BlockRef{{Instance: 0, SN: 3}, {Instance: 3, SN: 1}},
+		Proposer:  2,
+		Sig:       []byte{9, 9},
+		ProposeNS: 777,
+	}
+}
+
+// messages enumerates one instance of every encodable message type, each
+// exercising populated and empty collection fields.
+func messages() []any {
+	tx := sampleTx(3)
+	return []any{
+		&pbft.PrePrepare{Instance: 1, View: 2, Seq: 3, Block: sampleBlock()},
+		&pbft.PrePrepare{Instance: 0, View: 0, Seq: 0, Block: &types.Block{Instance: 0, SN: 0}},
+		&pbft.Prepare{Instance: 1, View: 2, Seq: 3, Digest: types.BlockID{1, 2}, Replica: 4},
+		&pbft.Commit{Instance: 1, View: 2, Seq: 3, Digest: types.BlockID{5}, Replica: 0},
+		&pbft.ViewChange{Instance: 2, NewView: 5, Replica: 1, Delivered: 11,
+			Prepared: []pbft.PreparedEntry{{Seq: 11, View: 4, Block: sampleBlock()}}},
+		&pbft.ViewChange{Instance: 0, NewView: 1, Replica: 3, Delivered: 0},
+		&pbft.NewView{Instance: 2, View: 5,
+			Reproposals: []*pbft.PrePrepare{{Instance: 2, View: 5, Seq: 11, Block: sampleBlock()}}},
+		&pbft.NewView{Instance: 1, View: 9},
+		&core.CheckpointMsg{Epoch: 3, Digest: [32]byte{7, 7, 7}, Replica: 2},
+		&core.SubmitMsg{Tx: &tx},
+	}
+}
+
+// TestRoundTrip pins decode(encode(m)) == m for every message type. The
+// comparison re-encodes the decoded message (the codec is canonical, so
+// equal values encode to equal bytes) and additionally checks semantic
+// equality through content digests where the types define them.
+func TestRoundTrip(t *testing.T) {
+	for _, msg := range messages() {
+		enc, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", msg, err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", msg, err)
+		}
+		if reflect.TypeOf(dec) != reflect.TypeOf(msg) {
+			t.Fatalf("Decode(%T) returned %T", msg, dec)
+		}
+		re, err := Encode(dec)
+		if err != nil {
+			t.Fatalf("re-Encode(%T): %v", msg, err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("%T: encode(decode(enc)) != enc\n  enc: %x\n  re:  %x", msg, enc, re)
+		}
+	}
+}
+
+// TestRoundTripDigests pins that content digests survive the wire: a block
+// decoded on another replica must hash identically or consensus breaks.
+func TestRoundTripDigests(t *testing.T) {
+	b := sampleBlock()
+	enc, err := Encode(&pbft.PrePrepare{Instance: b.Instance, Block: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dec.(*pbft.PrePrepare).Block
+	if got.Digest() != b.Digest() {
+		t.Fatalf("block digest changed across the wire: %v != %v", got.Digest(), b.Digest())
+	}
+	for i := range b.Txs {
+		if got.Txs[i].ID() != b.Txs[i].ID() {
+			t.Fatalf("tx %d ID changed across the wire", i)
+		}
+	}
+}
+
+// TestIdxNotEncoded pins the deliberate omission: the dense per-run index
+// is local bookkeeping and must decode as zero.
+func TestIdxNotEncoded(t *testing.T) {
+	tx := sampleTx(1)
+	tx.Idx = 42
+	enc, err := Encode(&core.SubmitMsg{Tx: &tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.(*core.SubmitMsg).Tx.Idx; got != 0 {
+		t.Fatalf("Idx crossed the wire: got %d, want 0", got)
+	}
+}
+
+// TestDecodeMalformed pins error (not panic) on empty input, unknown tags,
+// truncations at every prefix length, and trailing garbage.
+func TestDecodeMalformed(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode(nil) succeeded")
+	}
+	if _, err := Decode([]byte{0xFF}); err == nil {
+		t.Fatal("Decode(unknown tag) succeeded")
+	}
+	for _, msg := range messages() {
+		enc, err := Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut < len(enc); cut++ {
+			if _, err := Decode(enc[:cut]); err == nil {
+				t.Fatalf("%T: Decode of %d/%d-byte prefix succeeded", msg, cut, len(enc))
+			}
+		}
+		if _, err := Decode(append(append([]byte{}, enc...), 0)); err == nil {
+			t.Fatalf("%T: Decode with trailing byte succeeded", msg)
+		}
+	}
+}
+
+// TestEncodeUnknownType pins the loud-failure contract for types outside
+// the replica message set.
+func TestEncodeUnknownType(t *testing.T) {
+	if _, err := Encode(struct{ X int }{}); err == nil {
+		t.Fatal("Encode(unknown type) succeeded")
+	}
+	if _, err := Encode(nil); err == nil {
+		t.Fatal("Encode(nil) succeeded")
+	}
+}
+
+// TestHugeCountRejected pins the allocation bound: a header claiming more
+// collection elements than bytes remain must be rejected before any
+// allocation is attempted.
+func TestHugeCountRejected(t *testing.T) {
+	// tagViewChange, instance=0, view=0, replica=0, delivered=0, then a
+	// Prepared count of 2^40 with no bytes behind it.
+	buf := []byte{tagViewChange, 0, 0, 0, 0}
+	buf = appendUint(buf, 1<<40)
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("Decode with absurd collection count succeeded")
+	}
+}

@@ -65,6 +65,37 @@ func (k Kernel) String() string {
 	return "serial"
 }
 
+// Transport selects the backend that carries replica messages.
+type Transport int
+
+const (
+	// TransportSim (the default) runs the cluster inside the
+	// discrete-event network simulator: virtual time, modeled WAN/LAN
+	// delays, deterministic results.
+	TransportSim Transport = iota
+	// TransportProc runs the cluster over the in-process real transport:
+	// one event-loop goroutine per replica, wall-clock timers, and every
+	// message wire-encoded and decoded between replicas — the same codec
+	// and framing discipline the orthrus-node TCP daemon uses, without
+	// sockets. Results are wall-clock measurements of this machine and
+	// are NOT deterministic or reproducible across runs; Net only labels
+	// the result. Simulation-only features are rejected by Validate:
+	// stragglers, crash/Byzantine faults, scenarios, the analytic SB and
+	// the parallel kernel. Observer.OnConfirm fires normally; OnWindow
+	// and OnPhase never fire, and context cancellation cannot interrupt
+	// a started real run (they are bookkeeping events of the simulated
+	// clock).
+	TransportProc
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	if t == TransportProc {
+		return "proc"
+	}
+	return "sim"
+}
+
 // Config describes one run. Build it with NewConfig and functional
 // options, or fill the fields directly; zero tuning knobs (durations,
 // batch sizes, timeouts) take the engine defaults documented on each
@@ -147,6 +178,12 @@ type Config struct {
 	// DisableNIC turns off the shared 1 Gbps per-node bandwidth model,
 	// which is otherwise active on every message-level run.
 	DisableNIC bool
+
+	// Transport selects the backend carrying replica messages:
+	// TransportSim (default, the deterministic simulator) or
+	// TransportProc (the in-process real transport under wall-clock
+	// time); see Transport for the restrictions real backends carry.
+	Transport Transport
 
 	// Kernel selects the discrete-event engine: KernelSerial (default) or
 	// KernelParallel. The parallel kernel reproduces the serial kernel's
@@ -306,6 +343,14 @@ func WithAnalyticSB() Option { return func(c *Config) { c.AnalyticSB = true } }
 // WithNIC toggles the shared per-node bandwidth model (message-level runs
 // only; on by default).
 func WithNIC(enabled bool) Option { return func(c *Config) { c.DisableNIC = !enabled } }
+
+// WithTransport selects the message-carrying backend. TransportProc runs
+// the cluster over real goroutines and wall-clock time instead of the
+// simulator: results become measurements of this machine rather than
+// deterministic predictions, and simulation-only features (stragglers,
+// faults, scenarios, the analytic SB, the parallel kernel) are rejected
+// by Validate. See Transport for the full contract.
+func WithTransport(t Transport) Option { return func(c *Config) { c.Transport = t } }
 
 // WithKernel selects the discrete-event engine. KernelParallel requires
 // message-level PBFT with the NIC model off (WithNIC(false)) and no
@@ -467,6 +512,26 @@ func (c Config) Validate() error {
 	if c.Kernel != KernelSerial && c.Kernel != KernelParallel {
 		bad("Kernel", "must be KernelSerial or KernelParallel, got Kernel(%d)", int(c.Kernel))
 	}
+	if c.Transport != TransportSim && c.Transport != TransportProc {
+		bad("Transport", "must be TransportSim or TransportProc, got Transport(%d)", int(c.Transport))
+	}
+	if c.Transport == TransportProc {
+		if c.AnalyticSB {
+			bad("Transport", "the real transport runs message-level PBFT only; drop WithAnalyticSB")
+		}
+		if c.Scenario != nil {
+			bad("Transport", "scenarios mutate the simulated network; the real transport does not support them")
+		}
+		if c.Stragglers > 0 {
+			bad("Transport", "stragglers are simulation-only; the real transport cannot slow real replicas")
+		}
+		if c.CrashFaults > 0 || c.ByzantineFaults > 0 {
+			bad("Transport", "fault injection is simulation-only; the real transport does not support it")
+		}
+		if c.Kernel == KernelParallel {
+			bad("Transport", "the parallel kernel executes simulations; the real transport is already concurrent")
+		}
+	}
 	if c.Workers < 0 {
 		bad("Workers", "must be non-negative (0 means GOMAXPROCS), got %d", c.Workers)
 	}
@@ -550,10 +615,12 @@ func (c Config) clusterConfig() cluster.Config {
 		TxSize:           c.TxSize,
 		CensorshipBlocks: c.CensorshipBlocks,
 		AnalyticSB:       c.AnalyticSB,
-		NIC:              !c.DisableNIC && !c.AnalyticSB,
-		Workers:          c.Workers,
-		Seed:             c.Seed,
-		CaptureState:     c.CaptureState,
+		// The NIC bandwidth model is a simulation concept; the real
+		// transport measures real links, so it never applies there.
+		NIC:          !c.DisableNIC && !c.AnalyticSB && c.Transport == TransportSim,
+		Workers:      c.Workers,
+		Seed:         c.Seed,
+		CaptureState: c.CaptureState,
 	}
 	if c.Kernel == KernelParallel {
 		ccfg.Kernel = cluster.KernelParallel

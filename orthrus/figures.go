@@ -70,6 +70,37 @@ func RunFigures(ctx context.Context, ids []string, o FigureOptions) ([]FigureRes
 	return experiments.RunScenarios(ids, o.Scenarios, runner.Options{Workers: o.Workers}, scale)
 }
 
+// XValID identifies the sim-vs-real cross-validation figure, which runs
+// outside the deterministic suite (see RunXVal); FigureIDs never lists it
+// and "all" selections never include it.
+const XValID = experiments.XValID
+
+// XValInfo names the cross-validation figure for listings, alongside the
+// Figures entries.
+func XValInfo() FigureInfo { return experiments.XValInfo() }
+
+// RunXVal runs the sim-vs-real cross-validation figure: each (protocol,
+// cluster size) cell once through the discrete-event simulator and once
+// over the in-process real transport under the identical configuration,
+// returning the two measurements side by side. Unlike RunFigures results,
+// the real-measured table holds wall-clock numbers from this machine —
+// they vary run to run, which is why this figure lives outside the
+// deterministic suite and always runs its cells serially. Ctx is checked
+// only before starting; a started figure runs to completion.
+func RunXVal(ctx context.Context, scale float64) (FigureResult, error) {
+	if err := ctx.Err(); err != nil {
+		return FigureResult{}, err
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	if scale <= 0 || scale > 1 {
+		return FigureResult{}, fmt.Errorf("%w: %w", ErrInvalidConfig,
+			&ValidationError{Field: "Scale", Reason: fmt.Sprintf("must be in (0,1], got %g", scale)})
+	}
+	return experiments.XVal(scale)
+}
+
 // WriteSyntheticTrace freezes n transactions of the synthetic
 // Ethereum-like workload (46% payments, Zipf-skewed accounts) into the CSV
 // trace format, for replay with WithTrace — the paper's reset-and-replay

@@ -30,6 +30,12 @@ func (c Config) Run(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	ccfg := c.clusterConfig()
+	if c.Transport == TransportProc {
+		// The real backend runs on wall-clock time: there is no simulated
+		// 0.5 s bookkeeping tick to poll Halt on, so a started run always
+		// completes (bounded by Duration+Drain of real time).
+		return fromCluster(cluster.RunReal(ccfg)), nil
+	}
 	if ctx.Done() != nil {
 		ccfg.Halt = func() bool { return ctx.Err() != nil }
 	}
@@ -54,6 +60,14 @@ func RunMany(ctx context.Context, cfgs []Config, workers int) ([]*Result, error)
 	for i, c := range cfgs {
 		if err := c.Validate(); err != nil {
 			return nil, fmt.Errorf("config %d: %w", i, err)
+		}
+		if c.Transport == TransportProc {
+			// Real-transport runs are wall-clock measurements; fanning
+			// them out across one machine's cores would have them contend
+			// for exactly the resources being measured. Run them one at a
+			// time through Config.Run.
+			return nil, fmt.Errorf("config %d: %w: %w", i, ErrInvalidConfig,
+				&ValidationError{Field: "Transport", Reason: "RunMany is simulation-only; run TransportProc configs individually"})
 		}
 	}
 	if err := ctx.Err(); err != nil {
