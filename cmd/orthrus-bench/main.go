@@ -89,6 +89,8 @@ func printList(w io.Writer) {
 	}
 	xv := orthrus.XValInfo()
 	fmt.Fprintf(w, "  %-3s %s (wall-clock; excluded from \"all\")\n", xv.ID, xv.Title)
+	sk := orthrus.SoakInfo()
+	fmt.Fprintf(w, "  %-3s %s (long-horizon; excluded from \"all\")\n", sk.ID, sk.Title)
 	fmt.Fprintln(w, "\nscenarios (-scenario, figure S1 only):")
 	for _, name := range orthrus.ScenarioPresets() {
 		fmt.Fprintf(w, "  %-19s %s\n", name, scenariodsl.Describe(name))
@@ -114,7 +116,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("orthrus-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "comma-separated figures to regenerate: "+strings.Join(orthrus.FigureIDs(), ", ")+", "+orthrus.XValID+", or all (which excludes the wall-clock "+orthrus.XValID+")")
+	fig := fs.String("fig", "all", "comma-separated figures to regenerate: "+strings.Join(orthrus.FigureIDs(), ", ")+", "+orthrus.XValID+", "+orthrus.SoakID+", or all (which excludes the wall-clock "+orthrus.XValID+" and long-horizon "+orthrus.SoakID+")")
 	scn := fs.String("scenario", "", "comma-separated S1 scenarios to run: "+strings.Join(orthrus.ScenarioPresets(), ", ")+" (default all; only affects fig S1)")
 	scale := fs.Float64("scale", 0.25, "experiment scale in (0,1]; 1 = paper-sized")
 	parallel := fs.Int("parallel", 0, "worker pool size: 0 = all cores, 1 = serial")
@@ -177,18 +179,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	// The X-val figure runs outside the deterministic suite (its
-	// real-measured cells are wall-clock experiments), so it dispatches
-	// through RunXVal; the remaining ids go through RunFigures as one
-	// suite. Results reassemble in the order requested.
+	// The X-val and F-soak figures run outside the deterministic suite
+	// (X-val's real-measured cells are wall-clock experiments; a soak cell
+	// is hours of virtual time on the serial kernel), so they dispatch
+	// through RunXVal/RunSoak; the remaining ids go through RunFigures as
+	// one suite. Results reassemble in the order requested.
 	simIDs := make([]string, 0, len(ids))
-	runXVal := false
+	special := map[string]orthrus.FigureResult{}
+	runXVal, runSoak := false, false
 	for _, id := range ids {
-		if id == orthrus.XValID {
+		switch id {
+		case orthrus.XValID:
 			runXVal = true
-			continue
+		case orthrus.SoakID:
+			runSoak = true
+		default:
+			simIDs = append(simIDs, id)
 		}
-		simIDs = append(simIDs, id)
 	}
 
 	start := time.Now()
@@ -206,12 +213,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		// Reinsert at the position -fig requested it.
-		ordered := make([]orthrus.FigureResult, 0, len(results)+1)
+		special[orthrus.XValID] = xv
+	}
+	if runSoak {
+		sk, err := orthrus.RunSoak(context.Background(), *scale)
+		if err != nil {
+			return err
+		}
+		special[orthrus.SoakID] = sk
+	}
+	if len(special) > 0 {
+		// Reinsert at the positions -fig requested them.
+		ordered := make([]orthrus.FigureResult, 0, len(results)+len(special))
 		rest := results
 		for _, id := range ids {
-			if id == orthrus.XValID {
-				ordered = append(ordered, xv)
+			if f, ok := special[id]; ok {
+				ordered = append(ordered, f)
 				continue
 			}
 			ordered = append(ordered, rest[0])

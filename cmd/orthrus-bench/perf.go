@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/orthrus"
+	"repro/orthrus/scenariodsl"
 )
 
 // The -bench perf harness: instead of regenerating figures, it measures
@@ -30,6 +31,10 @@ import (
 //   - F-scale cells (Orthrus n = 250, 500, 1000, analytic, pulse-damped
 //     like the F-scale figure's large tier): the large-n sweep the
 //     ROADMAP targets, kept seconds-scale per cell.
+//   - soak cell (Orthrus n = 25, 120 s of virtual time, crash/recover
+//     churn, state transfer on, live-set sampling — a shortened F-soak
+//     cell): its peak_live_set / final_live_set columns are the committed
+//     baseline CI's soak-smoke job gates memory growth against.
 
 // perfSchema identifies the artifact format. v2 fields per cell: ns/op,
 // allocs/op, bytes/op, sim-events and sim-events/sec, plus the measured
@@ -59,6 +64,12 @@ type perfCell struct {
 	ParallelWorkers int     `json:"parallel_workers,omitempty"`
 	ParallelShards  int     `json:"parallel_shards,omitempty"`
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+
+	// Soak-cell columns: the run's peak and final cluster-wide live-set
+	// census (deterministic, like allocs/op). The soak-smoke CI gate
+	// compares a freshly measured peak against the committed baseline's.
+	PeakLiveSet  int `json:"peak_live_set,omitempty"`
+	FinalLiveSet int `json:"final_live_set,omitempty"`
 }
 
 // perfArtifact is the document -bench writes.
@@ -95,6 +106,7 @@ func perfGrid() []perfPoint {
 	for _, n := range []int{250, 500, 1000} {
 		cells = append(cells, perfPoint{"Orthrus", n, "fscale"})
 	}
+	cells = append(cells, perfPoint{"Orthrus", 25, "soak"})
 	return cells
 }
 
@@ -118,6 +130,29 @@ func perfConfig(protocol string, n int, tier string) orthrus.Config {
 			orthrus.WithDrain(1 * time.Second),
 			orthrus.WithBatching(1024, 250*time.Millisecond),
 			orthrus.WithEpochLen(128),
+			orthrus.WithNIC(false),
+			orthrus.WithSeed(42),
+		}
+	case "soak":
+		scn, err := scenariodsl.Preset(scenariodsl.SoakChurnPreset, n, 120*time.Second, 42)
+		if err != nil {
+			panic("orthrus-bench: " + err.Error()) // the preset name is fixed
+		}
+		opts = []orthrus.Option{
+			orthrus.WithProtocol(protocol),
+			orthrus.WithClusterSize(n),
+			orthrus.WithNet(orthrus.WAN),
+			orthrus.WithAccounts(4000),
+			orthrus.WithLoad(100),
+			orthrus.WithDuration(120 * time.Second),
+			orthrus.WithWarmup(12 * time.Second),
+			orthrus.WithDrain(30 * time.Second),
+			orthrus.WithBatching(4096, 10*time.Second),
+			orthrus.WithEpochLen(4),
+			orthrus.WithViewTimeout(60 * time.Second),
+			orthrus.WithStateTransfer(),
+			orthrus.WithLiveSetSampling(5 * time.Second),
+			orthrus.WithScenario(scn),
 			orthrus.WithNIC(false),
 			orthrus.WithSeed(42),
 		}
@@ -188,6 +223,12 @@ func measureCell(p perfPoint, runner func(orthrus.Config) (*orthrus.Result, erro
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		cell.SimEventsPerSec = float64(res.SimEvents) / s
+	}
+	if p.tier == "soak" {
+		cell.PeakLiveSet = res.LiveSetPeak
+		if n := len(res.LiveSetSamples); n > 0 {
+			cell.FinalLiveSet = res.LiveSetSamples[n-1].Total
+		}
 	}
 	if p.tier == "kernel" {
 		workers := runtime.GOMAXPROCS(0)

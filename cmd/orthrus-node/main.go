@@ -230,8 +230,8 @@ func runNode(o nodeOptions, stdout, stderr io.Writer, stop <-chan struct{}) erro
 	var statsTick func()
 	statsTick = func() {
 		sim.After(simnet.Duration(o.stats), func() {
-			logf("stats", "blocks=%d confirmed=%d aborted=%d msgs=%d bytes=%d",
-				blocks, confirmed, aborted, tcp.Messages(), tcp.Bytes())
+			logf("stats", "blocks=%d confirmed=%d aborted=%d msgs=%d bytes=%d dropped=%d",
+				blocks, confirmed, aborted, tcp.Messages(), tcp.Bytes(), tcp.Dropped())
 			statsTick()
 		})
 	}
@@ -294,8 +294,8 @@ func runNode(o nodeOptions, stdout, stderr io.Writer, stop <-chan struct{}) erro
 	clientWG.Wait()
 	tcp.Close()
 	node.Stop()
-	logf("stop", "reason=%s blocks=%d confirmed=%d aborted=%d msgs=%d bytes=%d",
-		reason, blocks, confirmed, aborted, tcp.Messages(), tcp.Bytes())
+	logf("stop", "reason=%s blocks=%d confirmed=%d aborted=%d msgs=%d bytes=%d dropped=%d",
+		reason, blocks, confirmed, aborted, tcp.Messages(), tcp.Bytes(), tcp.Dropped())
 	return nil
 }
 

@@ -87,6 +87,23 @@ type Config struct {
 	// Lower it when a scenario censors leaders so detection fits the run.
 	CensorshipBlocks uint64
 
+	// StateTransfer enables checkpoint-anchored catch-up (core.Config.
+	// StateTransfer): replicas archive delivered blocks up to the stable
+	// checkpoint floor and a recovering replica refills its log gap from
+	// 2f+1 peers instead of waiting for view-change no-ops. Scenario crash/
+	// recover churn over long horizons wants this on; the default off keeps
+	// the pre-existing recovery behavior.
+	StateTransfer bool
+
+	// SampleLiveSet, when positive, schedules a cluster-wide retained-state
+	// census every interval of virtual time: the sum of every replica's
+	// core.LiveSet plus the scheduler's pending event count, reported in
+	// Result.LiveSetSamples/LiveSetPeak. The soak figure gates on a flat
+	// profile after warmup. Sampling reads replica state from a bookkeeping
+	// event, which would cross shard boundaries under the parallel kernel,
+	// so it requires the serial kernel.
+	SampleLiveSet time.Duration
+
 	// AnalyticSB swaps message-level PBFT for the closed-form quorum-time
 	// SB (fault-free runs only; stragglers are supported).
 	AnalyticSB bool
@@ -279,6 +296,19 @@ type Result struct {
 	Kernel string
 	Shards int
 
+	// LiveSetSamples holds the periodic retained-state censuses when
+	// Config.SampleLiveSet is set (nil otherwise), and LiveSetPeak the
+	// largest sampled Total. The soak harness asserts the profile flattens
+	// after warmup — bounded memory at any virtual-time horizon.
+	LiveSetSamples []LiveSetSample
+	LiveSetPeak    int
+
+	// StateTransferApplied counts blocks applied through the checkpoint-
+	// anchored catch-up protocol rather than live SB delivery, summed
+	// across replicas (always 0 unless Config.StateTransfer). The recovery
+	// tests assert gap repair happened without pre-checkpoint replay.
+	StateTransferApplied uint64
+
 	// Halted reports the run was stopped early by Config.Halt; the
 	// measurements cover only the virtual time before the stop.
 	Halted bool
@@ -320,6 +350,24 @@ type PhaseWindow struct {
 	// MeanLatency averages the client-observed latency of the window's
 	// confirmations (0 if none).
 	MeanLatency time.Duration
+}
+
+// LiveSetSample is one cluster-wide retained-state census: the categories
+// checkpoint GC is responsible for bounding (summed across replicas) plus
+// the scheduler's pending event count, taken at one instant of virtual
+// time. Total sums every category; the soak figure plots it.
+type LiveSetSample struct {
+	At        time.Duration // virtual time of the census
+	Events    int           // scheduler events pending
+	Trackers  int           // transaction trackers retained
+	Slots     int           // in-flight pbft slots
+	ExecQ     int           // delivered blocks awaiting escrow
+	GlogQ     int           // confirmed blocks awaiting execution
+	Escrows   int           // live escrow-log entries
+	Archive   int           // state-transfer archive blocks
+	Retained  int           // blocks retained for NewView repair
+	CkptVotes int           // live checkpoint votes
+	Total     int           // all of the above
 }
 
 // String renders a one-line summary.
@@ -404,6 +452,9 @@ func Run(cfg Config) *Result {
 					panic("cluster: scenario speed-ups (straggle scale < 1) require the serial kernel")
 				}
 			}
+		}
+		if cfg.SampleLiveSet > 0 {
+			panic("cluster: live-set sampling reads every replica from one bookkeeping event; use the serial kernel")
 		}
 	}
 	n := cfg.N
@@ -557,6 +608,7 @@ func Run(cfg Config) *Result {
 			ViewTimeout:      cfg.ViewTimeout,
 			TxSize:           cfg.TxSize,
 			EpochLen:         cfg.EpochLen,
+			StateTransfer:    cfg.StateTransfer,
 			CensorshipBlocks: cfg.CensorshipBlocks,
 			Genesis:          genesis,
 			TraceStages:      i == 0,
@@ -790,6 +842,43 @@ func Run(cfg Config) *Result {
 		tick(1)
 	}
 
+	// Live-set census ticks: one bookkeeping event per SampleLiveSet of
+	// virtual time walks every replica and records the retained-state sum
+	// plus the scheduler's pending events (serial kernel only — validated
+	// above; the walk would cross shard boundaries under the parallel one).
+	if cfg.SampleLiveSet > 0 {
+		var census func(k int)
+		census = func(k int) {
+			sim.At(simnet.Time(cfg.SampleLiveSet)*simnet.Time(k), func() {
+				s := LiveSetSample{
+					At:     cfg.SampleLiveSet * time.Duration(k),
+					Events: sim.Pending(),
+				}
+				for _, r := range replicas {
+					ls := r.LiveSet()
+					s.Trackers += ls.Trackers
+					s.Slots += ls.Slots
+					s.ExecQ += ls.ExecQ
+					s.GlogQ += ls.GlogQ
+					s.Escrows += ls.Escrows
+					s.Archive += ls.Archive
+					s.Retained += ls.Retained
+					s.CkptVotes += ls.CkptVotes
+				}
+				s.Total = s.Events + s.Trackers + s.Slots + s.ExecQ + s.GlogQ +
+					s.Escrows + s.Archive + s.Retained + s.CkptVotes
+				res.LiveSetSamples = append(res.LiveSetSamples, s)
+				if s.Total > res.LiveSetPeak {
+					res.LiveSetPeak = s.Total
+				}
+				if cfg.SampleLiveSet*time.Duration(k+1) <= runEnd {
+					census(k + 1)
+				}
+			})
+		}
+		census(1)
+	}
+
 	if kern != nil {
 		kern.Run(windowEnd + simnet.Time(cfg.Drain))
 		// The horizon window takes no barrier; drain hooks it logged.
@@ -871,6 +960,10 @@ func Run(cfg Config) *Result {
 		} else {
 			res.Breakdown.Add(metrics.StageReply, time.Duration(nw.BaseDelay(0, int(m.home), 256)))
 		}
+	}
+
+	for _, r := range replicas {
+		res.StateTransferApplied += r.StateTransferApplied()
 	}
 
 	if cfg.CaptureState {

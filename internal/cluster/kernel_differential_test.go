@@ -212,6 +212,32 @@ func TestKernelDifferentialScenario(t *testing.T) {
 	diffResults(t, "scenario", sr, pr, so, po)
 }
 
+// TestKernelDifferentialStateTransferGC pins the long-horizon machinery on
+// both kernels: with checkpoint GC and state transfer enabled and a victim
+// crashing and recovering mid-run, the catch-up traffic, the GC points and
+// every downstream measurement must stay bit-identical — collection and
+// repair both happen inside deterministic event handlers, so the parallel
+// kernel must replay them exactly.
+func TestKernelDifferentialStateTransferGC(t *testing.T) {
+	scn := scenario.New("st-churn").
+		CrashAt(600*time.Millisecond, 7).
+		RecoverAt(700*time.Millisecond, 7). // within the one-epoch archive hysteresis (4 x 40 ms)
+		Build()
+	cfg := diffCfg(WAN, 9)
+	cfg.Scenario = scn
+	cfg.StateTransfer = true
+	cfg.EpochLen = 4
+	sr, pr, so, po := runBoth(cfg, 4, true)
+	if sr.StateTransferApplied == 0 {
+		t.Fatal("no catch-up blocks applied; the state-transfer differential is vacuous")
+	}
+	if sr.StateTransferApplied != pr.StateTransferApplied {
+		t.Fatalf("catch-up accounting diverged: serial %d parallel %d",
+			sr.StateTransferApplied, pr.StateTransferApplied)
+	}
+	diffResults(t, "state-transfer", sr, pr, so, po)
+}
+
 // TestKernelDifferentialHalt pins early cancellation: both kernels must
 // stop at the same virtual window with identical partial measurements.
 func TestKernelDifferentialHalt(t *testing.T) {

@@ -61,6 +61,7 @@ func (r *Replica) tracker(tx *types.Transaction) *txTracker {
 		}
 		t := r.newTracker(tx)
 		r.trackersIdx[i-1] = t
+		r.liveTrackers++
 		return t
 	}
 	id := tx.ID()
@@ -68,6 +69,7 @@ func (r *Replica) tracker(tx *types.Transaction) *txTracker {
 	if !ok {
 		t = r.newTracker(tx)
 		r.trackers[id] = t
+		r.liveTrackers++
 	}
 	return t
 }

@@ -90,21 +90,143 @@ func TestLegFeasibleTracksPromisedDebits(t *testing.T) {
 }
 
 func TestEpochDigestMatchesAcrossReplicas(t *testing.T) {
-	a := newBareReplica(t, OrthrusMode())
-	b := newBareReplica(t, OrthrusMode())
-	blk := &types.Block{Instance: 1, SN: 0, Rank: 1}
-	for _, r := range []*Replica{a, b} {
-		r.onDeliver(1, blk)
+	mk := func() *Replica {
+		sim := simnet.New(1)
+		nw := simnet.NewNetwork(sim, 4, simnet.FixedModel{D: time.Millisecond})
+		cfg := Config{N: 4, F: 1, ID: 0, M: 4, Mode: OrthrusMode(), EpochLen: 1}
+		return NewReplica(cfg, simnet.On(sim, cfg.ID), nw)
 	}
-	if a.epochDigest() != b.epochDigest() {
+	a, b := mk(), mk()
+	for i := 0; i < 4; i++ {
+		blk := &types.Block{Instance: i, SN: 0, Rank: 1}
+		a.onDeliver(i, blk)
+		b.onDeliver(i, blk)
+	}
+	da, ok := a.localDigest(0)
+	if !ok {
+		t.Fatal("epoch 0 incomplete after delivering every instance")
+	}
+	if db, _ := b.localDigest(0); da != db {
 		t.Fatal("epoch digests diverge on identical deliveries")
 	}
-	// A different delivery order across instances changes nothing per
-	// instance, but a different block does.
-	c := newBareReplica(t, OrthrusMode())
-	c.onDeliver(1, &types.Block{Instance: 1, SN: 0, Rank: 2})
-	if a.epochDigest() == c.epochDigest() {
+	// The digest is canonical: running ahead past the boundary must not
+	// change it (the old live-hash digest did, so replicas at different
+	// run-ahead depths could never stabilize a WAN checkpoint).
+	a.onDeliver(1, &types.Block{Instance: 1, SN: 1, Rank: 2})
+	if d, _ := a.localDigest(0); d != da {
+		t.Fatal("run-ahead past the boundary changed the epoch digest")
+	}
+	// A different block inside the epoch does change it.
+	c := mk()
+	for i := 0; i < 4; i++ {
+		c.onDeliver(i, &types.Block{Instance: i, SN: 0, Rank: 7})
+	}
+	if dc, _ := c.localDigest(0); dc == da {
 		t.Fatal("different blocks produced identical epoch digests")
+	}
+}
+
+// epochReplica builds a 4-replica-cluster member with 1-block epochs, so a
+// single delivery round per instance completes an epoch; rank parameterizes
+// the delivered blocks so two replicas can diverge on purpose.
+func epochReplica(t *testing.T, stateTransfer bool) *Replica {
+	t.Helper()
+	sim := simnet.New(1)
+	nw := simnet.NewNetwork(sim, 4, simnet.FixedModel{D: time.Millisecond})
+	cfg := Config{N: 4, F: 1, ID: 0, M: 4, Mode: OrthrusMode(), EpochLen: 1,
+		StateTransfer: stateTransfer}
+	return NewReplica(cfg, simnet.On(sim, cfg.ID), nw)
+}
+
+func deliverEpoch0(r *Replica, rank uint64) {
+	for i := 0; i < 4; i++ {
+		r.onDeliver(i, &types.Block{Instance: i, SN: 0, Rank: rank})
+	}
+}
+
+// TestCheckpointVoteSpamBounded pins the one-live-vote-per-replica bound on
+// the checkpoint vote maps: a faulty replica spamming far-future epoch
+// numbers must never grow ckptVotes beyond one entry for itself (the same
+// bound PR 6 put on view-change votes), and votes citing nonexistent
+// replica ids must be rejected outright.
+func TestCheckpointVoteSpamBounded(t *testing.T) {
+	r := newBareReplica(t, OrthrusMode())
+	live := func() int {
+		n := 0
+		for _, votes := range r.ckptVotes {
+			n += len(votes)
+		}
+		return n
+	}
+	for e := uint64(0); e < 1000; e++ {
+		r.onCheckpoint(&CheckpointMsg{Epoch: e, Digest: [32]byte{1}, Replica: 1})
+	}
+	if got := live(); got != 1 {
+		t.Fatalf("1000-epoch spam from one replica left %d live votes, want 1", got)
+	}
+	if len(r.ckptVotes) != 1 {
+		t.Fatalf("spam left %d epoch entries, want 1", len(r.ckptVotes))
+	}
+	// Byzantine sender ids outside [0, N) must not touch any state.
+	r.onCheckpoint(&CheckpointMsg{Epoch: 5, Digest: [32]byte{2}, Replica: -1})
+	r.onCheckpoint(&CheckpointMsg{Epoch: 5, Digest: [32]byte{2}, Replica: 4})
+	if got := live(); got != 1 {
+		t.Fatalf("out-of-range replica ids changed the vote maps: %d live votes", got)
+	}
+	// Every replica spamming at once (distinct digests, so no quorum ever
+	// forms) still holds at most one live vote each.
+	for e := uint64(0); e < 1000; e++ {
+		for rid := 0; rid < 4; rid++ {
+			r.onCheckpoint(&CheckpointMsg{Epoch: e, Digest: [32]byte{byte(rid)}, Replica: rid})
+		}
+	}
+	if got := live(); got > 4 {
+		t.Fatalf("cluster-wide spam left %d live votes, want <= N=4", got)
+	}
+}
+
+// TestCheckpointStabilizeRequiresLocalDigestMatch pins the GC safety rule: a
+// replica must never stabilize (and garbage-collect) on a quorum digest its
+// own boundary digest does not match — a diverged replica would discard
+// exactly the state it needs to repair. With state transfer enabled the
+// mismatch triggers a catch-up request instead.
+func TestCheckpointStabilizeRequiresLocalDigestMatch(t *testing.T) {
+	// The honest cluster's digest for epoch 0, from a twin that delivered
+	// rank-1 blocks everywhere.
+	honest := epochReplica(t, false)
+	deliverEpoch0(honest, 1)
+	quorumD, ok := honest.localDigest(0)
+	if !ok {
+		t.Fatal("twin's epoch 0 incomplete")
+	}
+
+	// The diverged replica delivered different (rank-7) blocks, so its local
+	// digest disagrees with the quorum's. Seed a stale catch-up response to
+	// observe requestStateTransfer clearing it.
+	r := epochReplica(t, true)
+	deliverEpoch0(r, 7)
+	r.stResps[2] = &StateTransferResp{Replica: 2}
+	for rid := 1; rid <= 3; rid++ {
+		r.onCheckpoint(&CheckpointMsg{Epoch: 0, Digest: quorumD, Replica: rid})
+	}
+	if _, stable := r.Epoch(); stable != 0 {
+		t.Fatal("diverged replica stabilized a checkpoint on the quorum's say-so")
+	}
+	if !r.pendSet || r.pendEpoch != 0 || r.pendDigest != quorumD {
+		t.Fatal("mismatched quorum not recorded as pending")
+	}
+	if len(r.stResps) != 0 {
+		t.Fatal("complete-but-mismatched digest did not request state transfer")
+	}
+
+	// The matching replica stabilizes from the same votes.
+	m := epochReplica(t, false)
+	deliverEpoch0(m, 1)
+	for rid := 1; rid <= 3; rid++ {
+		m.onCheckpoint(&CheckpointMsg{Epoch: 0, Digest: quorumD, Replica: rid})
+	}
+	if _, stable := m.Epoch(); stable != 1 {
+		t.Fatalf("matching replica did not stabilize (stable=%d)", stable)
 	}
 }
 

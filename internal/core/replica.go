@@ -46,6 +46,15 @@ type Config struct {
 	// instance's leader (Sec. V-B). 0 selects the default of 64.
 	CensorshipBlocks uint64
 
+	// StateTransfer enables checkpoint-anchored catch-up: the replica
+	// archives delivered blocks back to the stable-checkpoint floor, answers
+	// peers' StateTransferReq broadcasts with a CheckpointCert plus the
+	// block runs the requester is missing, and on Recover (or on observing a
+	// checkpoint quorum it cannot match locally) requests the same from its
+	// peers. Off by default: without it Recover keeps the pre-existing
+	// contract (rejoin voting, leave the delivery gap).
+	StateTransfer bool
+
 	// SB overrides the sequenced-broadcast implementation; nil selects
 	// message-level PBFT over the simulated network.
 	SB SBBuilder
@@ -161,9 +170,13 @@ type Replica struct {
 	// path. Unindexed transactions (direct API use, custom sources) fall
 	// back to the ID-keyed map.
 	trackersIdx []*txTracker
-	trackerSlab []txTracker
-	trackers    map[types.TxID]*txTracker
-	stages      map[types.TxID]*StageTrace
+	// trackersFloor is the index below which every trackersIdx entry has
+	// been released by gcEpoch; the GC scan resumes there, so releasing the
+	// whole run's trackers costs amortized O(1) per transaction.
+	trackersFloor int
+	trackerSlab   []txTracker
+	trackers      map[types.TxID]*txTracker
+	stages        map[types.TxID]*StageTrace
 
 	// routeBuf is the reusable scratch for bucket routing: SubmitTx and the
 	// leader's feasibility checks route every transaction without
@@ -177,8 +190,55 @@ type Replica struct {
 	epoch       uint64 // current epoch (delivery obligation)
 	stableEpoch uint64 // epochs with a stable checkpoint
 	ckptVotes   map[uint64]map[int][32]byte
-	ckptSent    map[uint64]bool
-	instHash    [][32]byte // rolling digest of delivered blocks per instance
+	// ckptHighest[r] is one past the highest epoch replica r has voted for
+	// (0 = no live vote). Only the highest pending vote per replica is
+	// retained in ckptVotes — a newer vote evicts the older one — so the
+	// vote maps hold at most N entries no matter how many far-future epoch
+	// numbers a faulty replica spams (the same bound vcVotes carries).
+	ckptHighest []uint64
+	// ckptSent is one past the highest epoch this replica has broadcast a
+	// checkpoint for. maybeFinishEpoch only ever finishes r.epoch, which is
+	// monotone, so a watermark replaces the old unbounded sent-set.
+	ckptSent uint64
+	instHash [][32]byte // rolling digest of delivered blocks per instance
+	// bound[e][i] snapshots instHash[i] the moment instance i delivered the
+	// last block of epoch e — the canonical per-instance boundary hash.
+	// Epoch digests hash these snapshots, never the live instHash, so two
+	// replicas that delivered the same epoch agree on its digest regardless
+	// of how far either has run ahead. Pruned by gcEpoch; the stable
+	// boundary itself is retained for CheckpointCert responses.
+	bound map[uint64][][32]byte
+	// pendEpoch/pendDigest record the highest checkpoint quorum this
+	// replica has observed but not yet matched locally (behind, or
+	// diverged). Delivery re-checks it at every epoch boundary; with
+	// StateTransfer it also triggers a catch-up request on divergence.
+	pendEpoch  uint64
+	pendDigest [32]byte
+	pendSet    bool
+
+	// State-transfer machinery (cfg.StateTransfer only). archive[i] holds
+	// the delivered blocks of instance i from archiveBase[i] (the stable
+	// GC floor) to state[i]; gcEpoch prunes it as checkpoints stabilize, so
+	// its live size is bounded by the epoch run-ahead. stResps collects
+	// peers' catch-up responses until enough arrive to apply; it is cleared
+	// on every new request and at every stabilization.
+	archive     [][]*types.Block
+	archiveBase []uint64
+	stResps     map[int]*StateTransferResp
+	// stReqEpoch is the highest quorum epoch a lag-triggered catch-up
+	// request has been sent for: a laggard re-requests at most once per
+	// epoch while checkpoint quorums keep arriving for epochs it has not
+	// finished (each round closes the gap to the then-tip; the next
+	// epoch's quorum mops up whatever committed during the round trip).
+	stReqEpoch uint64
+	// stApplied counts blocks applied through catch-up (tests assert a
+	// recovered replica repaired its gap without pre-checkpoint replay).
+	stApplied uint64
+
+	// liveTrackers counts transaction trackers currently retained (map and
+	// index entries together); gcEpoch decrements it as finished trackers
+	// are released. The soak harness samples it through LiveSet.
+	liveTrackers int
 
 	stalledUntil simnet.Time // Mir-style global stall deadline
 
@@ -264,9 +324,15 @@ func NewReplica(cfg Config, sim simnet.NodeSim, nw Network) *Replica {
 		proposedDebits: make(map[types.Key]types.Amount),
 		trackers:       make(map[types.TxID]*txTracker),
 		ckptVotes:      make(map[uint64]map[int][32]byte),
-		ckptSent:       make(map[uint64]bool),
+		ckptHighest:    make([]uint64, cfg.N),
 		instHash:       make([][32]byte, cfg.M),
+		bound:          make(map[uint64][][32]byte),
 		lastComplain:   make([]uint64, cfg.M),
+	}
+	if cfg.StateTransfer {
+		r.archive = make([][]*types.Block, cfg.M)
+		r.archiveBase = make([]uint64, cfg.M)
+		r.stResps = make(map[int]*StateTransferResp)
 	}
 	if cfg.TraceStages {
 		r.stages = make(map[types.TxID]*StageTrace)
@@ -355,6 +421,10 @@ func (r *Replica) handle(from int, msg any) {
 		}
 	case *CheckpointMsg:
 		r.onCheckpoint(m)
+	case *StateTransferReq:
+		r.onStateTransferReq(m)
+	case *StateTransferResp:
+		r.onStateTransferResp(m)
 	case *SubmitMsg:
 		_ = r.SubmitTx(m.Tx)
 	}
@@ -381,11 +451,15 @@ func (r *Replica) Stop() {
 
 // Recover restarts a stopped replica: SB engines resume handling messages
 // and the proposal pulse loops restart. The replica rejoins consensus
-// voting for new sequence numbers but does not replay blocks it missed
-// while down — no state transfer is modeled, so its local delivery log may
-// keep a gap until a view change fills it (the cluster's client-visible
-// metrics only need f+1 live replicas). Engines that do not support
-// resumption (the analytic SB) are left stopped.
+// voting for new sequence numbers immediately. Without Config.StateTransfer
+// it does not replay blocks it missed while down, so its local delivery log
+// may keep a gap until a view change fills it (the cluster's client-visible
+// metrics only need f+1 live replicas); with StateTransfer it additionally
+// broadcasts a catch-up request, and peers answer with the latest stable
+// CheckpointCert plus the delivered blocks past this replica's own prefix —
+// the gap repairs by replaying only those blocks, never pre-checkpoint
+// history. Engines that do not support resumption (the analytic SB) are
+// left stopped.
 func (r *Replica) Recover() {
 	if !r.stopped {
 		return
@@ -397,6 +471,9 @@ func (r *Replica) Recover() {
 			res.Resume()
 		}
 		r.schedulePulse(i)
+	}
+	if r.cfg.StateTransfer {
+		r.requestStateTransfer()
 	}
 }
 
@@ -702,6 +779,22 @@ func (r *Replica) onDeliver(instance int, b *types.Block) {
 	d := b.Digest()
 	copy(fold[32:], d[:])
 	r.instHash[instance] = sha256.Sum256(fold[:])
+	if (b.SN+1)%r.cfg.EpochLen == 0 {
+		// Epoch boundary: snapshot the canonical per-instance hash (see the
+		// bound field). Boundaries below the stable floor were already
+		// checkpointed and pruned; re-recording them would only leak.
+		if e := (b.SN+1)/r.cfg.EpochLen - 1; e+1 >= r.stableEpoch {
+			bd, ok := r.bound[e]
+			if !ok {
+				bd = make([][32]byte, r.cfg.M)
+				r.bound[e] = bd
+			}
+			bd[instance] = r.instHash[instance]
+		}
+	}
+	if r.archive != nil {
+		r.archive[instance] = append(r.archive[instance], b)
+	}
 
 	// Mark contained transactions as in-flight so replaced leaders do not
 	// re-propose them from their bucket copies.

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"crypto/sha256"
+
+	"repro/internal/types"
+)
+
+// State-transfer catch-up (Config.StateTransfer)
+//
+// A replica that was down misses deliveries it can never regain through the
+// normal path: its pbft engines hold no commit certificates for the missed
+// sequences, so its delivery log keeps a gap forever while live peers run
+// ahead and, after checkpoint GC, discard the blocks it would need. The
+// catch-up protocol repairs the gap by replaying the blocks themselves:
+//
+//  1. The recovering replica broadcasts StateTransferReq with its delivered
+//     state vector (its contiguous per-instance prefix).
+//  2. Every live peer answers with its latest stable CheckpointCert plus,
+//     per instance, the contiguous run of archived blocks from the
+//     requester's prefix up to the peer's own tip.
+//  3. Once 2f+1 responses arrived, the requester applies, per instance and
+//     strictly in sequence order, each block vouched for by f+1 matching
+//     copies (at least one honest sender). Application drives the normal
+//     delivery path — the engine's cursor advances via SkipDelivered, then
+//     onDeliver executes, folds digests, and feeds the global order exactly
+//     as a live delivery would — so the replica provably never re-executes
+//     anything below its own prefix, i.e. never replays pre-checkpoint
+//     history it already holds.
+//  4. A cert carried by f+1 identical responses is adopted once the local
+//     log covers its boundary, stabilizing the checkpoint (and running GC)
+//     without waiting for the next live vote quorum.
+//
+// Peers can only serve what their own GC still holds: requesters more than
+// one stable checkpoint behind the cluster receive the archived suffix
+// starting at the peers' GC floor and keep a gap below it. That residue
+// heals on the next request round if any peer still holds the missing run;
+// a replica down for many epochs rejoins consensus either way (it votes for
+// new sequences immediately) but stops contributing matching checkpoint
+// digests. Snapshot installation below the floor is future work.
+
+// StateTransferReq asks peers for catch-up data: the requester's current
+// per-instance delivered state; responders send back everything past it.
+type StateTransferReq struct {
+	Replica int
+	State   types.StateVector
+}
+
+// CheckpointCert cites a stable checkpoint: one past the covered epoch, the
+// quorum digest, and the per-instance boundary hashes the digest commits to
+// (Stable == 0 means the responder has no stable checkpoint yet).
+type CheckpointCert struct {
+	Stable uint64
+	Digest [32]byte
+	Bound  [][32]byte
+}
+
+// BlockRun is a contiguous run of one instance's delivered blocks,
+// ascending from Blocks[0].SN.
+type BlockRun struct {
+	Instance int
+	Blocks   []*types.Block
+}
+
+// StateTransferResp is one peer's catch-up answer.
+type StateTransferResp struct {
+	Replica int
+	Cert    CheckpointCert
+	Runs    []BlockRun
+}
+
+// requestStateTransfer broadcasts a catch-up request carrying the replica's
+// delivered state vector. Previously collected responses answer an older
+// request (a smaller prefix) and are dropped.
+func (r *Replica) requestStateTransfer() {
+	if r.stResps == nil {
+		return
+	}
+	for k := range r.stResps {
+		delete(r.stResps, k)
+	}
+	req := &StateTransferReq{Replica: r.cfg.ID, State: r.state.Clone()}
+	r.nw.Broadcast(r.cfg.ID, 32+8*r.cfg.M, req)
+}
+
+// onStateTransferReq answers a peer's catch-up request with the latest
+// stable checkpoint cert and the archived block runs past the requester's
+// prefix. An empty answer is still sent: the requester counts responses
+// toward its 2f+1 threshold before applying what better-placed peers hold.
+func (r *Replica) onStateTransferReq(m *StateTransferReq) {
+	if !r.cfg.StateTransfer || m.Replica < 0 || m.Replica >= r.cfg.N ||
+		m.Replica == r.cfg.ID || len(m.State) != r.cfg.M {
+		return
+	}
+	resp := &StateTransferResp{Replica: r.cfg.ID}
+	size := 64
+	if r.stableEpoch > 0 {
+		if bd, ok := r.bound[r.stableEpoch-1]; ok {
+			h := sha256.New()
+			for i := range bd {
+				h.Write(bd[i][:])
+			}
+			cert := CheckpointCert{Stable: r.stableEpoch, Bound: append([][32]byte(nil), bd...)}
+			copy(cert.Digest[:], h.Sum(nil))
+			resp.Cert = cert
+			size += 32 * (len(bd) + 1)
+		}
+	}
+	for i := 0; i < r.cfg.M; i++ {
+		from := m.State[i]
+		if from < r.archiveBase[i] {
+			from = r.archiveBase[i] // below the GC floor; serve the suffix
+		}
+		if from >= r.state[i] {
+			continue
+		}
+		// Fresh slice header per response: the archive's backing array keeps
+		// shrinking under GC and must not be aliased across replica shards.
+		blocks := append([]*types.Block(nil), r.archive[i][from-r.archiveBase[i]:]...)
+		resp.Runs = append(resp.Runs, BlockRun{Instance: i, Blocks: blocks})
+		for _, b := range blocks {
+			size += 96 + len(b.Txs)*r.cfg.TxSize
+		}
+	}
+	r.nw.Send(r.cfg.ID, m.Replica, size, resp)
+}
+
+// onStateTransferResp collects catch-up answers and applies them once 2f+1
+// peers responded (late answers re-trigger application and may close
+// residual gaps).
+func (r *Replica) onStateTransferResp(m *StateTransferResp) {
+	if !r.cfg.StateTransfer || r.stResps == nil ||
+		m.Replica < 0 || m.Replica >= r.cfg.N || m.Replica == r.cfg.ID {
+		return
+	}
+	r.stResps[m.Replica] = m
+	if len(r.stResps) >= 2*r.cfg.F+1 {
+		r.applyStateTransfer()
+	}
+}
+
+// applyStateTransfer replays vouched-for blocks through the normal delivery
+// path, per instance in strict sequence order from the replica's own tip.
+// Response iteration is by replica index so serial and parallel kernels
+// make bit-identical choices.
+func (r *Replica) applyStateTransfer() {
+	for i := 0; i < r.cfg.M; i++ {
+		sd, ok := r.sbs[i].(interface{ SkipDelivered(*types.Block) bool })
+		if !ok {
+			return // engine cannot skip (analytic SB); leave the gap
+		}
+		for {
+			// Re-read the tip every round: onDeliver advances it, and a
+			// stabilization fired from inside may clear stResps entirely.
+			next := r.state[i]
+			var chosen *types.Block
+			var cands []*types.Block
+			var votes []int
+			for rid := 0; rid < r.cfg.N && chosen == nil; rid++ {
+				resp, ok := r.stResps[rid]
+				if !ok {
+					continue
+				}
+				b := runBlockAt(resp.Runs, i, next)
+				if b == nil {
+					continue
+				}
+				d := b.Digest()
+				seen := false
+				for ci := range cands {
+					if cands[ci].Digest() == d {
+						votes[ci]++
+						seen = true
+						if votes[ci] >= r.cfg.F+1 {
+							chosen = cands[ci]
+						}
+						break
+					}
+				}
+				if !seen {
+					cands = append(cands, b)
+					votes = append(votes, 1)
+					if r.cfg.F == 0 {
+						chosen = b
+					}
+				}
+			}
+			// SkipDelivered drives the engine's OnDeliver hook — the block
+			// executes through onDeliver exactly like a live delivery.
+			if chosen == nil || !sd.SkipDelivered(chosen) {
+				break
+			}
+			r.stApplied++
+		}
+	}
+	r.adoptCert()
+}
+
+// runBlockAt returns the block with sequence sn for instance among runs,
+// or nil if the runs do not cover it.
+func runBlockAt(runs []BlockRun, instance int, sn uint64) *types.Block {
+	for _, run := range runs {
+		if run.Instance != instance || len(run.Blocks) == 0 {
+			continue
+		}
+		first := run.Blocks[0].SN
+		if sn < first || sn-first >= uint64(len(run.Blocks)) {
+			continue
+		}
+		if b := run.Blocks[sn-first]; b != nil && b.SN == sn {
+			return b
+		}
+	}
+	return nil
+}
+
+// adoptCert stabilizes the highest checkpoint cert that f+1 responders
+// agree on (at least one honest voucher) once the local log has caught up
+// to its boundary — a matching local digest is exactly the stabilization
+// condition, so the recovered replica garbage-collects without waiting for
+// the next live vote quorum. Certs whose digest does not commit to their
+// own Bound vector are discarded as malformed.
+func (r *Replica) adoptCert() {
+	type certKey struct {
+		stable uint64
+		digest [32]byte
+	}
+	counts := make(map[certKey]int)
+	bestStable := uint64(0)
+	var bestD [32]byte
+	for rid := 0; rid < r.cfg.N; rid++ {
+		resp, ok := r.stResps[rid]
+		if !ok || resp.Cert.Stable == 0 || len(resp.Cert.Bound) != r.cfg.M {
+			continue
+		}
+		h := sha256.New()
+		for i := range resp.Cert.Bound {
+			h.Write(resp.Cert.Bound[i][:])
+		}
+		var d [32]byte
+		copy(d[:], h.Sum(nil))
+		if d != resp.Cert.Digest {
+			continue
+		}
+		k := certKey{resp.Cert.Stable, resp.Cert.Digest}
+		counts[k]++
+		// With at most f faulty replicas, only one cert per stable height
+		// can reach f+1 copies, so the winner is iteration-order free.
+		if counts[k] >= r.cfg.F+1 && k.stable > bestStable {
+			bestStable, bestD = k.stable, k.digest
+		}
+	}
+	if bestStable > r.stableEpoch {
+		r.tryStabilize(bestStable-1, bestD)
+	}
+}
+
+// StateTransferApplied returns how many blocks this replica applied through
+// catch-up rather than live SB delivery (tests assert gap repair happened
+// without pre-checkpoint replay).
+func (r *Replica) StateTransferApplied() uint64 { return r.stApplied }
+
+// LiveSet is a point-in-time census of the replica-retained state the
+// long-horizon GC is responsible for bounding. The soak harness samples it
+// across replicas; a flat profile after warmup is the "memory bounded at
+// any virtual-time horizon" acceptance signal.
+type LiveSet struct {
+	Trackers  int // transaction trackers retained (index + map)
+	ExecQ     int // delivered blocks awaiting their escrow phase
+	GlogQ     int // globally confirmed blocks awaiting in-order execution
+	Escrows   int // live escrow-log entries in the ledger
+	Archive   int // state-transfer archive blocks above the stable GC floor
+	Slots     int // in-flight pbft slots across instances
+	Retained  int // delivered blocks engines retain for NewView repair
+	CkptVotes int // live checkpoint votes
+}
+
+// Total sums the census fields.
+func (s LiveSet) Total() int {
+	return s.Trackers + s.ExecQ + s.GlogQ + s.Escrows + s.Archive +
+		s.Slots + s.Retained + s.CkptVotes
+}
+
+// LiveSet reports the replica's current retained-state census.
+func (r *Replica) LiveSet() LiveSet {
+	ls := LiveSet{
+		Trackers: r.liveTrackers,
+		Escrows:  r.store.EscrowCount(),
+		GlogQ:    len(r.glogQ) - r.glogHead,
+	}
+	for i := range r.execQ {
+		ls.ExecQ += len(r.execQ[i]) - r.execQhead[i]
+	}
+	for i := range r.archive {
+		ls.Archive += len(r.archive[i])
+	}
+	for _, sb := range r.sbs {
+		if inf, ok := sb.(interface{ InFlight() int }); ok {
+			ls.Slots += inf.InFlight()
+		}
+		if ret, ok := sb.(interface{ Retained() int }); ok {
+			ls.Retained += ret.Retained()
+		}
+	}
+	for _, votes := range r.ckptVotes {
+		ls.CkptVotes += len(votes)
+	}
+	return ls
+}

@@ -27,6 +27,7 @@ type FigureResult struct {
 	Breakdowns []BreakdownResult `json:"breakdowns,omitempty"`
 	Series     []SeriesResult    `json:"series,omitempty"`
 	Scenarios  []ScenarioResult  `json:"scenarios,omitempty"`
+	Soak       []SoakResult      `json:"soak,omitempty"`
 }
 
 // figureSpec pairs a figure's declarative job list with the pure assembler

@@ -73,11 +73,28 @@ func printScenario(w io.Writer, s ScenarioResult) {
 	}
 }
 
+func printSoak(w io.Writer, s SoakResult) {
+	fmt.Fprintf(w, "%-8s n=%-3d  virtual=%6.0fs  tput=%7.1f ktps  vc=%d  catchup=%d\n",
+		s.Protocol, s.N, s.VirtualS, s.TputKTPS, s.ViewChanges, s.CatchUpBlocks)
+	fmt.Fprintf(w, "    live-set peak=%d final=%d  half-peaks=%d/%d\n",
+		s.PeakLiveSet, s.FinalLiveSet, s.PeakFirstHalf, s.PeakSecondHalf)
+	fmt.Fprintf(w, "    t(s):    ")
+	for i := 0; i < len(s.Samples); i += 8 {
+		fmt.Fprintf(w, "%8.0f", s.Samples[i].AtS)
+	}
+	fmt.Fprintf(w, "\n    total:   ")
+	for i := 0; i < len(s.Samples); i += 8 {
+		fmt.Fprintf(w, "%8d", s.Samples[i].Total)
+	}
+	fmt.Fprintln(w)
+}
+
 // Render writes the figure's text form: a figure-level header for
-// breakdown/series/scenario figures, then every breakdown line, series
-// block, scenario block and sweep table the figure holds.
+// breakdown/series/scenario/soak figures, then every breakdown line,
+// series block, scenario block, soak block and sweep table the figure
+// holds.
 func (f FigureResult) Render(w io.Writer) {
-	if len(f.Breakdowns) > 0 || len(f.Series) > 0 || len(f.Scenarios) > 0 {
+	if len(f.Breakdowns) > 0 || len(f.Series) > 0 || len(f.Scenarios) > 0 || len(f.Soak) > 0 {
 		fmt.Fprintf(w, "\n== %s ==\n", f.Title)
 	}
 	for _, b := range f.Breakdowns {
@@ -88,6 +105,9 @@ func (f FigureResult) Render(w io.Writer) {
 	}
 	for _, s := range f.Scenarios {
 		printScenario(w, s)
+	}
+	for _, s := range f.Soak {
+		printSoak(w, s)
 	}
 	for _, t := range f.Tables {
 		printRows(w, t.Title, t.Rows)

@@ -150,6 +150,20 @@ func (s *Store) AbortEscrow(id types.TxID) {
 	delete(s.elog, id)
 }
 
+// TrimPool caps the pooled free-list of escrow op slices at max entries,
+// releasing the rest to the garbage collector. Long-horizon checkpoint GC
+// calls it so a burst of concurrent escrows does not pin its high-water
+// mark for the remainder of a days-long run.
+func (s *Store) TrimPool(max int) {
+	if max < 0 || len(s.opsFree) <= max {
+		return
+	}
+	for i := max; i < len(s.opsFree); i++ {
+		s.opsFree[i] = nil
+	}
+	s.opsFree = s.opsFree[:max]
+}
+
 // ApplyIncrement applies an incremental op on an owned object.
 func (s *Store) ApplyIncrement(op types.Op) error {
 	if op.Type != types.Owned || op.Kind != types.OpIncrement {

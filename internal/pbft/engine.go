@@ -213,9 +213,12 @@ func (r *slotRing) put(seq uint64, s *slot) {
 }
 
 // advanceBase clears the slot at base and moves the window forward one
-// sequence number (delivery order).
+// sequence number (delivery order). A never-grown ring (state-transfer skip
+// before any slot existed) only moves the bounds.
 func (r *slotRing) advanceBase() {
-	r.ring[r.base&uint64(len(r.ring)-1)] = nil
+	if len(r.ring) > 0 {
+		r.ring[r.base&uint64(len(r.ring)-1)] = nil
+	}
 	r.base++
 	if r.top < r.base {
 		r.top = r.base
@@ -350,9 +353,67 @@ func (e *Engine) Stop() {
 // Resume undoes Stop: the engine handles messages and proposals again.
 // It deliberately does not rearm the failure detector — a recovered
 // replica votes on new sequence numbers immediately but does not complain
-// about deliveries it missed while down (no state transfer is modeled), so
-// its local log may keep a gap until a view change fills it with no-ops.
+// about deliveries it missed while down, so its local log keeps a gap
+// until a view change fills it with no-ops or the replica's state-transfer
+// catch-up replays the missing blocks through SkipDelivered.
 func (e *Engine) Resume() { e.stopped = false }
+
+// SkipDelivered advances the delivery cursor past a block obtained through
+// state transfer instead of a local commit certificate. The caller (the
+// replica's catch-up path) owns the block's correctness — f+1 matching peer
+// copies vouch for it; the engine keeps its bookkeeping consistent exactly
+// as tryDeliver would: the sequence's slot (if any) is released, the window
+// and cursor advance, the block joins the retention ring, OnDeliver fires,
+// and committed slots waiting right above the repaired gap flush through
+// the normal path. Only the block at the cursor is accepted.
+func (e *Engine) SkipDelivered(b *types.Block) bool {
+	if e.stopped || b == nil || b.SN != e.nextDeliver {
+		return false
+	}
+	s := e.slots.get(b.SN)
+	e.retained[b.SN&(retainDelivered-1)] = retainedEntry{seq: b.SN, block: b}
+	e.slots.advanceBase()
+	if s != nil {
+		e.freeSlot(s)
+	}
+	e.nextDeliver++
+	e.delivered++
+	if e.nextPropose < e.nextDeliver {
+		e.nextPropose = e.nextDeliver
+	}
+	e.timeoutMult = 1
+	e.resetProgressTimer()
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(b)
+	}
+	e.tryDeliver()
+	return true
+}
+
+// ReleaseBelow drops retention-ring entries for sequence numbers below seq.
+// Once a checkpoint is stable and state transfer can repair laggards, the
+// pre-checkpoint blocks retained for NewView re-proposals are dead weight;
+// sendNewView falls back to skipping those sequence numbers, the same
+// contract as a ring wrap.
+func (e *Engine) ReleaseBelow(seq uint64) {
+	for i := range e.retained {
+		if e.retained[i].block != nil && e.retained[i].seq < seq {
+			e.retained[i] = retainedEntry{}
+		}
+	}
+}
+
+// Retained returns the number of delivered blocks the retention ring
+// currently pins (soak live-set accounting).
+func (e *Engine) Retained() int {
+	n := 0
+	for i := range e.retained {
+		if e.retained[i].block != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Complain votes for a view change immediately — used by the censorship
 // detector when a leader keeps proposing blocks that omit an old pending

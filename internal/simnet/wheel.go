@@ -28,12 +28,16 @@ import (
 // minimum scan and jumps the cursor to the winner's window.
 //
 // The bucket count tracks the population (grow at 1 event/bucket, shrink
-// at 1/8) and every resize re-estimates the bucket width from a trimmed
-// sample of queued timestamps — aiming at about one event per bucket, so
-// a push is almost always an O(1) head or tail link and a pop skips at
-// most a few empty windows. Dense message bursts and sparse timer tails
-// both keep O(1) amortized push/pop. All sizing decisions are pure
-// functions of the queue contents — determinism is unaffected by them.
+// at 1/8) and every resize re-estimates the bucket width from a strided
+// sample of queued timestamps (median adjacent gap — see estimateShift),
+// aiming at about one event per bucket in the densest region, so a push
+// is almost always an O(1) head or tail link and a pop skips at most a
+// few empty windows. A walk meter forces a same-size resize when inserts
+// start scanning long lane chains anyway (see push), so a width the
+// estimator got wrong is corrected after a bounded amount of wasted
+// work. Dense message bursts and sparse timer tails both keep O(1)
+// amortized push/pop. All sizing decisions are pure functions of the
+// queue contents — determinism is unaffected by them.
 type wheelQueue struct {
 	buckets []wheelBucket
 	// occ is the occupancy bitmap (bit i set iff buckets[i] is non-empty):
@@ -53,6 +57,15 @@ type wheelQueue struct {
 	ready   bool
 	scratch []*event
 	sample  []Time
+	// walkSteps meters the lane-head walks in insert since the last
+	// resize. A width estimate that leaves a bucket with hundreds of
+	// distinct-timestamp lanes (an aligned timer pulse landing a dense
+	// burst inside one coarse bucket) turns every mid-bucket insert into
+	// a linear scan; once the meter exceeds a multiple of the population,
+	// push forces a same-size resize to re-estimate the width from the
+	// current contents, so a pathological era costs O(n) wasted steps,
+	// not O(n^2). Purely a performance trigger — order is unaffected.
+	walkSteps uint64
 }
 
 // wheelBucket is one calendar bucket: a (at, ord)-sorted intrusive list
@@ -152,12 +165,14 @@ func (w *wheelQueue) insert(e *event) {
 		b.headAt = e.at
 		return
 	}
-	// Walk lane heads for e's position.
+	// Walk lane heads for e's position, charging the steps to the walk
+	// meter that triggers re-estimation (see push).
 	var prev *event
 	r := b.head
 	for r.at < e.at {
 		prev = r
 		r = r.skip
+		w.walkSteps++
 	}
 	if r.at != e.at {
 		// New lane between prev and r (prev is non-nil: e.at > b.headAt
@@ -224,6 +239,12 @@ func (w *wheelQueue) push(e *event) {
 	w.ready = false
 	if w.n >= len(w.buckets) {
 		w.resize(2 * len(w.buckets))
+	} else if w.walkSteps > uint64(4*w.n)+4096 {
+		// Insert walks are running hot: the bucket width no longer fits
+		// the timestamp distribution (a dense burst landed inside coarse
+		// buckets). Rebuild at the same size to re-estimate the width; the
+		// O(n) relink is amortized against the >= 4n walk steps it ends.
+		w.resize(len(w.buckets))
 	}
 	w.insert(e)
 	if e.at < w.curEnd-(Time(1)<<w.shift) {
@@ -386,6 +407,7 @@ func (w *wheelQueue) reset() {
 // width from the queued events, and relinks everything. Amortized O(1)
 // per operation under the grow/shrink thresholds.
 func (w *wheelQueue) resize(nb int) {
+	w.walkSteps = 0
 	all := w.scratch[:0]
 	for i := range w.buckets {
 		for e := w.buckets[i].head; e != nil; e = e.next {
@@ -431,10 +453,17 @@ func (w *wheelQueue) resize(nb int) {
 }
 
 // estimateShift picks the bucket width: about the typical inter-event
-// spacing (targeting one event per bucket), computed from a strided sample
-// of timestamps with the top decile trimmed so a handful of sparse long
-// timers (view-change deadlines seconds away among millisecond-scale
-// deliveries) cannot blow the width up for everyone else.
+// spacing (targeting one event per bucket) where the population is
+// densest, computed from a strided sample of timestamps. The width must
+// resolve the dense mode of the distribution, not its mean: a broadcast
+// burst packs thousands of distinct timestamps into a few hundred
+// microseconds while view-change deadlines sit a minute out, and a
+// mean-spacing width leaves the whole burst in one bucket whose lane
+// walk is then linear per insert. The median adjacent sample gap tracks
+// the dense mode by construction — the sparse timer tail contributes few
+// samples, so its huge gaps land above the median, while lockstep lanes
+// (equal timestamps, one hop to step over) contribute zero gaps that are
+// skipped below it.
 func (w *wheelQueue) estimateShift(all []*event) uint {
 	if len(all) < 8 {
 		return w.shift
@@ -445,12 +474,27 @@ func (w *wheelQueue) estimateShift(all []*event) uint {
 		s = append(s, all[i].at)
 	}
 	slices.Sort(s)
-	keep := max(len(s)*9/10, 2)
-	span := s[keep-1] - s[0]
+	// Turn the sorted sample into adjacent gaps (in place), sort, and take
+	// the median nonzero gap. Each sample gap spans stride queued events,
+	// so the per-event spacing divides it by the stride.
+	for i := len(s) - 1; i > 0; i-- {
+		s[i] -= s[i-1]
+	}
+	g := s[1:]
+	slices.Sort(g)
+	nz := 0
+	for nz < len(g) && g[nz] == 0 {
+		nz++
+	}
+	if nz == len(g) {
+		// Every sampled timestamp equal: pure lockstep lanes, any width
+		// works. Keep the current one.
+		w.sample = s[:0]
+		return w.shift
+	}
+	med := g[nz+(len(g)-nz)/2]
 	w.sample = s[:0]
-	// The kept samples stand for keep*stride queued events: divide the
-	// trimmed span by that population for the per-event spacing.
-	gap := uint64(span) / uint64(keep*stride)
+	gap := uint64(med) / uint64(stride)
 	// Aim for a quarter event per bucket: scanning an empty window is a
 	// sequential array load, far cheaper than walking an intrusive list
 	// whose nodes are cold, so over-provisioning buckets wins.

@@ -36,6 +36,13 @@ type TCPOptions struct {
 	// Logf, when set, receives one line per connectivity event (connects,
 	// disconnects, redials) — the daemon wires its structured logger here.
 	Logf func(format string, args ...any)
+	// QueueCap bounds each peer's outbound queue in frames (default 4096).
+	// At the cap the oldest frame is dropped and counted (Dropped): a
+	// partitioned or wedged peer must not accumulate frames until OOM over
+	// a long run, and PBFT tolerates lost messages — retransmission and
+	// view changes supersede dropped votes, and a peer that falls behind
+	// catches up through state transfer, not replayed backlog.
+	QueueCap int
 }
 
 // TCP carries replica messages over real sockets: one outbound connection
@@ -62,24 +69,31 @@ type TCP struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
-	msgs  atomic.Uint64
-	bytes atomic.Uint64
+	msgs    atomic.Uint64
+	bytes   atomic.Uint64
+	dropped atomic.Uint64
 }
 
-// peerQueue is the unbounded outbound buffer for one peer, drained by a
-// dedicated writer goroutine. Unbounded because the sender is the replica
-// event loop: blocking it on a slow peer would stall consensus with the
-// fast ones, and bounded-drop would silently break the reliable-channel
-// assumption between correct replicas.
+// peerQueue is the bounded outbound buffer for one peer, drained by a
+// dedicated writer goroutine. The sender is the replica event loop:
+// blocking it on a slow peer would stall consensus with the fast ones, so
+// at the cap the OLDEST frame is dropped (newest protocol state wins) and
+// counted in the shared dropped counter. Lossy-but-bounded is the right
+// trade for long runs: the channels are fair-lossy, PBFT's timeouts and
+// view changes recover from lost votes, and a peer partitioned for hours
+// must not grow this queue until OOM.
 type peerQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	frames [][]byte
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	frames  [][]byte
+	head    int // consumed prefix of frames (amortized O(1) pop/drop)
+	cap     int
+	dropped *atomic.Uint64
+	closed  bool
 }
 
-func newPeerQueue() *peerQueue {
-	q := &peerQueue{}
+func newPeerQueue(cap int, dropped *atomic.Uint64) *peerQueue {
+	q := &peerQueue{cap: cap, dropped: dropped}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -87,6 +101,14 @@ func newPeerQueue() *peerQueue {
 func (q *peerQueue) push(frame []byte) {
 	q.mu.Lock()
 	if !q.closed {
+		if len(q.frames)-q.head >= q.cap {
+			q.frames[q.head] = nil
+			q.head++
+			q.dropped.Add(1)
+		}
+		if q.head > 0 && q.head == len(q.frames) {
+			q.frames, q.head = q.frames[:0], 0
+		}
 		q.frames = append(q.frames, frame)
 	}
 	q.mu.Unlock()
@@ -97,15 +119,26 @@ func (q *peerQueue) push(frame []byte) {
 func (q *peerQueue) pop() ([]byte, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.frames) == 0 && !q.closed {
+	for len(q.frames)-q.head == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.frames) == 0 {
+	if len(q.frames)-q.head == 0 {
 		return nil, false
 	}
-	f := q.frames[0]
-	q.frames = q.frames[1:]
+	f := q.frames[q.head]
+	q.frames[q.head] = nil
+	q.head++
+	if q.head == len(q.frames) {
+		q.frames, q.head = q.frames[:0], 0
+	}
 	return f, true
+}
+
+// depth returns the number of queued frames (tests).
+func (q *peerQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.frames) - q.head
 }
 
 func (q *peerQueue) shut() {
@@ -129,6 +162,9 @@ func NewTCP(id int, peers []string, node *Node, opts TCPOptions) (*TCP, error) {
 	}
 	if opts.DialBackoffMax <= 0 {
 		opts.DialBackoffMax = time.Second
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 4096
 	}
 	t := &TCP{
 		id:    id,
@@ -218,7 +254,7 @@ func (t *TCP) queueFor(to int) *peerQueue {
 	defer t.mu.Unlock()
 	q, ok := t.out[to]
 	if !ok {
-		q = newPeerQueue()
+		q = newPeerQueue(t.opts.QueueCap, &t.dropped)
 		t.out[to] = q
 		t.wg.Add(1)
 		go t.writeLoop(to, q)
@@ -371,6 +407,11 @@ func (t *TCP) Messages() uint64 { return t.msgs.Load() }
 
 // Bytes implements Transport: encoded bytes delivered to the local replica.
 func (t *TCP) Bytes() uint64 { return t.bytes.Load() }
+
+// Dropped returns outbound frames discarded at the per-peer queue cap
+// (oldest-first); nonzero means some peer could not keep up and will need
+// view changes or state transfer to recover the lost messages.
+func (t *TCP) Dropped() uint64 { return t.dropped.Load() }
 
 // Close shuts the transport down: the listener stops, outbound queues
 // close after draining nothing further, and all connection goroutines

@@ -183,3 +183,45 @@ func TestTCPRejectsForeignRegister(t *testing.T) {
 	}()
 	ts[0].Register(1, func(int, any) {})
 }
+
+// TestTCPQueueCapBoundsBlockedPeer pins the outbound bound: a peer that
+// refuses every connection must not grow its writer queue past QueueCap —
+// the oldest frames are dropped and counted in Dropped().
+func TestTCPQueueCapBoundsBlockedPeer(t *testing.T) {
+	lnSelf, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnDead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := lnDead.Addr().String()
+	lnDead.Close() // refuse connections: the writer loops in dial backoff
+
+	const cap = 8
+	node := NewNode(0)
+	tr, err := NewTCP(0, []string{lnSelf.Addr().String(), deadAddr}, node, TCPOptions{
+		Listener: lnSelf,
+		QueueCap: cap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Register(0, (&collector{}).handle)
+	node.Start(time.Now())
+	t.Cleanup(func() { tr.Close(); node.Stop() })
+
+	const sends = 100
+	for i := 0; i < sends; i++ {
+		tr.Send(0, 1, 0, &pbft.Prepare{Instance: 0, View: 1, Seq: uint64(i), Replica: 0})
+	}
+	if d := tr.queueFor(1).depth(); d > cap {
+		t.Fatalf("blocked peer queue depth %d exceeds cap %d", d, cap)
+	}
+	// The writer goroutine holds at most one popped frame while it redials,
+	// so at least sends-cap-1 pushes must each have displaced an oldest one.
+	if got := tr.Dropped(); got < sends-cap-1 {
+		t.Fatalf("Dropped() = %d, want >= %d", got, sends-cap-1)
+	}
+}

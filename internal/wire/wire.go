@@ -36,6 +36,8 @@ const (
 	tagNewView
 	tagCheckpoint
 	tagSubmit
+	tagStateTransferReq
+	tagStateTransferResp
 )
 
 // Encode serializes a replica message into a fresh buffer. It accepts
@@ -98,6 +100,33 @@ func Append(dst []byte, msg any) ([]byte, error) {
 	case *core.SubmitMsg:
 		dst = append(dst, tagSubmit)
 		return appendTx(dst, m.Tx), nil
+	case *core.StateTransferReq:
+		dst = append(dst, tagStateTransferReq)
+		dst = appendUint(dst, uint64(m.Replica))
+		dst = appendUint(dst, uint64(len(m.State)))
+		for _, v := range m.State {
+			dst = appendUint(dst, v)
+		}
+		return dst, nil
+	case *core.StateTransferResp:
+		dst = append(dst, tagStateTransferResp)
+		dst = appendUint(dst, uint64(m.Replica))
+		dst = appendUint(dst, m.Cert.Stable)
+		dst = append(dst, m.Cert.Digest[:]...)
+		dst = appendUint(dst, uint64(len(m.Cert.Bound)))
+		for i := range m.Cert.Bound {
+			dst = append(dst, m.Cert.Bound[i][:]...)
+		}
+		dst = appendUint(dst, uint64(len(m.Runs)))
+		for i := range m.Runs {
+			run := &m.Runs[i]
+			dst = appendUint(dst, uint64(run.Instance))
+			dst = appendUint(dst, uint64(len(run.Blocks)))
+			for _, b := range run.Blocks {
+				dst = appendBlock(dst, b)
+			}
+		}
+		return dst, nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", msg)
 	}
@@ -165,6 +194,40 @@ func Decode(data []byte) (any, error) {
 		msg = m
 	case tagSubmit:
 		msg = &core.SubmitMsg{Tx: r.tx()}
+	case tagStateTransferReq:
+		m := &core.StateTransferReq{}
+		m.Replica = int(r.uint())
+		if n := r.count(); n > 0 {
+			m.State = make(types.StateVector, n)
+			for i := range m.State {
+				m.State[i] = r.uint()
+			}
+		}
+		msg = m
+	case tagStateTransferResp:
+		m := &core.StateTransferResp{}
+		m.Replica = int(r.uint())
+		m.Cert.Stable = r.uint()
+		r.digest(m.Cert.Digest[:])
+		if n := r.count(); n > 0 {
+			m.Cert.Bound = make([][32]byte, n)
+			for i := range m.Cert.Bound {
+				r.digest(m.Cert.Bound[i][:])
+			}
+		}
+		if n := r.count(); n > 0 {
+			m.Runs = make([]core.BlockRun, n)
+			for i := range m.Runs {
+				m.Runs[i].Instance = int(r.uint())
+				if bn := r.count(); bn > 0 {
+					m.Runs[i].Blocks = make([]*types.Block, bn)
+					for j := range m.Runs[i].Blocks {
+						m.Runs[i].Blocks[j] = r.block()
+					}
+				}
+			}
+		}
+		msg = m
 	default:
 		return nil, fmt.Errorf("wire: unknown message tag %d", data[0])
 	}

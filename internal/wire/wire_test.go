@@ -58,6 +58,15 @@ func messages() []any {
 		&pbft.NewView{Instance: 1, View: 9},
 		&core.CheckpointMsg{Epoch: 3, Digest: [32]byte{7, 7, 7}, Replica: 2},
 		&core.SubmitMsg{Tx: &tx},
+		&core.StateTransferReq{Replica: 1, State: types.StateVector{4, 0, 9, 2}},
+		&core.StateTransferReq{Replica: 0},
+		&core.StateTransferResp{Replica: 2,
+			Cert: core.CheckpointCert{Stable: 2, Digest: [32]byte{1, 2}, Bound: [][32]byte{{3}, {4}, {5}, {6}}},
+			Runs: []core.BlockRun{
+				{Instance: 1, Blocks: []*types.Block{sampleBlock()}},
+				{Instance: 3, Blocks: []*types.Block{{Instance: 3, SN: 12}, {Instance: 3, SN: 13}}},
+			}},
+		&core.StateTransferResp{Replica: 3},
 	}
 }
 

@@ -172,6 +172,22 @@ type Config struct {
 	// so detection fits the run's length.
 	CensorshipBlocks uint64
 
+	// StateTransfer enables checkpoint-anchored catch-up: replicas archive
+	// delivered blocks up to the stable checkpoint floor, and a recovering
+	// replica refills its delivery-log gap from 2f+1 peers instead of
+	// waiting for view-change no-ops — without replaying the pre-checkpoint
+	// history it already executed. Long scenarios with crash/recover churn
+	// want this on; off (the default) keeps the baseline recovery behavior.
+	StateTransfer bool
+
+	// SampleLiveSet, when positive, schedules a cluster-wide retained-state
+	// census every interval of virtual time, reported on the Result
+	// (LiveSetSamples, LiveSetPeak). The soak harness gates on the profile
+	// staying flat after warmup. Sampling walks every replica from one
+	// bookkeeping event, so it requires the serial kernel and the simulated
+	// transport.
+	SampleLiveSet time.Duration
+
 	// AnalyticSB swaps message-level PBFT for the closed-form quorum-time
 	// model (fault-free runs only; stragglers are supported).
 	AnalyticSB bool
@@ -296,6 +312,17 @@ func WithBatching(size int, timeout time.Duration) Option {
 
 // WithEpochLen sets the epoch length in blocks.
 func WithEpochLen(l uint64) Option { return func(c *Config) { c.EpochLen = l } }
+
+// WithStateTransfer enables checkpoint-anchored catch-up for recovering
+// replicas; see Config.StateTransfer.
+func WithStateTransfer() Option { return func(c *Config) { c.StateTransfer = true } }
+
+// WithLiveSetSampling schedules a retained-state census every interval of
+// virtual time; see Config.SampleLiveSet. Requires the serial kernel and
+// the simulated transport.
+func WithLiveSetSampling(interval time.Duration) Option {
+	return func(c *Config) { c.SampleLiveSet = interval }
+}
 
 // WithViewTimeout sets the failure detector's view-change timeout.
 func WithViewTimeout(d time.Duration) Option { return func(c *Config) { c.ViewTimeout = d } }
@@ -535,6 +562,17 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		bad("Workers", "must be non-negative (0 means GOMAXPROCS), got %d", c.Workers)
 	}
+	if c.SampleLiveSet < 0 {
+		bad("SampleLiveSet", "must be non-negative, got %v", c.SampleLiveSet)
+	}
+	if c.SampleLiveSet > 0 {
+		if c.Kernel == KernelParallel {
+			bad("SampleLiveSet", "live-set sampling walks every replica from one bookkeeping event; use the serial kernel")
+		}
+		if c.Transport != TransportSim {
+			bad("SampleLiveSet", "live-set sampling is simulation-only; drop the real transport")
+		}
+	}
 	if c.Kernel == KernelParallel {
 		if c.AnalyticSB {
 			bad("Kernel", "the parallel kernel requires message-level PBFT; drop WithAnalyticSB")
@@ -614,6 +652,8 @@ func (c Config) clusterConfig() cluster.Config {
 		ViewTimeout:      c.ViewTimeout,
 		TxSize:           c.TxSize,
 		CensorshipBlocks: c.CensorshipBlocks,
+		StateTransfer:    c.StateTransfer,
+		SampleLiveSet:    c.SampleLiveSet,
 		AnalyticSB:       c.AnalyticSB,
 		// The NIC bandwidth model is a simulation concept; the real
 		// transport measures real links, so it never applies there.

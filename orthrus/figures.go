@@ -101,6 +101,38 @@ func RunXVal(ctx context.Context, scale float64) (FigureResult, error) {
 	return experiments.XVal(scale)
 }
 
+// SoakID identifies the long-horizon soak figure, which runs outside the
+// deterministic suite (see RunSoak); FigureIDs never lists it and "all"
+// selections never include it.
+const SoakID = experiments.SoakID
+
+// SoakInfo names the soak figure for listings, alongside the Figures
+// entries.
+func SoakInfo() FigureInfo { return experiments.SoakInfo() }
+
+// RunSoak runs the long-horizon soak figure: one WAN cell with state
+// transfer on under continuous crash/recover churn, an hour of virtual
+// time over n = 100 replicas at full scale, sampling the cluster-wide
+// retained-state census throughout. The figure's acceptance signal is the
+// census staying flat after warmup — checkpoint GC bounding memory at any
+// virtual-time horizon. The cell needs the serial kernel (live-set
+// sampling) and hours of virtual time, which is why it lives outside the
+// deterministic suite. Ctx is checked only before starting; a started
+// figure runs to completion.
+func RunSoak(ctx context.Context, scale float64) (FigureResult, error) {
+	if err := ctx.Err(); err != nil {
+		return FigureResult{}, err
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	if scale <= 0 || scale > 1 {
+		return FigureResult{}, fmt.Errorf("%w: %w", ErrInvalidConfig,
+			&ValidationError{Field: "Scale", Reason: fmt.Sprintf("must be in (0,1], got %g", scale)})
+	}
+	return experiments.Soak(scale)
+}
+
 // WriteSyntheticTrace freezes n transactions of the synthetic
 // Ethereum-like workload (46% payments, Zipf-skewed accounts) into the CSV
 // trace format, for replay with WithTrace — the paper's reset-and-replay

@@ -76,6 +76,19 @@ type Result struct {
 	Kernel string
 	Shards int
 
+	// LiveSetSamples holds the periodic retained-state censuses when the
+	// run sampled them (WithLiveSetSampling), nil otherwise, and
+	// LiveSetPeak the largest sampled Total — the soak harness's
+	// bounded-memory signal.
+	LiveSetSamples []LiveSetSample
+	LiveSetPeak    int
+
+	// StateTransferApplied counts blocks applied through the checkpoint-
+	// anchored catch-up protocol rather than live SB delivery, summed
+	// across replicas — always 0 unless the run enabled WithStateTransfer
+	// and some replica actually had a gap to repair.
+	StateTransferApplied uint64
+
 	// Halted reports the run was stopped early by context cancellation;
 	// the measurements cover only the virtual time before the stop.
 	Halted bool
@@ -120,6 +133,24 @@ func (r *Result) EscrowsOutstanding() int {
 	return r.state.EscrowCount()
 }
 
+// LiveSetSample is one cluster-wide retained-state census: the state
+// categories checkpoint GC is responsible for bounding, summed across
+// replicas, plus the scheduler's pending event count, at one instant of
+// virtual time since run start.
+type LiveSetSample struct {
+	At        time.Duration // virtual time of the census
+	Events    int           // scheduler events pending
+	Trackers  int           // transaction trackers retained
+	Slots     int           // in-flight pbft slots
+	ExecQ     int           // delivered blocks awaiting escrow
+	GlogQ     int           // confirmed blocks awaiting execution
+	Escrows   int           // live escrow-log entries
+	Archive   int           // state-transfer archive blocks
+	Retained  int           // blocks retained for NewView repair
+	CkptVotes int           // live checkpoint votes
+	Total     int           // all of the above
+}
+
 // fromCluster projects an internal run result onto the public surface.
 func fromCluster(res *cluster.Result) *Result {
 	out := &Result{
@@ -161,5 +192,10 @@ func fromCluster(res *cluster.Result) *Result {
 	for _, p := range res.Phases {
 		out.Phases = append(out.Phases, Phase(p))
 	}
+	for _, s := range res.LiveSetSamples {
+		out.LiveSetSamples = append(out.LiveSetSamples, LiveSetSample(s))
+	}
+	out.LiveSetPeak = res.LiveSetPeak
+	out.StateTransferApplied = res.StateTransferApplied
 	return out
 }

@@ -81,6 +81,14 @@ func Preset(name string, n int, dur time.Duration, seed int64) (*Scenario, error
 // crash-recover, rolling-stragglers, partition-heal, flash-crowd.
 func Presets() []string { return scenario.Names() }
 
+// SoakChurnPreset is the long-horizon churn preset behind the F-soak
+// figure: a rotating victim crashes every tenth of the run and recovers
+// half a cycle later, eight cycles total. It builds through Preset like
+// the S1 presets but is not part of Presets() — the soak harness (and
+// anyone wanting continuous churn) selects it explicitly, usually with
+// orthrus.WithStateTransfer so recovered replicas catch up.
+const SoakChurnPreset = scenario.SoakChurn
+
 // AttackPresets returns the Byzantine attack preset names in S2 figure
 // order: equivocation, censorship, silent-leader, view-change-storm. They
 // build through Preset exactly like the S1 presets.
