@@ -124,6 +124,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	quiet := fs.Bool("q", false, "suppress the text rendering (useful with -json)")
 	list := fs.Bool("list", false, "list registered protocols, figures and scenario presets, then exit")
 	bench := fs.Bool("bench", false, "run the hot-path perf harness instead of figures and write the orthrus-bench-perf/v2 artifact")
+	benchNet := fs.Bool("bench-net", false, "run the real-transport perf harness instead of figures and write the orthrus-bench-net/v1 artifact (BENCH_net.json)")
 	compare := fs.String("compare", "", "with -bench: print a per-cell delta table (ns/op, allocs/op, events/s) against this orthrus-bench-perf/v2 artifact")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -138,10 +139,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	if *bench {
-		// The perf harness has a fixed grid: figure-mode flags would be
+	if *bench || *benchNet {
+		// The perf harnesses have fixed grids: figure-mode flags would be
 		// silently ignored, so an explicit one is a usage error rather
 		// than a surprise artifact.
+		mode := "-bench"
+		if *benchNet {
+			mode = "-bench-net"
+		}
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -150,11 +155,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		})
 		if len(conflicts) > 0 {
-			return fmt.Errorf("orthrus-bench: %s only apply to figure runs; drop with -bench", strings.Join(conflicts, ", "))
+			return fmt.Errorf("orthrus-bench: %s only apply to figure runs; drop with %s", strings.Join(conflicts, ", "), mode)
 		}
+	}
+	if *bench && *benchNet {
+		return fmt.Errorf("orthrus-bench: -bench and -bench-net are separate harnesses with separate artifacts; run them one at a time")
+	}
+	if *bench {
 		return runPerfBench(stdout, stderr, *jsonPath, *compare, *quiet, func(cfg orthrus.Config) (*orthrus.Result, error) {
 			return cfg.Run(context.Background())
 		})
+	}
+	if *benchNet {
+		if *compare != "" {
+			return fmt.Errorf("orthrus-bench: -compare diffs orthrus-bench-perf/v2 artifacts and only applies to -bench")
+		}
+		return runNetBench(stdout, stderr, *jsonPath, *quiet, orthrus.RunNetBench)
 	}
 	if *compare != "" {
 		return fmt.Errorf("orthrus-bench: -compare requires -bench (it diffs orthrus-bench-perf/v2 artifacts)")

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/orthrus"
+)
+
+// The -bench-net perf harness: the real-transport analogue of -bench.
+// Instead of simulating, it floods the in-process (Proc) and
+// loopback-TCP backends with proposal-sized broadcasts and measures the
+// data path itself — delivered msgs/s, MB/s, allocations per delivered
+// message and p50/p99 frame latency — writing the BENCH_net.json
+// artifact (schema orthrus-bench-net/v1) that CI regenerates and gates
+// against the committed baseline, exactly like BENCH_scale.json gates
+// the simulator hot path. Rates and latencies are host-dependent;
+// allocs/msg is host-stable and is the primary regression signal.
+
+// runNetBench measures the standard grid and writes the artifact to
+// jsonPath (default BENCH_net.json). runner is injected for tests.
+func runNetBench(stdout, stderr io.Writer, jsonPath string, quiet bool,
+	runner func(orthrus.NetBenchOptions) (*orthrus.NetBenchArtifact, error)) error {
+	if jsonPath == "" {
+		jsonPath = "BENCH_net.json"
+	}
+	art, err := runner(orthrus.NetBenchOptions{})
+	if err != nil {
+		return fmt.Errorf("orthrus-bench: %w", err)
+	}
+	if !quiet {
+		renderNetBench(stdout, art)
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %s (%d cells, schema %s)\n", jsonPath, len(art.Cells), art.Schema)
+	return nil
+}
+
+// renderNetBench prints the human-readable cell table.
+func renderNetBench(w io.Writer, art *orthrus.NetBenchArtifact) {
+	fmt.Fprintf(w, "%-7s %4s %12s %10s %8s %12s %12s %12s %7s\n",
+		"backend", "n", "msgs", "msgs/s", "MB/s", "allocs/msg", "p50-lat", "p99-lat", "drops")
+	for _, c := range art.Cells {
+		fmt.Fprintf(w, "%-7s %4d %12d %10.0f %8.1f %12.1f %12s %12s %7d\n",
+			c.Backend, c.N, c.Msgs, c.MsgsPerSec, c.MBPerSec, c.AllocsPerMsg,
+			fmt.Sprintf("%.2fms", float64(c.P50LatencyNS)/1e6),
+			fmt.Sprintf("%.2fms", float64(c.P99LatencyNS)/1e6),
+			c.Drops)
+	}
+}

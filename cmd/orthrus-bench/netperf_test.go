@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/orthrus"
+)
+
+// stubNetRunner returns a canned net artifact instantly so the harness
+// plumbing is testable without flooding real transports.
+func stubNetRunner(opts orthrus.NetBenchOptions) (*orthrus.NetBenchArtifact, error) {
+	return &orthrus.NetBenchArtifact{
+		Schema: orthrus.NetBenchSchema,
+		Cells: []orthrus.NetBenchCell{
+			{Backend: "proc", N: 4, Msgs: 1000, Bytes: 270000, MsgsPerSec: 250000,
+				MBPerSec: 67.5, AllocsPerMsg: 9.0, P50LatencyNS: 2_000_000, P99LatencyNS: 8_000_000},
+			{Backend: "tcp", N: 10, Msgs: 1000, Bytes: 270000, MsgsPerSec: 150000,
+				MBPerSec: 40.5, AllocsPerMsg: 10.0, P50LatencyNS: 9_000_000, P99LatencyNS: 20_000_000},
+		},
+	}, nil
+}
+
+func TestNetBenchArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_net.json")
+	var out, errOut bytes.Buffer
+	if err := runNetBench(&out, &errOut, path, false, stubNetRunner); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc orthrus.NetBenchArtifact
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "orthrus-bench-net/v1" {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if len(doc.Cells) != 2 || doc.Cells[0].Backend != "proc" || doc.Cells[1].N != 10 {
+		t.Fatalf("cells not preserved: %+v", doc.Cells)
+	}
+	for _, header := range []string{"backend", "msgs/s", "allocs/msg", "p99-lat"} {
+		if !strings.Contains(out.String(), header) {
+			t.Fatalf("table missing %q:\n%s", header, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "wrote "+path) {
+		t.Fatalf("stderr missing artifact note: %q", errOut.String())
+	}
+}
+
+func TestNetBenchQuietAndErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_net.json")
+	var out, errOut bytes.Buffer
+	if err := runNetBench(&out, &errOut, path, true, stubNetRunner); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("quiet mode still rendered:\n%s", out.String())
+	}
+	boom := errors.New("transport exploded")
+	err := runNetBench(&out, &errOut, path, true,
+		func(orthrus.NetBenchOptions) (*orthrus.NetBenchArtifact, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("runner error not propagated: %v", err)
+	}
+}
+
+// TestNetBenchFlagConflicts pins the CLI seams: the two harnesses are
+// mutually exclusive, figure-mode flags are rejected with -bench-net,
+// and -compare (a perf-artifact differ) does not apply to it.
+func TestNetBenchFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "-bench-net"},
+		{"-bench-net", "-fig", "3"},
+		{"-bench-net", "-scale", "0.5"},
+		{"-bench-net", "-compare", "old.json"},
+	} {
+		var out, errOut bytes.Buffer
+		if err := run(args, &out, &errOut); err == nil {
+			t.Fatalf("run(%v) accepted conflicting flags", args)
+		}
+	}
+}

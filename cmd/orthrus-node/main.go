@@ -17,7 +17,8 @@
 // built-in open-loop client (-load) on exactly one node: the workload
 // generator is deterministic per seed, so two client nodes would submit
 // identical transactions. The daemon logs structured per-replica lines
-// (event=start|net|stats|view-change|stop) to stdout and shuts down
+// (event=start|net|stats|backpressure|wire-error|view-change|stop) to
+// stdout and shuts down
 // cleanly on SIGINT/SIGTERM or after -duration.
 package main
 
@@ -57,6 +58,7 @@ type nodeOptions struct {
 	load     float64       // built-in open-loop client rate; 0 disables
 	duration time.Duration // 0 runs until the stop channel fires
 	stats    time.Duration // stats log line period
+	queueCap int           // per-peer outbound queue cap; 0 = transport default
 
 	batchSize    int
 	batchTimeout time.Duration
@@ -111,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
 	load := fs.Float64("load", 0, "built-in open-loop client rate in tx/s (enable on exactly one node; 0 disables)")
 	duration := fs.Duration("duration", 0, "run length; 0 runs until SIGINT/SIGTERM")
 	stats := fs.Duration("stats", time.Second, "period of event=stats log lines")
+	queueCap := fs.Int("queue-cap", 0, "per-peer outbound queue cap in frames (0 = transport default 4096); overflow drops oldest and logs event=backpressure")
 	batch := fs.Int("batch", 0, "batch size (0 = engine default 4096)")
 	batchTimeout := fs.Duration("batch-timeout", 0, "proposal pulse period (0 = engine default 100ms)")
 	viewTimeout := fs.Duration("view-timeout", 0, "view-change timeout (0 = engine default 10s)")
@@ -131,6 +134,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
 		load:         *load,
 		duration:     *duration,
 		stats:        *stats,
+		queueCap:     *queueCap,
 		batchSize:    *batch,
 		batchTimeout: *batchTimeout,
 		viewTimeout:  *viewTimeout,
@@ -185,6 +189,7 @@ func runNode(o nodeOptions, stdout, stderr io.Writer, stop <-chan struct{}) erro
 	node := transport.NewNode(o.id)
 	tcp, err := transport.NewTCP(o.id, o.peers, node, transport.TCPOptions{
 		Listener: o.listener,
+		QueueCap: o.queueCap,
 		Logf:     func(format string, args ...any) { logf("net", format, args...) },
 	})
 	if err != nil {
@@ -225,13 +230,26 @@ func runNode(o nodeOptions, stdout, stderr io.Writer, stop <-chan struct{}) erro
 	replica := core.NewReplica(ccfg, node.Sim(), tcp)
 
 	// Recurring stats line, scheduled on the node's own timer queue so it
-	// reads the counters race-free on the loop goroutine.
+	// reads the counters race-free on the loop goroutine. Backpressure and
+	// wire-error anomalies get their own structured events, emitted only
+	// when the counters moved since the previous tick — rate-limited to at
+	// most one line per stats period each, however many frames were
+	// dropped, so a wedged peer cannot flood the log.
 	sim := node.Sim()
+	var lastDropped, lastEncErrs, lastDecErrs uint64
 	var statsTick func()
 	statsTick = func() {
 		sim.After(simnet.Duration(o.stats), func() {
 			logf("stats", "blocks=%d confirmed=%d aborted=%d msgs=%d bytes=%d dropped=%d",
 				blocks, confirmed, aborted, tcp.Messages(), tcp.Bytes(), tcp.Dropped())
+			if d := tcp.Dropped(); d > lastDropped {
+				logf("backpressure", "dropped=%d total=%d", d-lastDropped, d)
+				lastDropped = d
+			}
+			if e, d := tcp.EncodeErrors(), tcp.DecodeErrors(); e > lastEncErrs || d > lastDecErrs {
+				logf("wire-error", "encode_errors=%d decode_errors=%d", e, d)
+				lastEncErrs, lastDecErrs = e, d
+			}
 			statsTick()
 		})
 	}

@@ -157,7 +157,8 @@ func RunReal(cfg Config) *Result {
 	// as the simulator (first transaction at Warmup/2, one every
 	// 1/LoadTPS), paced by absolute wall-clock deadlines so generation
 	// cost does not stretch the intervals. Submissions travel through
-	// Proc.Inject — wire-encoded like everything else, but uncounted,
+	// Proc.InjectTo — wire-encoded once and shared (immutably) across
+	// the targets, decoded per receiver like everything else, but uncounted,
 	// matching the sim harness where client traffic bypasses the network
 	// counters.
 	clientFinished := make(chan struct{})
@@ -185,9 +186,7 @@ func RunReal(cfg Config) *Result {
 			order = append(order, id)
 			mu.Unlock()
 			targetBuf = appendSubmitTargets(targetBuf[:0], targetSeen, leaders, tx, n, f)
-			for _, target := range targetBuf {
-				proc.Inject(n, target, &core.SubmitMsg{Tx: tx})
-			}
+			proc.InjectTo(n, targetBuf, &core.SubmitMsg{Tx: tx})
 			submitted++
 		}
 		mu.Lock()

@@ -1,0 +1,319 @@
+// Package netbench measures the real-transport data path end to end:
+// wire encoding, framing, queuing, socket (or in-process) delivery and
+// decoding, with the consensus state machines replaced by
+// counting/timestamping handlers so the numbers isolate the transport
+// layer itself. It is the real-backend analogue of the simulator perf
+// harness behind `orthrus-bench -bench`: the artifact it produces
+// (BENCH_net.json, schema orthrus-bench-net/v1) is committed to the
+// repository and gated in CI against regressions the same way
+// BENCH_scale.json gates the simulation hot path.
+//
+// Traffic shape: every replica broadcasts proposal-sized messages — a
+// pbft.PrePrepare carrying a block of TxsPerBlock transactions — as fast
+// as a global in-flight bound allows (the bound keeps outbound queues
+// below their drop cap, mimicking a self-clocked protocol). Proposals
+// are the dominant bytes on a consensus wire and exercise the full
+// encode/decode path including nested collections; the block's
+// ProposeNS field carries the send timestamp, so every delivery yields
+// one frame-latency sample with no extra wire fields.
+package netbench
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pbft"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Schema identifies the artifact format written by Run. v1 cells carry
+// delivered message/byte totals, msgs/s, MB/s, allocations per delivered
+// message, and p50/p99 frame latency. Rates and latencies vary with the
+// host; allocs/msg is host-stable and is the primary regression gate.
+const Schema = "orthrus-bench-net/v1"
+
+// Cell is one measured (backend, n) point. A "message" is one delivered
+// frame: a broadcast from one replica to an n-replica cluster counts n
+// messages (self-delivery included), matching what Transport.Messages
+// reports on real backends.
+type Cell struct {
+	// Backend is "proc" (in-process node loops) or "tcp" (loopback
+	// sockets, one endpoint per replica).
+	Backend string `json:"backend"`
+	// N is the cluster size.
+	N int `json:"n"`
+	// Msgs is the number of delivered messages measured.
+	Msgs uint64 `json:"msgs"`
+	// Bytes is the total delivered encoded payload bytes.
+	Bytes uint64 `json:"bytes"`
+	// Drops counts outbound frames discarded at a peer-queue cap during
+	// the run; nonzero means the in-flight bound failed to keep queues
+	// below their caps and the rates underestimate the transport.
+	Drops uint64 `json:"drops"`
+	// MsgsPerSec is delivered messages per wall-clock second.
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	// MBPerSec is delivered payload megabytes (1e6 bytes) per second.
+	MBPerSec float64 `json:"mb_per_sec"`
+	// AllocsPerMsg is heap allocations per delivered message across the
+	// whole process (senders, queues, sockets, decoders, handlers).
+	AllocsPerMsg float64 `json:"allocs_per_msg"`
+	// P50LatencyNS and P99LatencyNS are percentiles over per-delivery
+	// frame latency: wall time from just before the sender's Broadcast
+	// call to the receiver handler observing the message. Under a full
+	// send throttle this is queueing-dominated — it measures the data
+	// path under load, not an unloaded RTT.
+	P50LatencyNS int64 `json:"p50_latency_ns"`
+	P99LatencyNS int64 `json:"p99_latency_ns"`
+}
+
+// Artifact is the document `orthrus-bench -bench-net` writes.
+type Artifact struct {
+	Schema string `json:"schema"`
+	Cells  []Cell `json:"cells"`
+}
+
+// Options tunes a Run; the zero value measures the standard grid.
+type Options struct {
+	// Broadcasts overrides the per-sender broadcast count (0 sizes each
+	// cell to ~targetDeliveries total deliveries). Tests use small values.
+	Broadcasts int
+	// TxsPerBlock sets the proposal payload shape (0 = 4 transactions,
+	// ~500 encoded bytes per message).
+	TxsPerBlock int
+	// Backends restricts the grid ("proc", "tcp"); nil measures both.
+	Backends []string
+	// Sizes restricts the cluster-size axis; nil measures {4, 10}.
+	Sizes []int
+}
+
+// targetDeliveries sizes default cells: enough deliveries for stable
+// rates on a quiet host, small enough to keep the whole grid seconds-scale.
+const targetDeliveries = 120_000
+
+// maxOutstanding bounds globally unacknowledged deliveries (sent*n minus
+// handler-observed), keeping per-peer queues far below transport.TCP's
+// 4096-frame drop cap so a default run measures a drop-free data path.
+const maxOutstanding = 2048
+
+// Run measures the configured grid and returns the artifact.
+func Run(opts Options) (*Artifact, error) {
+	backends := opts.Backends
+	if backends == nil {
+		backends = []string{"proc", "tcp"}
+	}
+	sizes := opts.Sizes
+	if sizes == nil {
+		sizes = []int{4, 10}
+	}
+	art := &Artifact{Schema: Schema}
+	for _, backend := range backends {
+		for _, n := range sizes {
+			cell, err := runCell(backend, n, opts)
+			if err != nil {
+				return nil, fmt.Errorf("netbench: %s/n=%d: %w", backend, n, err)
+			}
+			art.Cells = append(art.Cells, cell)
+		}
+	}
+	return art, nil
+}
+
+// env abstracts the two backends behind the operations the harness
+// drives: per-replica broadcast entry points, delivered-traffic counters
+// and teardown.
+type env struct {
+	broadcast func(from int, msg any)
+	messages  func() uint64
+	bytes     func() uint64
+	drops     func() uint64
+	close     func()
+}
+
+// sample builds the proposal message template one sender reuses: the
+// encoder runs synchronously inside Broadcast, so mutating the template's
+// ProposeNS between calls is race-free.
+func sample(from, txs int) *pbft.PrePrepare {
+	b := &types.Block{
+		Instance: from,
+		SN:       1,
+		Rank:     7,
+		State:    types.StateVector{3, 1, 4, 1, 5, 9, 2, 6},
+		Proposer: from,
+		Sig:      []byte{0xCA, 0xFE, 0xBA, 0xBE},
+	}
+	for i := 0; i < txs; i++ {
+		b.Txs = append(b.Txs, types.Transaction{
+			Ops: []types.Op{
+				{Key: types.Key(fmt.Sprintf("payer-%d-%d", from, i)), Type: types.Owned, Kind: types.OpDecrement, Amount: 30},
+				{Key: types.Key(fmt.Sprintf("payee-%d-%d", from, i)), Type: types.Owned, Kind: types.OpIncrement, Amount: 30},
+			},
+			Client:  types.Key(fmt.Sprintf("client-%d-%d", from, i)),
+			Nonce:   uint64(i),
+			Sig:     []byte{1, 2, 3, 4, 5, 6, 7, 8},
+			Payload: []byte{9, 9, 9, 9, 9, 9, 9, 9},
+		})
+	}
+	return &pbft.PrePrepare{Instance: from, View: 0, Seq: uint64(from), Block: b}
+}
+
+func runCell(backend string, n int, opts Options) (Cell, error) {
+	broadcasts := opts.Broadcasts
+	if broadcasts <= 0 {
+		broadcasts = targetDeliveries / (n * n)
+	}
+	txs := opts.TxsPerBlock
+	if txs <= 0 {
+		txs = 4
+	}
+
+	// One latency slice per receiver, appended to only by that receiver's
+	// event-loop goroutine; preallocated so the measured phase allocates
+	// nothing in the harness itself.
+	lats := make([][]int64, n)
+	for i := range lats {
+		lats[i] = make([]int64, 0, n*broadcasts)
+	}
+	var delivered atomic.Uint64
+	epoch := time.Now()
+
+	handlerFor := func(id int) func(int, any) {
+		return func(from int, msg any) {
+			if m, ok := msg.(*pbft.PrePrepare); ok {
+				lats[id] = append(lats[id], int64(time.Since(epoch))-m.Block.ProposeNS)
+			}
+			delivered.Add(1)
+		}
+	}
+
+	var e env
+	switch backend {
+	case "proc":
+		p := transport.NewProc(n)
+		for i := 0; i < n; i++ {
+			p.Register(i, handlerFor(i))
+		}
+		p.Start(epoch)
+		e = env{
+			broadcast: func(from int, msg any) { p.Broadcast(from, 0, msg) },
+			messages:  p.Messages,
+			bytes:     p.Bytes,
+			drops:     func() uint64 { return 0 },
+			close:     p.Stop,
+		}
+	case "tcp":
+		listeners := make([]net.Listener, n)
+		peers := make([]string, n)
+		for i := range peers {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return Cell{}, err
+			}
+			listeners[i] = ln
+			peers[i] = ln.Addr().String()
+		}
+		ts := make([]*transport.TCP, n)
+		nodes := make([]*transport.Node, n)
+		for i := range ts {
+			nodes[i] = transport.NewNode(i)
+			tr, err := transport.NewTCP(i, peers, nodes[i], transport.TCPOptions{Listener: listeners[i]})
+			if err != nil {
+				return Cell{}, err
+			}
+			tr.Register(i, handlerFor(i))
+			nodes[i].Start(epoch)
+			ts[i] = tr
+		}
+		sum := func(f func(*transport.TCP) uint64) func() uint64 {
+			return func() (total uint64) {
+				for _, t := range ts {
+					total += f(t)
+				}
+				return
+			}
+		}
+		e = env{
+			broadcast: func(from int, msg any) { ts[from].Broadcast(from, 0, msg) },
+			messages:  sum((*transport.TCP).Messages),
+			bytes:     sum((*transport.TCP).Bytes),
+			drops:     sum((*transport.TCP).Dropped),
+			close: func() {
+				for i := range ts {
+					ts[i].Close()
+					nodes[i].Stop()
+				}
+			},
+		}
+	default:
+		return Cell{}, fmt.Errorf("unknown backend %q", backend)
+	}
+	defer e.close()
+
+	// Measured phase: every replica floods broadcasts under the global
+	// in-flight bound; allocations are read around the whole phase.
+	var memBefore, memAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&memBefore)
+	start := time.Now()
+
+	var sent atomic.Uint64
+	var wg sync.WaitGroup
+	for from := 0; from < n; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			tmpl := sample(from, txs)
+			for k := 0; k < broadcasts; k++ {
+				for sent.Load()*uint64(n)-delivered.Load() > maxOutstanding {
+					time.Sleep(50 * time.Microsecond)
+				}
+				tmpl.Block.ProposeNS = int64(time.Since(epoch))
+				e.broadcast(from, tmpl)
+				sent.Add(1)
+			}
+		}(from)
+	}
+	wg.Wait()
+
+	// Drain: every sent frame is delivered or (anomalously) dropped.
+	expected := func() uint64 { return sent.Load()*uint64(n) - e.drops() }
+	deadline := time.Now().Add(30 * time.Second)
+	for delivered.Load() < expected() {
+		if time.Now().After(deadline) {
+			return Cell{}, fmt.Errorf("drain stalled: %d/%d delivered after 30s", delivered.Load(), expected())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&memAfter)
+
+	cell := Cell{
+		Backend: backend,
+		N:       n,
+		Msgs:    e.messages(),
+		Bytes:   e.bytes(),
+		Drops:   e.drops(),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		cell.MsgsPerSec = float64(cell.Msgs) / s
+		cell.MBPerSec = float64(cell.Bytes) / s / 1e6
+	}
+	if cell.Msgs > 0 {
+		cell.AllocsPerMsg = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(cell.Msgs)
+	}
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		cell.P50LatencyNS = all[len(all)/2]
+		cell.P99LatencyNS = all[len(all)*99/100]
+	}
+	return cell, nil
+}

@@ -5,12 +5,18 @@ import (
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
-// inMsg is one delivered message waiting for a node's event loop.
+// inMsg is one delivered message waiting for a node's event loop: either
+// an already-decoded msg (TCP's read loop decodes as it drains sockets)
+// or a still-encoded frame (Proc enqueues the sender's shared frame and
+// each receiver decodes its own copy on its loop goroutine, preserving
+// the no-shared-mutable-memory property without an encode per receiver).
 type inMsg struct {
 	from int
 	msg  any
+	fr   *frame
 }
 
 // Node is one replica's wall-clock event loop: a private simnet.Sim used
@@ -31,6 +37,10 @@ type Node struct {
 	inbox   []inMsg
 	standby []inMsg // swap buffer: drain without holding the lock
 	handler simnet.Handler
+
+	// onWireErr observes frame-decode failures on the loop goroutine
+	// (set by the owning transport before Start; nil drops silently).
+	onWireErr func(error)
 
 	wake chan struct{}
 	quit chan struct{}
@@ -71,8 +81,19 @@ func (n *Node) setHandler(h simnet.Handler) {
 // from any goroutine; messages from one sender are dispatched in enqueue
 // order.
 func (n *Node) enqueue(from int, msg any) {
+	n.push(inMsg{from: from, msg: msg})
+}
+
+// enqueueFrame hands a still-encoded frame to the node's event loop,
+// which decodes it just before dispatch and releases the sender's
+// reference. The caller must have retained the frame for this receiver.
+func (n *Node) enqueueFrame(from int, f *frame) {
+	n.push(inMsg{from: from, fr: f})
+}
+
+func (n *Node) push(m inMsg) {
 	n.mu.Lock()
-	n.inbox = append(n.inbox, inMsg{from: from, msg: msg})
+	n.inbox = append(n.inbox, m)
 	n.mu.Unlock()
 	select {
 	case n.wake <- struct{}{}:
@@ -120,9 +141,23 @@ func (n *Node) loop() {
 		n.inbox = n.standby[:0]
 		handler := n.handler
 		n.mu.Unlock()
-		for _, m := range pending {
+		for i := range pending {
+			m := pending[i]
+			pending[i] = inMsg{} // drop the frame pointer once dispatched
+			msg := m.msg
+			if m.fr != nil {
+				dec, err := wire.Decode(m.fr.payload())
+				m.fr.release()
+				if err != nil {
+					if n.onWireErr != nil {
+						n.onWireErr(err)
+					}
+					continue
+				}
+				msg = dec
+			}
 			if handler != nil {
-				handler(m.from, m.msg)
+				handler(m.from, msg)
 			}
 		}
 		n.standby = pending[:0]

@@ -1,28 +1,30 @@
 package transport
 
 import (
-	"fmt"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/simnet"
-	"repro/internal/wire"
 )
 
 // Proc is the in-process real transport: one Node event loop per replica
 // in a single process, messages carried between them as wire-encoded
 // frames under real wall-clock time. Every send encodes through
-// internal/wire and every receiver decodes its own copy — exactly what a
-// socket transport does — so (a) replicas never share mutable message
-// memory across goroutines and (b) Messages/Bytes count actual encoded
-// wire sizes, not the simulator's modeled size hints.
+// internal/wire exactly once — a broadcast shares one immutable pooled
+// frame across all destinations — and every receiver decodes its own
+// copy on its loop goroutine, exactly the isolation a socket transport
+// gives: (a) replicas never share mutable message memory across
+// goroutines and (b) Messages/Bytes count actual encoded wire sizes,
+// not the simulator's modeled size hints.
 //
 // Senders outside the replica set (harness clients injecting SubmitMsg)
 // may use any `from` id — it only reaches the handler as provenance.
 type Proc struct {
-	nodes []*Node
-	msgs  atomic.Uint64
-	bytes atomic.Uint64
+	nodes      []*Node
+	msgs       atomic.Uint64
+	bytes      atomic.Uint64
+	encodeErrs atomic.Uint64
+	decodeErrs atomic.Uint64
 }
 
 // NewProc builds the transport and one Node per replica, ids 0..n-1.
@@ -30,6 +32,7 @@ func NewProc(n int) *Proc {
 	p := &Proc{nodes: make([]*Node, n)}
 	for i := range p.nodes {
 		p.nodes[i] = NewNode(i)
+		p.nodes[i].onWireErr = func(error) { p.decodeErrs.Add(1) }
 	}
 	return p
 }
@@ -58,41 +61,43 @@ func (p *Proc) Stop() {
 	}
 }
 
-// Send implements Transport: encode, count, deliver a decoded copy to the
-// destination's event loop. The size hint is ignored — the encoded length
-// is the truth. Unencodable messages are a programming error (the replica
-// message set is closed) and panic rather than vanish.
+// Send implements Transport: encode once into a pooled frame, count, and
+// hand the frame to the destination's event loop, which decodes on
+// dispatch. The size hint is ignored — the encoded length is the truth.
+// Unencodable messages are counted in EncodeErrors and dropped (the
+// replica message set is closed, so a nonzero counter is a bug signal).
 func (p *Proc) Send(from, to, size int, msg any) {
-	enc, err := wire.Encode(msg)
-	if err != nil {
-		panic(fmt.Sprintf("transport: %v", err))
-	}
-	p.deliver(from, to, enc)
-}
-
-// Broadcast implements Transport: one encode, one decoded copy per
-// destination, self included (protocols self-deliver).
-func (p *Proc) Broadcast(from, size int, msg any) {
-	enc, err := wire.Encode(msg)
-	if err != nil {
-		panic(fmt.Sprintf("transport: %v", err))
-	}
-	for to := range p.nodes {
-		p.deliver(from, to, enc)
-	}
-}
-
-func (p *Proc) deliver(from, to int, enc []byte) {
 	if to < 0 || to >= len(p.nodes) {
 		return
 	}
-	msg, err := wire.Decode(enc)
+	f, err := encodeFrame(msg)
 	if err != nil {
-		panic(fmt.Sprintf("transport: decode of own encoding failed: %v", err))
+		p.encodeErrs.Add(1)
+		return
 	}
 	p.msgs.Add(1)
-	p.bytes.Add(uint64(len(enc)))
-	p.nodes[to].enqueue(from, msg)
+	p.bytes.Add(uint64(len(f.payload())))
+	f.retain(1)
+	p.nodes[to].enqueueFrame(from, f)
+}
+
+// Broadcast implements Transport: one encode, one shared immutable frame
+// across every destination, self included (protocols self-deliver). Each
+// receiver decodes its own copy from the shared bytes, so destinations
+// still never alias each other's message memory.
+func (p *Proc) Broadcast(from, size int, msg any) {
+	f, err := encodeFrame(msg)
+	if err != nil {
+		p.encodeErrs.Add(1)
+		return
+	}
+	n := uint64(len(p.nodes))
+	p.msgs.Add(n)
+	p.bytes.Add(n * uint64(len(f.payload())))
+	f.retain(len(p.nodes))
+	for to := range p.nodes {
+		p.nodes[to].enqueueFrame(from, f)
+	}
 }
 
 // Inject delivers a harness-client message outside the measured protocol
@@ -102,18 +107,34 @@ func (p *Proc) deliver(from, to int, enc []byte) {
 // network counters, so a real-backend run must leave them out too for
 // Result.Messages to stay comparable across backends.
 func (p *Proc) Inject(from, to int, msg any) {
-	if to < 0 || to >= len(p.nodes) {
+	p.InjectTo(from, []int{to}, msg)
+}
+
+// InjectTo is Inject fanned out to several destinations from a single
+// encode: the harness client submitting one transaction to every replica
+// shares one frame instead of encoding per target. Out-of-range targets
+// are skipped.
+func (p *Proc) InjectTo(from int, targets []int, msg any) {
+	valid := 0
+	for _, to := range targets {
+		if to >= 0 && to < len(p.nodes) {
+			valid++
+		}
+	}
+	if valid == 0 {
 		return
 	}
-	enc, err := wire.Encode(msg)
+	f, err := encodeFrame(msg)
 	if err != nil {
-		panic(fmt.Sprintf("transport: %v", err))
+		p.encodeErrs.Add(1)
+		return
 	}
-	dec, err := wire.Decode(enc)
-	if err != nil {
-		panic(fmt.Sprintf("transport: decode of own encoding failed: %v", err))
+	f.retain(valid)
+	for _, to := range targets {
+		if to >= 0 && to < len(p.nodes) {
+			p.nodes[to].enqueueFrame(from, f)
+		}
 	}
-	p.nodes[to].enqueue(from, dec)
 }
 
 // Messages implements Transport: messages delivered, all destinations.
@@ -121,5 +142,14 @@ func (p *Proc) Messages() uint64 { return p.msgs.Load() }
 
 // Bytes implements Transport: encoded wire bytes delivered.
 func (p *Proc) Bytes() uint64 { return p.bytes.Load() }
+
+// EncodeErrors counts messages dropped because wire encoding failed.
+// Always zero in a correct build: the replica message set is closed.
+func (p *Proc) EncodeErrors() uint64 { return p.encodeErrs.Load() }
+
+// DecodeErrors counts frames dropped because decoding failed on the
+// receiver's loop. Always zero in a correct build — Proc only ever
+// decodes its own encodings, so a nonzero counter means corruption.
+func (p *Proc) DecodeErrors() uint64 { return p.decodeErrs.Load() }
 
 var _ Transport = (*Proc)(nil)

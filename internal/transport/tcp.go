@@ -21,6 +21,10 @@ const (
 	// maxFrameLen bounds a single message (64 MiB): far above any real
 	// batch, low enough that a corrupt length prefix cannot OOM the node.
 	maxFrameLen = 64 << 20
+	// maxWriteBatch bounds the bytes one vectored write coalesces. Small
+	// enough that a reconnect's whole-batch resend stays cheap, large
+	// enough to drain a deep queue in a handful of syscalls.
+	maxWriteBatch = 256 << 10
 )
 
 // TCPOptions tunes a TCP transport; the zero value is usable.
@@ -50,6 +54,13 @@ type TCPOptions struct {
 // prefixed frames, write timeouts, and an accept loop feeding decoded
 // messages to the local Node's event loop.
 //
+// The hot path avoids per-message allocation: sends encode once into a
+// pooled frame (the frame is the encode buffer), a broadcast shares that
+// one immutable frame across every peer queue by refcount, the writer
+// drains whole queue batches into a single vectored write, and the read
+// side reuses one buffer per connection (wire.Decode never aliasing its
+// input makes the immediate reuse safe).
+//
 // Each process hosts one replica, so Register accepts only the local id
 // and the traffic counters cover locally delivered messages (the
 // per-destination view, matching what simnet counts per node).
@@ -69,9 +80,11 @@ type TCP struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
-	msgs    atomic.Uint64
-	bytes   atomic.Uint64
-	dropped atomic.Uint64
+	msgs       atomic.Uint64
+	bytes      atomic.Uint64
+	dropped    atomic.Uint64
+	encodeErrs atomic.Uint64
+	decodeErrs atomic.Uint64
 }
 
 // peerQueue is the bounded outbound buffer for one peer, drained by a
@@ -82,10 +95,14 @@ type TCP struct {
 // trade for long runs: the channels are fair-lossy, PBFT's timeouts and
 // view changes recover from lost votes, and a peer partitioned for hours
 // must not grow this queue until OOM.
+//
+// Queued frames are refcounted (broadcasts share one frame across every
+// peer queue); the queue owns one reference per entry and releases it on
+// drop-at-cap, on shut, or — via the writer — after the frame is written.
 type peerQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	frames  [][]byte
+	frames  []*frame
 	head    int // consumed prefix of frames (amortized O(1) pop/drop)
 	cap     int
 	dropped *atomic.Uint64
@@ -98,40 +115,57 @@ func newPeerQueue(cap int, dropped *atomic.Uint64) *peerQueue {
 	return q
 }
 
-func (q *peerQueue) push(frame []byte) {
+func (q *peerQueue) push(f *frame) {
 	q.mu.Lock()
-	if !q.closed {
-		if len(q.frames)-q.head >= q.cap {
-			q.frames[q.head] = nil
-			q.head++
-			q.dropped.Add(1)
-		}
-		if q.head > 0 && q.head == len(q.frames) {
-			q.frames, q.head = q.frames[:0], 0
-		}
-		q.frames = append(q.frames, frame)
+	if q.closed {
+		q.mu.Unlock()
+		f.release()
+		return
 	}
+	if len(q.frames)-q.head >= q.cap {
+		old := q.frames[q.head]
+		q.frames[q.head] = nil
+		q.head++
+		q.dropped.Add(1)
+		old.release()
+	}
+	if q.head > 0 && q.head == len(q.frames) {
+		q.frames, q.head = q.frames[:0], 0
+	}
+	q.frames = append(q.frames, f)
 	q.mu.Unlock()
 	q.cond.Signal()
 }
 
-// pop blocks until a frame is available or the queue closes.
-func (q *peerQueue) pop() ([]byte, bool) {
+// popBatch blocks until at least one frame is available (or the queue
+// closes), then moves queued frames into dst until the queue empties or
+// the batch reaches maxBytes — the writer turns each batch into one
+// vectored write. The first frame always fits regardless of size.
+// Ownership of the returned frames' queue references moves to the caller.
+func (q *peerQueue) popBatch(dst []*frame, maxBytes int) ([]*frame, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.frames)-q.head == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if len(q.frames)-q.head == 0 {
-		return nil, false
+		return dst, false
 	}
-	f := q.frames[q.head]
-	q.frames[q.head] = nil
-	q.head++
+	total := 0
+	for q.head < len(q.frames) {
+		f := q.frames[q.head]
+		if len(dst) > 0 && total+len(f.buf) > maxBytes {
+			break
+		}
+		dst = append(dst, f)
+		total += len(f.buf)
+		q.frames[q.head] = nil
+		q.head++
+	}
 	if q.head == len(q.frames) {
 		q.frames, q.head = q.frames[:0], 0
 	}
-	return f, true
+	return dst, true
 }
 
 // depth returns the number of queued frames (tests).
@@ -144,6 +178,11 @@ func (q *peerQueue) depth() int {
 func (q *peerQueue) shut() {
 	q.mu.Lock()
 	q.closed = true
+	for ; q.head < len(q.frames); q.head++ {
+		q.frames[q.head].release()
+		q.frames[q.head] = nil
+	}
+	q.frames, q.head = q.frames[:0], 0
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }
@@ -205,46 +244,71 @@ func (t *TCP) Register(id int, h simnet.Handler) {
 	t.node.setHandler(h)
 }
 
-// Send implements Transport. Local delivery short-circuits through an
-// encode/decode copy (identical observable behavior to a socket hop);
-// remote frames are queued to the peer's writer.
+// Send implements Transport: one encode into a pooled frame, queued to
+// the peer's writer. Local delivery short-circuits through the same
+// encode/decode copy (identical observable behavior to a socket hop).
+// An unencodable message is counted in EncodeErrors and dropped rather
+// than sent partially — the replica message set is closed, so a nonzero
+// counter is a bug signal, not an operational one.
 func (t *TCP) Send(from, to, size int, msg any) {
-	enc, err := wire.Encode(msg)
-	if err != nil {
-		panic(fmt.Sprintf("transport: %v", err))
-	}
-	t.send(from, to, enc)
-}
-
-// Broadcast implements Transport: one encode, every peer plus self.
-func (t *TCP) Broadcast(from, size int, msg any) {
-	enc, err := wire.Encode(msg)
-	if err != nil {
-		panic(fmt.Sprintf("transport: %v", err))
-	}
-	for to := range t.peers {
-		t.send(from, to, enc)
-	}
-}
-
-func (t *TCP) send(from, to int, enc []byte) {
-	if to == t.id {
-		msg, err := wire.Decode(enc)
-		if err != nil {
-			panic(fmt.Sprintf("transport: decode of own encoding failed: %v", err))
-		}
-		t.msgs.Add(1)
-		t.bytes.Add(uint64(len(enc)))
-		t.node.enqueue(from, msg)
-		return
-	}
 	if to < 0 || to >= len(t.peers) {
 		return
 	}
-	frame := make([]byte, frameHeaderLen+len(enc))
-	binary.BigEndian.PutUint32(frame, uint32(len(enc)))
-	copy(frame[frameHeaderLen:], enc)
-	t.queueFor(to).push(frame)
+	f, err := encodeFrame(msg)
+	if err != nil {
+		t.encodeErrs.Add(1)
+		t.logf("wire encode failed, message to peer %d dropped: %v", to, err)
+		return
+	}
+	if to == t.id {
+		t.deliverLocal(from, f.payload())
+		f.recycle()
+		return
+	}
+	f.retain(1)
+	t.queueFor(to).push(f)
+}
+
+// Broadcast implements Transport: one encode, one immutable frame shared
+// by refcount across every peer queue, plus a local decoded delivery
+// (protocols self-deliver). The frame returns to the pool after the last
+// writer finishes with it.
+func (t *TCP) Broadcast(from, size int, msg any) {
+	f, err := encodeFrame(msg)
+	if err != nil {
+		t.encodeErrs.Add(1)
+		t.logf("wire encode failed, broadcast dropped: %v", err)
+		return
+	}
+	// Decode the local copy before publishing the frame to the writers:
+	// once pushed, the frame may be released (and its buffer reused) the
+	// moment the last writer finishes.
+	t.deliverLocal(from, f.payload())
+	remote := len(t.peers) - 1
+	if remote <= 0 {
+		f.recycle()
+		return
+	}
+	f.retain(remote)
+	for to := range t.peers {
+		if to != t.id {
+			t.queueFor(to).push(f)
+		}
+	}
+}
+
+// deliverLocal decodes payload and hands the message to the local node
+// loop, counting it as delivered traffic.
+func (t *TCP) deliverLocal(from int, payload []byte) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		t.decodeErrs.Add(1)
+		t.logf("decode of own encoding failed, message dropped: %v", err)
+		return
+	}
+	t.msgs.Add(1)
+	t.bytes.Add(uint64(len(payload)))
+	t.node.enqueue(from, msg)
 }
 
 // queueFor returns the outbound queue for a peer, spawning its writer on
@@ -263,9 +327,11 @@ func (t *TCP) queueFor(to int) *peerQueue {
 }
 
 // writeLoop drains one peer's queue: dial (with exponential backoff and a
-// hello frame identifying this replica), then write frames under the
-// write timeout; any error drops the connection and redials, retrying the
-// failed frame.
+// hello frame identifying this replica), then flush whole queue batches
+// as single vectored writes under the write timeout. Any error drops the
+// connection, redials, and resends the whole failed batch on the fresh
+// connection — the already-written prefix arrives twice, which is safe
+// because PBFT deduplicates votes by (view, seq, sender).
 func (t *TCP) writeLoop(to int, q *peerQueue) {
 	defer t.wg.Done()
 	var conn net.Conn
@@ -275,56 +341,79 @@ func (t *TCP) writeLoop(to int, q *peerQueue) {
 		}
 	}()
 	backoff := 25 * time.Millisecond
+	var batch []*frame
+	var bufs net.Buffers
 	for {
-		frame, ok := q.pop()
+		var ok bool
+		batch, ok = q.popBatch(batch[:0], maxWriteBatch)
 		if !ok {
 			return
 		}
-		for {
-			if conn == nil {
-				c, err := net.DialTimeout("tcp", t.peers[to], t.opts.WriteTimeout)
-				if err == nil {
-					var hello [frameHeaderLen + 4]byte
-					binary.BigEndian.PutUint32(hello[:], 4)
-					binary.BigEndian.PutUint32(hello[frameHeaderLen:], uint32(t.id))
-					c.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
-					if _, werr := c.Write(hello[:]); werr != nil {
-						err = werr
-						c.Close()
-					}
-					if err == nil {
-						conn = c
-						backoff = 25 * time.Millisecond
-						t.logf("connected to peer %d at %s", to, t.peers[to])
-					}
+		sent := t.writeBatch(to, &conn, &backoff, batch, &bufs)
+		for i, f := range batch {
+			f.release()
+			batch[i] = nil
+		}
+		if !sent {
+			return
+		}
+	}
+}
+
+// writeBatch writes one popped batch, (re)dialing as needed; it returns
+// false only when the transport is shutting down.
+func (t *TCP) writeBatch(to int, conn *net.Conn, backoff *time.Duration, batch []*frame, bufs *net.Buffers) bool {
+	for {
+		if *conn == nil {
+			c, err := net.DialTimeout("tcp", t.peers[to], t.opts.WriteTimeout)
+			if err == nil {
+				var hello [frameHeaderLen + 4]byte
+				binary.BigEndian.PutUint32(hello[:], 4)
+				binary.BigEndian.PutUint32(hello[frameHeaderLen:], uint32(t.id))
+				c.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+				if _, werr := c.Write(hello[:]); werr != nil {
+					err = werr
+					c.Close()
 				}
-				if conn == nil {
-					t.logf("dial peer %d (%s) failed: %v; retrying in %s", to, t.peers[to], err, backoff)
-					select {
-					case <-t.quit:
-						return
-					case <-time.After(backoff):
-					}
-					if backoff *= 2; backoff > t.opts.DialBackoffMax {
-						backoff = t.opts.DialBackoffMax
-					}
-					continue
+				if err == nil {
+					*conn = c
+					*backoff = 25 * time.Millisecond
+					t.logf("connected to peer %d at %s", to, t.peers[to])
 				}
 			}
-			conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
-			if _, err := conn.Write(frame); err != nil {
-				t.logf("write to peer %d failed: %v; reconnecting", to, err)
-				conn.Close()
-				conn = nil
+			if *conn == nil {
+				t.logf("dial peer %d (%s) failed: %v; retrying in %s", to, t.peers[to], err, *backoff)
 				select {
 				case <-t.quit:
-					return
-				default:
+					return false
+				case <-time.After(*backoff):
+				}
+				if *backoff *= 2; *backoff > t.opts.DialBackoffMax {
+					*backoff = t.opts.DialBackoffMax
 				}
 				continue
 			}
-			break
 		}
+		// net.Buffers.WriteTo consumes the slice-of-slices (it advances
+		// through it), so rebuild it from the batch on every attempt; the
+		// frame bytes themselves are only ever read.
+		*bufs = (*bufs)[:0]
+		for _, f := range batch {
+			*bufs = append(*bufs, f.buf)
+		}
+		(*conn).SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+		if _, err := bufs.WriteTo(*conn); err != nil {
+			t.logf("write to peer %d failed: %v; reconnecting", to, err)
+			(*conn).Close()
+			*conn = nil
+			select {
+			case <-t.quit:
+				return false
+			default:
+			}
+			continue
+		}
+		return true
 	}
 }
 
@@ -359,7 +448,11 @@ func (t *TCP) readLoop(conn net.Conn) {
 		delete(t.conns, conn)
 		t.mu.Unlock()
 	}()
-	hello, err := readFrame(conn)
+	// One reusable frame buffer serves the whole connection: each payload
+	// is borrowed until the next read, and wire.Decode's no-aliasing
+	// contract means the decoded message survives the buffer's reuse.
+	fr := frameReader{r: conn}
+	hello, err := fr.next()
 	if err != nil || len(hello) != 4 {
 		t.logf("inbound connection rejected: bad hello (%v)", err)
 		return
@@ -367,7 +460,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 	from := int(binary.BigEndian.Uint32(hello))
 	t.logf("peer %d connected from %s", from, conn.RemoteAddr())
 	for {
-		payload, err := readFrame(conn)
+		payload, err := fr.next()
 		if err != nil {
 			if err != io.EOF {
 				t.logf("read from peer %d failed: %v", from, err)
@@ -376,6 +469,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		msg, err := wire.Decode(payload)
 		if err != nil {
+			t.decodeErrs.Add(1)
 			t.logf("malformed frame from peer %d dropped: %v", from, err)
 			continue
 		}
@@ -383,23 +477,6 @@ func (t *TCP) readLoop(conn net.Conn) {
 		t.bytes.Add(uint64(len(payload)))
 		t.node.enqueue(from, msg)
 	}
-}
-
-// readFrame reads one length-prefixed frame, bounding the claimed length.
-func readFrame(conn net.Conn) ([]byte, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrameLen {
-		return nil, fmt.Errorf("frame of %d bytes exceeds the %d-byte bound", n, maxFrameLen)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(conn, payload); err != nil {
-		return nil, err
-	}
-	return payload, nil
 }
 
 // Messages implements Transport: messages delivered to the local replica.
@@ -412,6 +489,15 @@ func (t *TCP) Bytes() uint64 { return t.bytes.Load() }
 // (oldest-first); nonzero means some peer could not keep up and will need
 // view changes or state transfer to recover the lost messages.
 func (t *TCP) Dropped() uint64 { return t.dropped.Load() }
+
+// EncodeErrors counts messages dropped because wire encoding failed.
+// Always zero in a correct build: the replica message set is closed.
+func (t *TCP) EncodeErrors() uint64 { return t.encodeErrs.Load() }
+
+// DecodeErrors counts inbound frames dropped because decoding failed —
+// a malformed frame from a remote peer, or (never, absent corruption)
+// a local self-delivery that failed to decode its own encoding.
+func (t *TCP) DecodeErrors() uint64 { return t.decodeErrs.Load() }
 
 // Close shuts the transport down: the listener stops, outbound queues
 // close after draining nothing further, and all connection goroutines

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchName labels one message-type cell of the codec benchmarks.
+func benchName(msg any) string {
+	return fmt.Sprintf("%T", msg)[len("*"):]
+}
+
+// BenchmarkWireAppend measures encoding each message type into a
+// preallocated scratch buffer — the pooled-frame hot path every real
+// transport send takes. With the buffer warm, Append must not allocate
+// at all (TestAppendZeroAllocs pins exactly that).
+func BenchmarkWireAppend(b *testing.B) {
+	for _, msg := range messages() {
+		b.Run(benchName(msg), func(b *testing.B) {
+			buf := make([]byte, 0, 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = Append(buf[:0], msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireDecode measures decoding each message type. Decoded
+// messages own their memory (the receiver keeps them), so decode allocs
+// are inherent — this tracks how few of them the arena carving gets
+// away with.
+func BenchmarkWireDecode(b *testing.B) {
+	for _, msg := range messages() {
+		enc, err := Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchName(msg), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decode(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

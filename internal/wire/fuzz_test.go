@@ -16,12 +16,21 @@ import (
 //     encode/decode round (the codec is canonical, but raw fuzz input may
 //     use non-minimal varints, so the input itself is not compared).
 func FuzzWireRoundTrip(f *testing.F) {
+	// Seed every message type through the pooled-frame encode path the
+	// transports use: Append onto one warm scratch buffer reused across
+	// messages, exactly like a sync.Pool frame (byte-identical to Encode,
+	// pinned here so corpus inputs cover that path's real outputs). Each
+	// encoding is also seeded truncated mid-message and with trailing
+	// garbage — the shapes a reused read buffer shows a buggy decoder.
+	scratch := make([]byte, 0, 4096)
 	for _, msg := range messages() {
-		enc, err := Encode(msg)
+		enc, err := Append(scratch[:0], msg)
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(enc)
+		f.Add(bytes.Clone(enc))
+		f.Add(bytes.Clone(enc[:len(enc)/2]))
+		f.Add(append(bytes.Clone(enc), 0xEE, 0xEE))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x01})

@@ -15,11 +15,20 @@
 // across a wire: Transaction.Idx is a per-run dense index stamped by the
 // local submission layer (receivers fall back to ID-keyed maps), so it
 // decodes as zero.
+//
+// Ownership: Decode is borrow-safe. The returned message never aliases
+// the input buffer — every variable-length field is copied into memory
+// the message owns — so callers may reuse or overwrite the buffer the
+// moment Decode returns (transports decode out of pooled frames and
+// recycled socket-read buffers on exactly this contract; pinned by
+// TestDecodeOwnsItsData). Encoding through Append on a warm scratch
+// buffer performs zero allocations (pinned by TestAppendZeroAllocs).
 package wire
 
 import (
 	"encoding/binary"
 	"fmt"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/pbft"
@@ -250,6 +259,14 @@ func appendBytes(dst, b []byte) []byte {
 	return append(dst, b...)
 }
 
+// appendString length-prefixes a string field without converting it to a
+// byte slice first — appending string contents directly keeps Append on
+// a warm buffer allocation-free.
+func appendString(dst []byte, s string) []byte {
+	dst = appendUint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
 func appendPrePrepare(dst []byte, m *pbft.PrePrepare) []byte {
 	dst = appendUint(dst, uint64(m.Instance))
 	dst = appendUint(dst, m.View)
@@ -294,12 +311,12 @@ func appendTx(dst []byte, tx *types.Transaction) []byte {
 func appendTxValue(dst []byte, tx *types.Transaction) []byte {
 	dst = appendUint(dst, uint64(len(tx.Ops)))
 	for _, op := range tx.Ops {
-		dst = appendBytes(dst, []byte(op.Key))
+		dst = appendString(dst, string(op.Key))
 		dst = append(dst, byte(op.Type), byte(op.Kind))
 		dst = appendInt(dst, int64(op.Amount))
 		dst = appendInt(dst, int64(op.Con))
 	}
-	dst = appendBytes(dst, []byte(tx.Client))
+	dst = appendString(dst, string(tx.Client))
 	dst = appendUint(dst, tx.Nonce)
 	dst = appendBytes(dst, tx.Sig)
 	dst = appendBytes(dst, tx.Payload)
@@ -311,9 +328,29 @@ func appendTxValue(dst []byte, tx *types.Transaction) []byte {
 // reader is a cursor over an encoded message with sticky error handling:
 // the first malformed read poisons it and every later read returns zero
 // values, so decoders read field sequences without per-field checks.
+//
+// Variable-length fields are carved from one shared arena allocation
+// instead of one heap object each: the sum of every remaining field's
+// content is bounded by the bytes left in the input, so a single buffer
+// sized at the first carve serves the whole message. Each carve is
+// capacity-clipped (three-index slice), so appending to one decoded
+// field can never spill into a sibling's region.
 type reader struct {
-	b   []byte
-	err error
+	b     []byte
+	arena []byte
+	err   error
+}
+
+// carve reserves n exclusively-owned bytes from the arena.
+func (r *reader) carve(n int) []byte {
+	if cap(r.arena)-len(r.arena) < n {
+		// Every later carve copies bytes not yet consumed from r.b, so
+		// len(r.b) bounds all remaining content: one allocation suffices.
+		r.arena = make([]byte, 0, max(n, len(r.b)))
+	}
+	out := r.arena[len(r.arena) : len(r.arena)+n : len(r.arena)+n]
+	r.arena = r.arena[:len(r.arena)+n]
+	return out
 }
 
 func (r *reader) fail(format string, args ...any) {
@@ -368,10 +405,28 @@ func (r *reader) bytes() []byte {
 	if r.err != nil || n == 0 {
 		return nil
 	}
-	out := make([]byte, n)
+	out := r.carve(n)
 	copy(out, r.b)
 	r.b = r.b[n:]
 	return out
+}
+
+// str reads a string field without the double copy of
+// string(r.bytes()). The carved region is exclusively owned by the
+// returned string: the arena cursor has moved past it, no other field
+// can alias it, and []byte fields carved from the same arena are
+// capacity-clipped to their own regions — so nothing can ever mutate
+// the string's backing bytes, which is what makes the zero-copy
+// conversion sound.
+func (r *reader) str() string {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	out := r.carve(n)
+	copy(out, r.b)
+	r.b = r.b[n:]
+	return unsafe.String(&out[0], n)
 }
 
 func (r *reader) digest(dst []byte) {
@@ -455,14 +510,14 @@ func (r *reader) txValue(tx *types.Transaction) {
 		tx.Ops = make([]types.Op, n)
 		for i := range tx.Ops {
 			op := &tx.Ops[i]
-			op.Key = types.Key(r.bytes())
+			op.Key = types.Key(r.str())
 			op.Type = types.ObjectType(r.byte())
 			op.Kind = types.OpKind(r.byte())
 			op.Amount = types.Amount(r.int())
 			op.Con = types.Amount(r.int())
 		}
 	}
-	tx.Client = types.Key(r.bytes())
+	tx.Client = types.Key(r.str())
 	tx.Nonce = r.uint()
 	tx.Sig = r.bytes()
 	tx.Payload = r.bytes()

@@ -1,0 +1,35 @@
+package orthrus
+
+import (
+	"repro/internal/netbench"
+)
+
+// NetBenchArtifact is the structured outcome of a real-transport perf
+// run (schema orthrus-bench-net/v1): one cell per (backend, cluster
+// size) with delivered-message rates, allocations per message and frame
+// latency percentiles. It aliases the internal netbench artifact so the
+// BENCH_net.json written through the public API is byte-identical to the
+// internal harness's.
+type NetBenchArtifact = netbench.Artifact
+
+// NetBenchCell is one measured (backend, n) point of a NetBenchArtifact
+// (an alias of the internal netbench type, like NetBenchArtifact).
+type NetBenchCell = netbench.Cell
+
+// NetBenchOptions tunes RunNetBench; the zero value measures the
+// standard grid (proc and loopback-TCP backends, n in {4, 10}).
+type NetBenchOptions = netbench.Options
+
+// NetBenchSchema identifies the artifact format RunNetBench produces.
+const NetBenchSchema = netbench.Schema
+
+// RunNetBench measures the real-transport data path end to end — wire
+// encoding, framing, queueing, delivery and decoding, with counting
+// handlers in place of the consensus state machines — and returns the
+// BENCH_net.json artifact cells. The numbers are wall-clock facts about
+// this machine: rates and latencies vary with the host, allocations per
+// message are host-stable. `orthrus-bench -bench-net` is the CLI entry
+// point.
+func RunNetBench(opts NetBenchOptions) (*NetBenchArtifact, error) {
+	return netbench.Run(opts)
+}
